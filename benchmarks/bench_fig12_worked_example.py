@@ -1,0 +1,55 @@
+"""E1 — Figures 1 & 2: the paper's worked example, timed and verified.
+
+Regenerates every number the paper states about the sample tree: the
+Dewey labels of Lla and Spy, the LCA at label (2.1), and the Figure-2
+projection with its merged 1.5 edge.  The benchmark times the projection
+query itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dewey import DeweyIndex, label_to_string
+from repro.core.lca import LcaService
+from repro.core.projection import project_tree
+from repro.trees.build import sample_tree
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return sample_tree()
+
+
+def test_fig1_dewey_labels(benchmark, fig1, report):
+    index = benchmark(DeweyIndex, fig1)
+    lla = label_to_string(index.label(fig1.find("Lla")))
+    spy = label_to_string(index.label(fig1.find("Spy")))
+    lca = label_to_string(index.label(index.lca(fig1.find("Lla"), fig1.find("Spy"))))
+    assert (lla, spy, lca) == ("2.1.1", "2.1.2", "2.1")
+    report("E1 Figure 1 — Dewey labels")
+    report(f"  paper:    Lla=(2.1.1)  Spy=(2.1.2)  LCA=(2.1)")
+    report(f"  measured: Lla=({lla})  Spy=({spy})  LCA=({lca})   [exact match]")
+
+
+def test_fig2_projection(benchmark, fig1, report):
+    service = LcaService(fig1, "layered", f=2)
+
+    def run():
+        return project_tree(fig1, ["Bha", "Lla", "Syn"], lca_service=service)
+
+    projection = benchmark(run)
+    lengths = sorted(
+        node.length for node in projection.preorder() if node.parent is not None
+    )
+    assert lengths == pytest.approx([0.75, 1.5, 1.5, 2.5])
+    merged = projection.find("Lla").length
+    assert merged == pytest.approx(1.5)
+    report("")
+    report("E1 Figure 2 — projection of {Bha, Lla, Syn}")
+    report("  paper:    edges {0.75, 1.5, 1.5, 2.5}; Lla's merged edge = 0.5+1.0")
+    report(
+        f"  measured: edges {{{', '.join(f'{v:g}' for v in lengths)}}}; "
+        f"Lla's merged edge = {merged:g}   [exact match]"
+    )
+    report(f"  newick:   {projection.to_newick()}")

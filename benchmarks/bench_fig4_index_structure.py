@@ -1,0 +1,75 @@
+"""E2 — Figure 4: the layered index of the sample tree at f = 2.
+
+Reconstructs the exact Figure-4 structure (two layer-0 blocks, one
+layer-1 tree, the source node at label 2.1) and times both index
+construction and the cross-block LCA walkthrough of §2.1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decompose import decompose
+from repro.core.dewey import label_to_string
+from repro.core.hindex import HierarchicalIndex
+from repro.trees.build import sample_tree
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return sample_tree()
+
+
+def test_fig4_decomposition(benchmark, fig1, report):
+    decomposition = benchmark(decompose, fig1, 2)
+    assert len(decomposition.blocks) == 2
+    top, split = decomposition.blocks
+    top_names = sorted(node.name for node, _ in top.members)
+    split_names = sorted(node.name for node, _ in split.members)
+    assert split.root.name == "x"
+    assert split.source_label == (2, 1)
+    report("E2 Figure 4 — f=2 decomposition of the sample tree")
+    report("  paper:    layer-0 block 1 = {R, Syn, A, Bsu, Bha, x(boundary)},")
+    report("            block 2 rooted at x-copy = {Lla, Spy}, source = node at 2.1")
+    report(f"  measured: block 1 = {top_names}")
+    report(f"            block 2 = {split_names}, root = {split.root.name!r}, "
+           f"source label = {label_to_string(split.source_label)}   [exact match]")
+
+
+def test_fig4_index_build(benchmark, fig1, report):
+    index = benchmark(HierarchicalIndex, fig1, 2)
+    summary = index.layer_summary()
+    assert index.n_layers == 2
+    assert summary[0]["blocks"] == 2
+    assert summary[1]["blocks"] == 1
+    report("")
+    report("E2 Figure 4 — layered structure")
+    report("  paper:    2 layer-0 subtrees, 1 layer-1 tree (nodes 5, 6)")
+    report(
+        "  measured: "
+        + "; ".join(
+            f"layer {row['layer']}: {row['blocks']} blocks, "
+            f"{row['inodes']} index nodes"
+            for row in summary
+        )
+    )
+
+
+def test_section21_lca_walkthrough(benchmark, fig1, report):
+    index = HierarchicalIndex(fig1, 2)
+    lla, syn, spy = fig1.find("Lla"), fig1.find("Syn"), fig1.find("Spy")
+
+    def run():
+        return index.lca(lla, syn), index.lca(lla, spy)
+
+    cross_block, same_block = benchmark(run)
+    assert cross_block is fig1.root
+    assert same_block is fig1.find("x")
+    report("")
+    report("E2 §2.1 LCA walkthrough")
+    report("  paper:    LCA(Lla, Syn) = node 1 (root, via layer 1);"
+           " LCA(Lla, Spy) = x")
+    report(
+        f"  measured: LCA(Lla, Syn) = {cross_block.name}; "
+        f"LCA(Lla, Spy) = {same_block.name}   [exact match]"
+    )

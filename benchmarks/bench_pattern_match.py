@@ -1,0 +1,63 @@
+"""E9 — tree pattern match latency (§2.2).
+
+Pattern match = project the pattern's leaf set + linear-time comparison,
+so latency should track pattern size, not tree size.  Exact and
+approximate (similarity-scoring) variants are both measured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lca import LcaService
+from repro.core.pattern import match_pattern
+from repro.core.projection import project_tree
+from repro.simulation.birth_death import yule_tree
+
+PATTERN_SIZES = (4, 16, 64)
+
+
+@pytest.fixture(scope="module")
+def target():
+    tree = yule_tree(2000, rng=np.random.default_rng(11))
+    service = LcaService(tree, "layered", f=8)
+    return tree, service
+
+
+@pytest.mark.parametrize("k", PATTERN_SIZES)
+def test_exact_match_true_pattern(benchmark, target, k, report):
+    tree, service = target
+    rng = np.random.default_rng(k)
+    names = [leaf.name for leaf in tree.root.leaves()]
+    chosen = [names[int(i)] for i in rng.choice(len(names), size=k, replace=False)]
+    pattern = project_tree(tree, chosen, lca_service=service)
+
+    result = benchmark(match_pattern, tree, pattern, service)
+    assert result.matched
+    if k == PATTERN_SIZES[-1]:
+        report(
+            "E9 — pattern match: patterns cut from the gold standard match "
+            f"exactly at sizes {PATTERN_SIZES} (latency tracks pattern size, "
+            "not the 2000-leaf tree)"
+        )
+
+
+def test_approximate_match_perturbed_pattern(benchmark, target, report):
+    tree, service = target
+    rng = np.random.default_rng(99)
+    names = [leaf.name for leaf in tree.root.leaves()]
+    chosen = [names[int(i)] for i in rng.choice(len(names), size=16, replace=False)]
+    pattern = project_tree(tree, chosen, lca_service=service)
+    # Perturb: swap two leaf names so the pattern no longer matches.
+    leaves = pattern.leaves()
+    leaves[0].name, leaves[-1].name = leaves[-1].name, leaves[0].name
+    pattern.invalidate_caches()
+
+    result = benchmark(match_pattern, tree, pattern, service)
+    assert not result.matched
+    assert 0.0 <= result.similarity < 1.0
+    report(
+        f"E9 — perturbed pattern: matched=False, similarity="
+        f"{result.similarity:.3f} (approximate match per §2.2)"
+    )

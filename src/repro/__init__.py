@@ -1,0 +1,22 @@
+"""Crimson: data management for evaluating phylogenetic tree reconstruction.
+
+A faithful Python reproduction of the VLDB 2006 demonstration paper
+"Crimson: A Data Management System to Support Evaluating Phylogenetic
+Tree Reconstruction Algorithms" (Zheng, Fisher, Cohen, Guo, Kim,
+Davidson).  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the paper-versus-measured record.
+
+Public API highlights
+---------------------
+
+* ``repro.trees`` -- tree model, Newick/NEXUS serialization,
+* ``repro.core`` -- hierarchical Dewey index, LCA, projection, clades,
+  pattern match,
+* ``repro.storage`` -- relational repositories (sqlite) and the data loader,
+* ``repro.simulation`` -- gold-standard tree and sequence generators,
+* ``repro.reconstruction`` -- NJ, UPGMA, parsimony baselines,
+* ``repro.benchmark`` -- sampling strategies, comparison metrics, and the
+  Benchmark Manager pipeline.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,89 @@
+"""Benchmark Manager: sampling, metrics, consensus, and the pipeline.
+
+* :mod:`repro.benchmark.sampling` — random / time-stratified / user
+  species sampling (in-memory and SQL-backed),
+* :mod:`repro.benchmark.metrics` — RF, branch-score, triplet distances,
+* :mod:`repro.benchmark.consensus` — majority-rule consensus trees,
+* :mod:`repro.benchmark.manager` — the sample → project → reconstruct →
+  compare pipeline.
+"""
+
+from repro.benchmark.metrics import (
+    SplitComparison,
+    bipartitions,
+    branch_score_distance,
+    clusters,
+    compare_splits,
+    normalized_rf,
+    quartet_distance,
+    robinson_foulds,
+    same_topology,
+    triplet_distance,
+)
+from repro.benchmark.consensus import (
+    build_tree_from_clusters,
+    majority_consensus_tree,
+    majority_rule_consensus,
+    strict_consensus,
+)
+from repro.benchmark.sampling import (
+    random_sample,
+    random_sample_stored,
+    sample_with_time,
+    sample_with_time_stored,
+    time_frontier,
+    validate_user_sample,
+)
+from repro.benchmark.bootstrap import (
+    BootstrapResult,
+    bootstrap_support,
+    resample_columns,
+    support_versus_truth,
+)
+from repro.benchmark.manager import (
+    ALL_ALGORITHMS,
+    DEFAULT_ALGORITHMS,
+    AlgorithmResult,
+    BenchmarkManager,
+    SweepRow,
+    TrialResult,
+    evaluate_sample,
+    format_sweep_table,
+    run_in_memory_trial,
+)
+
+__all__ = [
+    "SplitComparison",
+    "bipartitions",
+    "branch_score_distance",
+    "clusters",
+    "compare_splits",
+    "normalized_rf",
+    "quartet_distance",
+    "robinson_foulds",
+    "same_topology",
+    "triplet_distance",
+    "build_tree_from_clusters",
+    "majority_consensus_tree",
+    "majority_rule_consensus",
+    "strict_consensus",
+    "random_sample",
+    "random_sample_stored",
+    "sample_with_time",
+    "sample_with_time_stored",
+    "time_frontier",
+    "validate_user_sample",
+    "BootstrapResult",
+    "bootstrap_support",
+    "resample_columns",
+    "support_versus_truth",
+    "ALL_ALGORITHMS",
+    "DEFAULT_ALGORITHMS",
+    "AlgorithmResult",
+    "BenchmarkManager",
+    "SweepRow",
+    "TrialResult",
+    "evaluate_sample",
+    "format_sweep_table",
+    "run_in_memory_trial",
+]

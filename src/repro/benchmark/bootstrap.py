@@ -1,0 +1,144 @@
+"""Nonparametric bootstrap support for reconstructed trees.
+
+The classic Felsenstein (1985) procedure the paper's users would run on
+top of the Benchmark Manager: resample alignment columns with
+replacement, reconstruct a tree from each pseudo-alignment, and read
+clade support off the majority-rule consensus of the replicates.  High
+support on wrong clades (or low support on true ones) is exactly the
+kind of algorithm behaviour the gold standard is built to expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.benchmark.consensus import majority_rule_consensus
+from repro.benchmark.manager import Algorithm
+from repro.benchmark.metrics import clusters
+from repro.errors import QueryError
+from repro.trees.tree import PhyloTree
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Outcome of a bootstrap analysis.
+
+    Attributes
+    ----------
+    consensus:
+        Majority-rule consensus of the replicate trees.
+    support:
+        Cluster → fraction of replicates containing it (only clusters
+        that reached the consensus threshold).
+    replicates:
+        The reconstructed replicate trees themselves.
+    """
+
+    consensus: PhyloTree
+    support: dict[frozenset[str], float]
+    replicates: list[PhyloTree]
+
+    def support_of(self, taxa: frozenset[str] | set[str]) -> float:
+        """Support of a specific cluster (0.0 when absent)."""
+        return self.support.get(frozenset(taxa), 0.0)
+
+
+def resample_columns(
+    sequences: Mapping[str, str], rng: np.random.Generator
+) -> dict[str, str]:
+    """One bootstrap pseudo-alignment: columns drawn with replacement.
+
+    Raises
+    ------
+    QueryError
+        On empty or misaligned input.
+    """
+    if not sequences:
+        raise QueryError("cannot resample an empty alignment")
+    lengths = {len(sequence) for sequence in sequences.values()}
+    if len(lengths) != 1:
+        raise QueryError("sequences are misaligned")
+    (n_sites,) = lengths
+    if n_sites == 0:
+        raise QueryError("sequences are empty")
+    columns = rng.integers(0, n_sites, size=n_sites)
+    return {
+        name: "".join(sequence[index] for index in columns)
+        for name, sequence in sequences.items()
+    }
+
+
+def bootstrap_support(
+    sequences: Mapping[str, str],
+    algorithm: Algorithm,
+    n_replicates: int = 100,
+    rng: np.random.Generator | None = None,
+    threshold: float = 0.5,
+) -> BootstrapResult:
+    """Run a full bootstrap analysis for one reconstruction algorithm.
+
+    Parameters
+    ----------
+    sequences:
+        The sampled species' aligned sequences.
+    algorithm:
+        Reconstruction callable (e.g. an entry of
+        :data:`repro.benchmark.manager.ALL_ALGORITHMS`).
+    n_replicates:
+        Number of pseudo-alignments.
+    rng:
+        Randomness source.
+    threshold:
+        Consensus threshold (0.5 = majority rule).
+
+    Raises
+    ------
+    QueryError
+        On invalid replicate counts or unusable alignments.
+    """
+    if n_replicates < 1:
+        raise QueryError("need at least one bootstrap replicate")
+    rng = rng or np.random.default_rng()
+    replicates: list[PhyloTree] = []
+    for _ in range(n_replicates):
+        pseudo = resample_columns(sequences, rng)
+        replicates.append(algorithm(pseudo))
+    consensus, support = majority_rule_consensus(replicates, threshold)
+    return BootstrapResult(
+        consensus=consensus, support=support, replicates=replicates
+    )
+
+
+def support_versus_truth(
+    result: BootstrapResult, truth: PhyloTree
+) -> dict[str, float]:
+    """Score bootstrap support against the gold-standard projection.
+
+    Returns the mean support of true clusters, the mean support of
+    false (consensus-but-wrong) clusters, and the recall of true
+    clusters at the consensus threshold — the calibration summary an
+    algorithm evaluation would report.
+    """
+    true_clusters = clusters(truth)
+    supported = result.support
+    true_supports = [
+        supported[cluster] for cluster in supported if cluster in true_clusters
+    ]
+    false_supports = [
+        supported[cluster]
+        for cluster in supported
+        if cluster not in true_clusters
+    ]
+    recovered = sum(1 for cluster in true_clusters if cluster in supported)
+    return {
+        "mean_support_true": float(np.mean(true_supports)) if true_supports else 0.0,
+        "mean_support_false": (
+            float(np.mean(false_supports)) if false_supports else 0.0
+        ),
+        "true_cluster_recall": (
+            recovered / len(true_clusters) if true_clusters else 1.0
+        ),
+    }

@@ -1,0 +1,18 @@
+"""GUI-manager substitute: the ``crimson`` CLI, renderers, and exports.
+
+* :mod:`repro.cli.main` — argparse command-line interface,
+* :mod:`repro.cli.render` — ASCII dendrogram and phylogram,
+* :mod:`repro.cli.walrus` — Walrus/LibSea-style JSON graph export.
+"""
+
+from repro.cli.main import build_parser, main
+from repro.cli.render import render_ascii, render_phylogram
+from repro.cli.walrus import to_walrus_json
+
+__all__ = [
+    "build_parser",
+    "main",
+    "render_ascii",
+    "render_phylogram",
+    "to_walrus_json",
+]

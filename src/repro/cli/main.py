@@ -1,0 +1,572 @@
+"""The ``crimson`` command-line interface (GUI manager substitute).
+
+The original Crimson pairs a Java GUI with a "python scripting based
+command-line interface [that] provides users the ability to create their
+own scripts to automate various tasks" (paper §2.3).  This module is that
+interface: every demonstrated GUI capability — loading data, projecting
+trees, sampling, benchmarking, viewing results, recalling query history —
+is a subcommand against a Crimson database file.
+
+Examples
+--------
+::
+
+    crimson --db crimson.db simulate --model yule --leaves 500 --name gold \\
+        --seq-length 400
+    crimson --db crimson.db list
+    crimson --db crimson.db lca gold Lla Syn
+    crimson --db crimson.db sample gold --method time --time 1.0 -k 8
+    crimson --db crimson.db project gold --taxa Bha Lla Syn --format ascii
+    crimson --db crimson.db benchmark gold -k 16 --trials 3
+    crimson --db crimson.db history
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.benchmark.manager import (
+    ALL_ALGORITHMS,
+    BenchmarkManager,
+    format_sweep_table,
+)
+from repro.benchmark.sampling import (
+    random_sample_stored,
+    sample_with_time_stored,
+)
+from repro.cli.render import render_ascii, render_phylogram
+from repro.cli.walrus import to_walrus_json
+from repro.core.pattern import match_pattern
+from repro.core.projection import project_tree
+from repro.errors import CrimsonError
+from repro.simulation.birth_death import (
+    birth_death_tree,
+    coalescent_tree,
+    yule_tree,
+)
+from repro.simulation.models import hky85, jc69, k80
+from repro.simulation.seqgen import evolve_sequences
+from repro.storage.database import CrimsonDatabase
+from repro.storage.loader import DataLoader
+from repro.storage.query_repository import QueryRepository
+from repro.storage.species_repository import SpeciesRepository
+from repro.storage.tree_repository import TreeRepository
+from repro.trees.newick import parse_newick, write_newick
+from repro.trees.nexus import NexusDocument, write_nexus
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the full argument parser (exposed for the test suite)."""
+    parser = argparse.ArgumentParser(
+        prog="crimson",
+        description="Crimson: data management for phylogenetic tree "
+        "reconstruction benchmarking (VLDB 2006 reproduction).",
+    )
+    parser.add_argument(
+        "--db",
+        default="crimson.db",
+        help="path of the Crimson database file (default: crimson.db)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="random seed for sampling"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    load = commands.add_parser("load", help="load a NEXUS or Newick file")
+    load.add_argument("path", help="input file")
+    load.add_argument("--name", help="repository name (default: file stem)")
+    load.add_argument(
+        "--format", choices=("nexus", "newick"), default="nexus"
+    )
+    load.add_argument(
+        "--structure-only",
+        action="store_true",
+        help="skip species data even if the file has a character matrix",
+    )
+    load.add_argument(
+        "-f", "--label-bound", type=int, default=8, help="index label bound"
+    )
+
+    append = commands.add_parser(
+        "append-species", help="append a NEXUS character matrix to a tree"
+    )
+    append.add_argument("tree")
+    append.add_argument("path")
+    append.add_argument("--replace", action="store_true")
+
+    commands.add_parser("list", help="list stored trees")
+
+    info = commands.add_parser("info", help="catalogue entry of one tree")
+    info.add_argument("tree")
+
+    delete = commands.add_parser("delete", help="remove a stored tree")
+    delete.add_argument("tree")
+
+    view = commands.add_parser("view", help="render a stored tree")
+    view.add_argument("tree")
+    view.add_argument(
+        "--format",
+        choices=("ascii", "phylogram", "newick", "nexus", "walrus"),
+        default="ascii",
+    )
+    view.add_argument("--max-nodes", type=int, default=200)
+
+    export = commands.add_parser("export", help="write a stored tree to a file")
+    export.add_argument("tree")
+    export.add_argument("path")
+    export.add_argument(
+        "--format", choices=("newick", "nexus", "walrus"), default="newick"
+    )
+
+    lca = commands.add_parser("lca", help="least common ancestor of species")
+    lca.add_argument("tree")
+    lca.add_argument("taxa", nargs="+", help="two or more species names")
+
+    clade = commands.add_parser(
+        "clade", help="minimal spanning clade of a species set"
+    )
+    clade.add_argument("tree")
+    clade.add_argument("taxa", nargs="+")
+    clade.add_argument("--leaves-only", action="store_true")
+
+    frontier = commands.add_parser(
+        "frontier", help="nodes at an evolutionary-time frontier"
+    )
+    frontier.add_argument("tree")
+    frontier.add_argument("--time", type=float, required=True)
+
+    sample = commands.add_parser("sample", help="sample species names")
+    sample.add_argument("tree")
+    sample.add_argument("-k", type=int, required=True)
+    sample.add_argument("--method", choices=("random", "time"), default="random")
+    sample.add_argument("--time", type=float)
+
+    project = commands.add_parser(
+        "project", help="project the tree over a species sample"
+    )
+    project.add_argument("tree")
+    group = project.add_mutually_exclusive_group(required=True)
+    group.add_argument("--taxa", nargs="+", help="explicit species list")
+    group.add_argument("-k", type=int, help="random sample size")
+    project.add_argument("--method", choices=("random", "time"), default="random")
+    project.add_argument("--time", type=float)
+    project.add_argument(
+        "--format",
+        choices=("ascii", "newick", "nexus", "walrus"),
+        default="newick",
+    )
+
+    match = commands.add_parser(
+        "match", help="match a Newick pattern against a stored tree"
+    )
+    match.add_argument("tree")
+    match.add_argument("pattern", help="pattern tree in Newick notation")
+    match.add_argument("--unordered", action="store_true")
+
+    benchmark = commands.add_parser(
+        "benchmark", help="evaluate reconstruction algorithms"
+    )
+    benchmark.add_argument("tree")
+    benchmark.add_argument("-k", type=int, nargs="+", required=True)
+    benchmark.add_argument("--trials", type=int, default=3)
+    benchmark.add_argument("--method", choices=("random", "time"), default="random")
+    benchmark.add_argument("--time", type=float)
+    benchmark.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=sorted(ALL_ALGORITHMS),
+        default=None,
+    )
+
+    history = commands.add_parser("history", help="show recent queries")
+    history.add_argument("--limit", type=int, default=20)
+    history.add_argument("--tree")
+
+    rerun = commands.add_parser(
+        "rerun", help="recall a recorded query by id and run it again"
+    )
+    rerun.add_argument("query_id", type=int)
+
+    verify = commands.add_parser(
+        "verify", help="check the integrity of the stored trees and indexes"
+    )
+    verify.add_argument("tree", nargs="?", help="verify one tree only")
+
+    bootstrap = commands.add_parser(
+        "bootstrap", help="bootstrap clade support for a species sample"
+    )
+    bootstrap.add_argument("tree")
+    bootstrap.add_argument("-k", type=int, required=True, help="sample size")
+    bootstrap.add_argument("--replicates", type=int, default=100)
+    bootstrap.add_argument(
+        "--algorithm", choices=sorted(ALL_ALGORITHMS), default="nj-jc69"
+    )
+
+    simulate = commands.add_parser(
+        "simulate", help="generate and store a gold-standard tree"
+    )
+    simulate.add_argument("--name", required=True)
+    simulate.add_argument(
+        "--model", choices=("yule", "birth-death", "coalescent"), default="yule"
+    )
+    simulate.add_argument("--leaves", type=int, default=100)
+    simulate.add_argument("--birth", type=float, default=1.0)
+    simulate.add_argument("--death", type=float, default=0.3)
+    simulate.add_argument("--seq-length", type=int, default=0,
+                          help="also evolve sequences of this length")
+    simulate.add_argument(
+        "--subst-model", choices=("jc69", "k80", "hky85"), default="jc69"
+    )
+    simulate.add_argument("--scale", type=float, default=0.1,
+                          help="branch-length multiplier for sequence evolution")
+    simulate.add_argument("-f", "--label-bound", type=int, default=8)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    rng = np.random.default_rng(args.seed)
+    try:
+        with CrimsonDatabase(args.db) as db:
+            return _dispatch(args, db, rng)
+    except CrimsonError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
+    trees = TreeRepository(db)
+    species = SpeciesRepository(db)
+    history = QueryRepository(db)
+    loader = DataLoader(db, report=print)
+
+    if args.command == "load":
+        if args.format == "nexus":
+            loader.load_nexus_file(
+                args.path,
+                name=args.name,
+                f=args.label_bound,
+                structure_only=args.structure_only,
+            )
+        else:
+            loader.load_newick_file(args.path, name=args.name, f=args.label_bound)
+        return 0
+
+    if args.command == "append-species":
+        loader.append_species_nexus(
+            args.tree, Path(args.path).read_text(), replace=args.replace
+        )
+        return 0
+
+    if args.command == "list":
+        entries = trees.list_trees()
+        if not entries:
+            print("(no trees stored)")
+            return 0
+        for info in entries:
+            print(
+                f"{info.name:<24} {info.n_nodes:>9} nodes "
+                f"{info.n_leaves:>9} leaves  depth {info.max_depth:<6} "
+                f"f={info.f} layers={info.n_layers}"
+            )
+        return 0
+
+    if args.command == "info":
+        info = trees.info(args.tree)
+        stored = trees.open(args.tree)
+        print(f"name:        {info.name}")
+        print(f"created:     {info.created_at}")
+        print(f"nodes:       {info.n_nodes}")
+        print(f"leaves:      {info.n_leaves}")
+        print(f"max depth:   {info.max_depth}")
+        print(f"label bound: {info.f}")
+        print(f"layers:      {info.n_layers}")
+        print(f"blocks:      {info.n_blocks}")
+        print(f"species rows:{species.count(stored):>8}")
+        if info.description:
+            print(f"description: {info.description}")
+        return 0
+
+    if args.command == "delete":
+        trees.delete_tree(args.tree)
+        print(f"deleted {args.tree!r}")
+        return 0
+
+    if args.command == "view":
+        tree = trees.open(args.tree).fetch_tree()
+        print(_render(tree, args.format, max_nodes=args.max_nodes))
+        return 0
+
+    if args.command == "export":
+        tree = trees.open(args.tree).fetch_tree()
+        Path(args.path).write_text(_render(tree, args.format) + "\n")
+        print(f"wrote {args.path}")
+        return 0
+
+    if args.command == "lca":
+        stored = trees.open(args.tree)
+        row = stored.lca_many(list(args.taxa))
+        history.record(
+            "lca", {"taxa": list(args.taxa)}, tree_name=args.tree,
+            result_summary=str(row.name or row.node_id),
+        )
+        print(f"LCA: node {row.node_id} name={row.name!r} depth={row.depth} "
+              f"dist={row.dist_from_root:g}")
+        return 0
+
+    if args.command == "clade":
+        stored = trees.open(args.tree)
+        rows = stored.clade(list(args.taxa))
+        if args.leaves_only:
+            rows = [row for row in rows if row.is_leaf]
+        history.record(
+            "clade", {"taxa": list(args.taxa)}, tree_name=args.tree,
+            result_summary=f"{len(rows)} nodes",
+        )
+        for row in rows:
+            kind = "leaf" if row.is_leaf else "node"
+            print(f"{kind} {row.node_id:>8} {row.name or ''}")
+        return 0
+
+    if args.command == "frontier":
+        stored = trees.open(args.tree)
+        rows = stored.time_frontier(args.time)
+        history.record(
+            "frontier", {"time": args.time}, tree_name=args.tree,
+            result_summary=f"{len(rows)} nodes",
+        )
+        for row in rows:
+            print(f"node {row.node_id:>8} {row.name or '*':<16} "
+                  f"dist={row.dist_from_root:g}")
+        return 0
+
+    if args.command == "sample":
+        stored = trees.open(args.tree)
+        names = _draw_sample(stored, args, rng)
+        history.record(
+            "sample",
+            {"k": args.k, "method": args.method, "time": args.time},
+            tree_name=args.tree,
+            result_summary=f"{len(names)} species",
+        )
+        for name in names:
+            print(name)
+        return 0
+
+    if args.command == "project":
+        stored = trees.open(args.tree)
+        if args.taxa:
+            names = list(args.taxa)
+        else:
+            names = _draw_sample(stored, args, rng)
+        gold = stored.fetch_tree()
+        projection = project_tree(gold, names)
+        history.record(
+            "project",
+            {"taxa": names},
+            tree_name=args.tree,
+            result_summary=f"{projection.size()} nodes",
+        )
+        print(_render(projection, args.format))
+        return 0
+
+    if args.command == "match":
+        stored = trees.open(args.tree)
+        pattern = parse_newick(args.pattern)
+        gold = stored.fetch_tree()
+        result = match_pattern(gold, pattern, ordered=not args.unordered)
+        history.record(
+            "match",
+            {"pattern": args.pattern, "ordered": not args.unordered},
+            tree_name=args.tree,
+            result_summary=f"matched={result.matched}",
+        )
+        print(f"matched:    {result.matched}")
+        print(f"similarity: {result.similarity:.3f}")
+        print(f"projection: {write_newick(result.projection)}")
+        return int(not result.matched)
+
+    if args.command == "benchmark":
+        selected = (
+            {name: ALL_ALGORITHMS[name] for name in args.algorithms}
+            if args.algorithms
+            else None
+        )
+        manager = BenchmarkManager(db, algorithms=selected)
+        rows = manager.run_sweep(
+            args.tree,
+            sample_sizes=args.k,
+            n_trials=args.trials,
+            method=args.method,
+            time=args.time,
+            rng=rng,
+        )
+        print(format_sweep_table(rows))
+        return 0
+
+    if args.command == "history":
+        entries = history.recent(limit=args.limit, tree_name=args.tree)
+        if not entries:
+            print("(no recorded queries)")
+            return 0
+        for entry in entries:
+            duration = (
+                f"{entry.duration_ms:.1f}ms" if entry.duration_ms is not None else "-"
+            )
+            print(
+                f"#{entry.query_id:<5} {entry.issued_at}  "
+                f"{entry.operation:<16} {entry.tree_name or '-':<16} "
+                f"{duration:>10}  {json.dumps(entry.params)}"
+            )
+        return 0
+
+    if args.command == "verify":
+        from repro.storage.maintenance import verify_store, verify_tree
+
+        reports = (
+            [verify_tree(db, args.tree)] if args.tree else verify_store(db)
+        )
+        if not reports:
+            print("(no trees stored)")
+            return 0
+        for item in reports:
+            print(item)
+        return int(any(not item.ok for item in reports))
+
+    if args.command == "bootstrap":
+        from repro.benchmark.bootstrap import bootstrap_support, support_versus_truth
+        from repro.benchmark.metrics import clusters as _clusters
+        from repro.benchmark.sampling import random_sample_stored
+        from repro.storage.projection import project_stored
+
+        stored = trees.open(args.tree)
+        sample = random_sample_stored(stored, args.k, rng)
+        truth = project_stored(stored, sample)
+        sequences = species.sequences_for(stored, sample)
+        result = bootstrap_support(
+            sequences,
+            ALL_ALGORITHMS[args.algorithm],
+            n_replicates=args.replicates,
+            rng=rng,
+        )
+        true_clusters = _clusters(truth)
+        print(f"sample: {sorted(sample)}")
+        print(f"{args.replicates} {args.algorithm} replicates; "
+              "clades by support (* = true in the gold standard):")
+        for cluster, support in sorted(
+            result.support.items(), key=lambda item: -item[1]
+        ):
+            marker = "*" if cluster in true_clusters else " "
+            print(f"  {marker} {support * 100:5.1f}%  "
+                  f"{{{', '.join(sorted(cluster))}}}")
+        summary = support_versus_truth(result, truth)
+        print(
+            f"mean support: true clades "
+            f"{summary['mean_support_true'] * 100:.1f}%, false clades "
+            f"{summary['mean_support_false'] * 100:.1f}%, recall "
+            f"{summary['true_cluster_recall'] * 100:.1f}%"
+        )
+        history.record(
+            "bootstrap",
+            {"k": args.k, "replicates": args.replicates,
+             "algorithm": args.algorithm},
+            tree_name=args.tree,
+            result_summary=f"recall={summary['true_cluster_recall']:.2f}",
+        )
+        return 0
+
+    if args.command == "rerun":
+        entry = history.entry(args.query_id)
+        print(
+            f"re-running #{entry.query_id}: {entry.operation} "
+            f"{json.dumps(entry.params)} on {entry.tree_name or '-'}"
+        )
+        replay = _replay_arguments(entry)
+        if replay is None:
+            raise CrimsonError(
+                f"operation {entry.operation!r} cannot be re-run from history"
+            )
+        return _dispatch(build_parser().parse_args(replay), db, rng)
+
+    if args.command == "simulate":
+        if args.model == "yule":
+            tree = yule_tree(args.leaves, args.birth, rng=rng)
+        elif args.model == "birth-death":
+            tree = birth_death_tree(args.leaves, args.birth, args.death, rng=rng)
+        else:
+            tree = coalescent_tree(args.leaves, rng=rng)
+        sequences = None
+        if args.seq_length > 0:
+            model = {"jc69": jc69, "k80": k80, "hky85": hky85}[args.subst_model]()
+            sequences = evolve_sequences(
+                tree, model, args.seq_length, rng=rng, scale=args.scale
+            )
+        loader.load_tree(
+            tree, name=args.name, f=args.label_bound, sequences=sequences
+        )
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _replay_arguments(entry) -> list[str] | None:
+    """Reconstruct the argv of a recorded query (None if not replayable)."""
+    tree = entry.tree_name
+    params = entry.params
+    if entry.operation == "lca" and tree:
+        return ["lca", tree, *params["taxa"]]
+    if entry.operation == "clade" and tree:
+        return ["clade", tree, *params["taxa"]]
+    if entry.operation == "frontier" and tree:
+        return ["frontier", tree, "--time", str(params["time"])]
+    if entry.operation == "sample" and tree:
+        argv = ["sample", tree, "-k", str(params["k"]),
+                "--method", params.get("method", "random")]
+        if params.get("time") is not None:
+            argv += ["--time", str(params["time"])]
+        return argv
+    if entry.operation == "project" and tree:
+        return ["project", tree, "--taxa", *params["taxa"]]
+    if entry.operation == "match" and tree:
+        argv = ["match", tree, params["pattern"]]
+        if not params.get("ordered", True):
+            argv.append("--unordered")
+        return argv
+    return None
+
+
+def _draw_sample(stored, args: argparse.Namespace, rng) -> list[str]:
+    if args.method == "time":
+        if args.time is None:
+            raise CrimsonError("time sampling needs --time")
+        return sample_with_time_stored(stored, args.time, args.k, rng)
+    return random_sample_stored(stored, args.k, rng)
+
+
+def _render(tree, fmt: str, max_nodes: int = 200) -> str:
+    if fmt == "ascii":
+        return render_ascii(tree, max_nodes=max_nodes)
+    if fmt == "phylogram":
+        return render_phylogram(tree)
+    if fmt == "newick":
+        return write_newick(tree)
+    if fmt == "nexus":
+        document = NexusDocument(
+            taxa=tree.leaf_names(), trees=[(tree.name or "tree1", tree)]
+        )
+        return write_nexus(document)
+    if fmt == "walrus":
+        return to_walrus_json(tree)
+    raise AssertionError(f"unhandled format {fmt!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

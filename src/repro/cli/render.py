@@ -1,0 +1,95 @@
+"""Terminal tree rendering (the GUI manager's viewer, in ASCII).
+
+The original Crimson displays result trees as dendrograms through Walrus
+or as NEXUS text.  This module provides the terminal equivalents: a
+box-drawing dendrogram with optional edge lengths, and a distance-scaled
+horizontal phylogram for small trees.
+"""
+
+from __future__ import annotations
+
+from repro.trees.node import Node
+from repro.trees.tree import PhyloTree
+
+_MAX_RENDER_NODES = 5000
+
+
+def render_ascii(
+    tree: PhyloTree,
+    show_lengths: bool = True,
+    max_nodes: int = _MAX_RENDER_NODES,
+) -> str:
+    """Indented box-drawing rendering of a tree.
+
+    Output for the paper's Figure-1 tree::
+
+        R
+        ├── Syn :2.5
+        ├── A :0.75
+        │   ├── x :0.5
+        │   │   ├── Lla :1
+        │   │   └── Spy :1
+        │   └── Bha :1.5
+        └── Bsu :1.25
+
+    Trees larger than ``max_nodes`` are truncated with a note (the GUI
+    had the same practical limit — you do not render a million nodes).
+    """
+    lines: list[str] = []
+    count = 0
+    truncated = False
+
+    # Iterative pre-order carrying the drawing prefix.
+    stack: list[tuple[Node, str, str]] = [(tree.root, "", "")]
+    while stack:
+        node, prefix, connector = stack.pop()
+        count += 1
+        if count > max_nodes:
+            truncated = True
+            break
+        label = node.name if node.name is not None else "*"
+        length = (
+            f" :{node.length:g}"
+            if show_lengths and node.parent is not None
+            else ""
+        )
+        lines.append(f"{prefix}{connector}{label}{length}")
+        child_prefix = prefix
+        if connector == "├── ":
+            child_prefix += "│   "
+        elif connector == "└── ":
+            child_prefix += "    "
+        for index in range(len(node.children) - 1, -1, -1):
+            child = node.children[index]
+            is_last = index == len(node.children) - 1
+            stack.append(
+                (child, child_prefix, "└── " if is_last else "├── ")
+            )
+    if truncated:
+        lines.append(f"... truncated after {max_nodes} nodes ...")
+    return "\n".join(lines)
+
+
+def render_phylogram(tree: PhyloTree, width: int = 60) -> str:
+    """Distance-scaled horizontal phylogram (leaves only, small trees).
+
+    Each leaf is drawn as a row of dashes proportional to its weighted
+    distance from the root::
+
+        Syn  |-----------------------------> 2.5
+        Lla  |--------------------------> 2.25
+    """
+    distances = tree.distances_from_root()
+    leaves = tree.leaves()
+    if not leaves:
+        return "(empty tree)"
+    longest = max(distances[id(leaf)] for leaf in leaves) or 1.0
+    name_width = max(len(leaf.name or "*") for leaf in leaves)
+    lines = []
+    for leaf in leaves:
+        distance = distances[id(leaf)]
+        bar = "-" * max(int(round(width * distance / longest)), 1)
+        lines.append(
+            f"{(leaf.name or '*'):<{name_width}}  |{bar}> {distance:g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Walrus-style graph export.
+
+Crimson converts NEXUS trees into input for Walrus, CAIDA's 3-D
+hyperbolic graph viewer, whose LibSea format is a node/link list plus a
+designated spanning tree.  Since Walrus itself is a Java GUI we cannot
+ship, this module emits the same information as a JSON document any
+modern graph viewer (or d3) can consume: integer-id nodes, a link list
+marked entirely as spanning-tree edges, and per-node attributes (name,
+edge length, depth, leaf flag).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.trees.tree import PhyloTree
+
+
+def to_walrus_json(tree: PhyloTree, indent: int | None = 2) -> str:
+    """Serialize ``tree`` as a Walrus/LibSea-style JSON graph document."""
+    node_ids: dict[int, int] = {}
+    nodes: list[dict] = []
+    links: list[dict] = []
+    depths = tree.depths()
+
+    for identifier, node in enumerate(tree.preorder()):
+        node_ids[id(node)] = identifier
+        nodes.append(
+            {
+                "id": identifier,
+                "name": node.name,
+                "depth": depths[id(node)],
+                "leaf": node.is_leaf,
+            }
+        )
+        if node.parent is not None:
+            links.append(
+                {
+                    "source": node_ids[id(node.parent)],
+                    "destination": identifier,
+                    "length": node.length,
+                    "spanning_tree": True,
+                }
+            )
+
+    document = {
+        "format": "walrus-json",
+        "description": f"phylogenetic tree {tree.name or '(unnamed)'}",
+        "n_nodes": len(nodes),
+        "n_links": len(links),
+        "root": 0,
+        "nodes": nodes,
+        "links": links,
+    }
+    return json.dumps(document, indent=indent)

@@ -1,0 +1,194 @@
+"""Bounded-depth tree decomposition (layer 0 of the hierarchical index).
+
+The paper's scheme: given a bound ``f``, the input tree is cut into a set
+of subtrees ("blocks") in which every node sits at local depth at most
+``f`` from its block root.  A node that reaches local depth exactly ``f``
+and still has children becomes a *boundary* node: it stays in its block as
+a leaf, and a fresh copy of it roots a new block holding its descendants.
+The copy's block records the boundary node as its **source node** — the
+hook ancestor queries use to hop from a block into its parent block.
+
+With ``f = 2`` on the paper's Figure-1 tree this produces exactly the
+Figure-4 structure: block 1 = ``{R, Syn, A, Bsu, Bha, x}`` with ``x`` as a
+boundary leaf labeled ``2.1``, and block 2 rooted at a copy of ``x``
+containing ``{Lla, Spy}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.core.dewey import DeweyLabel
+from repro.trees.node import Node
+from repro.trees.tree import PhyloTree
+
+
+@dataclass
+class Block:
+    """One bounded-depth subtree of the decomposition.
+
+    Attributes
+    ----------
+    block_id:
+        Dense 0-based identifier within the decomposition.
+    root:
+        The original tree node acting as this block's root.  For a split
+        block this is the boundary node itself (conceptually a copy of it;
+        the copy carries local label ε within this block).
+    source_block / source_label:
+        Position of the boundary copy in the parent block — ``None`` for
+        the block containing the tree root.  ``source_label`` is the
+        boundary node's local label *in the parent block*.
+    members:
+        ``(node, local_label)`` pairs for every node whose canonical
+        (non-root) position is in this block, in pre-order.  The block
+        root's ε label is implicit and not listed, except for the global
+        root which has no other position.
+    """
+
+    block_id: int
+    root: Node
+    source_block: int | None = None
+    source_label: DeweyLabel | None = None
+    members: list[tuple[Node, DeweyLabel]] = field(default_factory=list)
+
+    @property
+    def is_top(self) -> bool:
+        """True for the block containing the original tree's root."""
+        return self.source_block is None
+
+
+@dataclass
+class Decomposition:
+    """The full layer-0 decomposition of a tree under bound ``f``."""
+
+    tree: PhyloTree
+    f: int
+    blocks: list[Block]
+    block_of: dict[int, int]
+    label_of: dict[int, DeweyLabel]
+
+    def block_chain(self, node: Node) -> list[int]:
+        """Block ids from the node's own block up to the top block."""
+        chain: list[int] = []
+        block_id = self.block_of[id(node)]
+        while True:
+            chain.append(block_id)
+            block = self.blocks[block_id]
+            if block.is_top:
+                return chain
+            assert block.source_block is not None
+            block_id = block.source_block
+
+    def local_label(self, node: Node) -> DeweyLabel:
+        """The node's canonical local label within its block.
+
+        Raises
+        ------
+        QueryError
+            If the node is not part of the decomposed tree.
+        """
+        try:
+            return self.label_of[id(node)]
+        except KeyError:
+            raise QueryError("node does not belong to the decomposed tree") from None
+
+    def max_label_length(self) -> int:
+        """Largest local label length — guaranteed ≤ ``f``."""
+        if not self.label_of:
+            return 0
+        return max(len(label) for label in self.label_of.values())
+
+
+def decompose(tree: PhyloTree, f: int) -> Decomposition:
+    """Cut ``tree`` into blocks of local depth ≤ ``f``.
+
+    Every node receives one canonical position ``(block, local label)``:
+    for the tree root that is ``(top block, ε)``; for a boundary node it is
+    the depth-``f`` leaf position in the *parent* block (its copy roots the
+    child block but carries no separate canonical label).
+
+    Parameters
+    ----------
+    tree:
+        The tree to decompose.  Not modified.
+    f:
+        Maximum local depth (and therefore maximum label components).
+        Must be at least 1.
+
+    Raises
+    ------
+    QueryError
+        If ``f < 1``.
+    """
+    if f < 1:
+        raise QueryError(f"decomposition bound f must be >= 1, got {f}")
+
+    blocks: list[Block] = []
+    block_of: dict[int, int] = {}
+    label_of: dict[int, DeweyLabel] = {}
+
+    top = Block(block_id=0, root=tree.root)
+    blocks.append(top)
+    block_of[id(tree.root)] = 0
+    label_of[id(tree.root)] = ()
+    top.members.append((tree.root, ()))
+
+    # Work items: (node, block_id, local_label). The node's children are
+    # placed either in the same block (label grows) or, when the node sits
+    # at local depth f, in a fresh block rooted at the node's copy.
+    stack: list[tuple[Node, int, DeweyLabel]] = [(tree.root, 0, ())]
+    while stack:
+        node, block_id, label = stack.pop()
+        if not node.children:
+            continue
+        if len(label) == f:
+            # Boundary: split a new block off this node.
+            child_block = Block(
+                block_id=len(blocks),
+                root=node,
+                source_block=block_id,
+                source_label=label,
+            )
+            blocks.append(child_block)
+            block_id = child_block.block_id
+            label = ()
+        for order, child in enumerate(node.children, start=1):
+            child_label = label + (order,)
+            block_of[id(child)] = block_id
+            label_of[id(child)] = child_label
+            blocks[block_id].members.append((child, child_label))
+            stack.append((child, block_id, child_label))
+
+    return Decomposition(tree=tree, f=f, blocks=blocks, block_of=block_of, label_of=label_of)
+
+
+def block_parent_tree(decomposition: Decomposition) -> dict[int, int | None]:
+    """Parent relation over blocks: block → parent block (top → ``None``).
+
+    This is the conceptual "layer 1" tree of the paper — one node per
+    layer-0 block, connected exactly as the blocks are.
+    """
+    return {
+        block.block_id: block.source_block for block in decomposition.blocks
+    }
+
+
+def block_depths(decomposition: Decomposition) -> dict[int, int]:
+    """Depth of every block in the block tree (top block = 0)."""
+    parents = block_parent_tree(decomposition)
+    depths: dict[int, int] = {}
+    for block in decomposition.blocks:
+        # Iterative resolution with path recording (blocks can chain
+        # thousands deep on caterpillar trees).
+        path: list[int] = []
+        current: int | None = block.block_id
+        while current is not None and current not in depths:
+            path.append(current)
+            current = parents[current]
+        base = depths[current] if current is not None else -1
+        for member in reversed(path):
+            base += 1
+            depths[member] = base
+    return depths

@@ -1,0 +1,203 @@
+"""Tree projection — the workhorse query of the Benchmark Manager.
+
+Given a tree ``T`` and a subset ``S`` of its leaves, the projection of
+``T`` over ``S`` is the subtree induced by the root-to-leaf paths of
+``S`` in which every interior node has at least two children: any node
+left with a single child is merged with that child, and the merged edge
+weight is the sum of the two (paper §1, Figure 2 — the parent of ``Lla``
+disappears and ``Lla``'s projected edge is ``0.5 + 1.0 = 1.5``).
+
+The algorithm is the paper's §2.2 procedure: sort the sample leaves in
+pre-order of ``T`` and insert them one at a time; each insertion lands on
+the rightmost path of the partial tree, and the attachment point is found
+with ancestor-or-self tests answered by LCA queries.  The rightmost path
+lives on an explicit stack, so the whole projection costs one LCA query
+per leaf plus amortized-constant stack work.
+
+Interior nodes of the result automatically have out-degree ≥ 2: they are
+exactly the LCAs of pre-order-adjacent sample leaves.  Edge weights come
+out as differences of weighted root distances, which equals the sum of
+the merged original edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.lca import LcaService
+from repro.errors import QueryError
+from repro.trees.node import Node
+from repro.trees.tree import PhyloTree
+
+
+def project_tree(
+    tree: PhyloTree,
+    leaf_names: Iterable[str],
+    lca_service: LcaService | None = None,
+    keep_root_edge: bool = False,
+) -> PhyloTree:
+    """Project ``tree`` over the leaves named in ``leaf_names``.
+
+    Parameters
+    ----------
+    tree:
+        The source tree (typically the gold-standard simulation tree).
+    leaf_names:
+        Names of the sample leaves.  Duplicates are collapsed; order is
+        irrelevant (the algorithm re-sorts in pre-order).
+    lca_service:
+        LCA strategy driving the ancestor tests; defaults to a layered
+        index built on the fly (pass a pre-built service when projecting
+        repeatedly from the same tree).
+    keep_root_edge:
+        When the projection root is below the original root, the path
+        above it is normally dropped; set this to keep its total length
+        as the projection root's edge length.
+
+    Returns
+    -------
+    PhyloTree
+        A fresh tree whose leaves are exactly the requested names, with
+        merged edge weights.  A single-leaf sample yields that leaf alone.
+
+    Raises
+    ------
+    QueryError
+        If ``leaf_names`` is empty, contains an unknown name, or names an
+        interior node.
+    """
+    names = list(dict.fromkeys(leaf_names))
+    if not names:
+        raise QueryError("cannot project over an empty leaf set")
+
+    sample: list[Node] = []
+    for name in names:
+        node = tree.find(name)
+        if node.children:
+            raise QueryError(f"{name!r} is an interior node, not a leaf")
+        sample.append(node)
+
+    service = lca_service or LcaService(tree, "layered")
+    sample.sort(key=tree.preorder_rank)
+
+    distances = tree.distances_from_root()
+    depths = tree.depths()
+
+    builder = _InducedTreeBuilder(distances)
+
+    if len(sample) == 1:
+        clone = builder.clone_of(sample[0])
+        clone.length = distances[id(sample[0])] if keep_root_edge else 0.0
+        return PhyloTree(clone)
+
+    # Rightmost-path stack of original nodes, shallowest first.
+    stack: list[Node] = [sample[0]]
+    for leaf in sample[1:]:
+        branch = service.lca(stack[-1], leaf)
+        branch_depth = depths[id(branch)]
+        while len(stack) >= 2 and depths[id(stack[-2])] >= branch_depth:
+            builder.add_edge(stack[-2], stack[-1])
+            stack.pop()
+        if depths[id(stack[-1])] > branch_depth:
+            # The branch point is new: it becomes the parent of the
+            # finished rightmost subtree and replaces it on the stack.
+            builder.add_edge(branch, stack[-1])
+            stack[-1] = branch
+        # Now stack[-1] is exactly the branch point.
+        stack.append(leaf)
+
+    while len(stack) >= 2:
+        builder.add_edge(stack[-2], stack[-1])
+        stack.pop()
+
+    root_orig = stack[0]
+    root_clone = builder.clone_of(root_orig)
+    root_clone.length = distances[id(root_orig)] if keep_root_edge else 0.0
+    return PhyloTree(root_clone)
+
+
+class _InducedTreeBuilder:
+    """Materializes the projection as fresh :class:`Node` clones.
+
+    Children are attached in the order their subtrees finish, which is the
+    original pre-order, so the projection preserves relative child order
+    (the property the paper's order-sensitive pattern match relies on).
+    """
+
+    def __init__(self, distances: dict[int, float]) -> None:
+        self._distances = distances
+        self._clones: dict[int, Node] = {}
+
+    def clone_of(self, original: Node) -> Node:
+        clone = self._clones.get(id(original))
+        if clone is None:
+            clone = Node(original.name)
+            self._clones[id(original)] = clone
+        return clone
+
+    def add_edge(self, parent: Node, child: Node) -> None:
+        child_clone = self.clone_of(child)
+        child_clone.length = (
+            self._distances[id(child)] - self._distances[id(parent)]
+        )
+        self.clone_of(parent).add_child(child_clone)
+
+
+def brute_force_projection(tree: PhyloTree, leaf_names: Iterable[str]) -> PhyloTree:
+    """Reference projection by full-tree pruning (test/bench oracle).
+
+    Copies the whole tree, prunes every leaf outside the sample, then
+    repeatedly deletes empty interiors and merges out-degree-1 nodes
+    (summing edge weights).  Linear in the size of the *whole* tree —
+    the cost profile the indexed algorithm avoids.
+    """
+    names = set(leaf_names)
+    if not names:
+        raise QueryError("cannot project over an empty leaf set")
+    known = {leaf.name for leaf in tree.root.leaves()}
+    missing = names - known
+    if missing:
+        raise QueryError(f"unknown leaf names: {sorted(missing)}")
+
+    work = tree.copy()
+    keep: dict[int, bool] = {}
+    for node in work.postorder():
+        if node.is_leaf:
+            keep[id(node)] = node.name in names
+        else:
+            keep[id(node)] = any(keep[id(child)] for child in node.children)
+
+    def rebuild(original: Node) -> Node | None:
+        # Iterative rebuild: returns the projected subtree for `original`.
+        result: dict[int, Node | None] = {}
+        for node in original.postorder():
+            if not keep[id(node)]:
+                result[id(node)] = None
+                continue
+            if node.is_leaf:
+                result[id(node)] = Node(node.name, node.length)
+                continue
+            kept_children = [
+                result[id(child)]
+                for child in node.children
+                if result[id(child)] is not None
+            ]
+            if not kept_children:
+                result[id(node)] = None
+            elif len(kept_children) == 1:
+                # Merge: absorb this node, extending the child's edge.
+                only = kept_children[0]
+                only.length += node.length
+                result[id(node)] = only
+            else:
+                fresh = Node(node.name, node.length)
+                for child in kept_children:
+                    fresh.add_child(child)
+                result[id(node)] = fresh
+        return result[id(original)]
+
+    projected_root = rebuild(work.root)
+    if projected_root is None:
+        raise QueryError("projection removed every node")
+    projected_root.length = 0.0
+    return PhyloTree(projected_root)

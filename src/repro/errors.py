@@ -1,0 +1,68 @@
+"""Exception hierarchy for the Crimson reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`CrimsonError`, so
+callers can catch the library's failures with a single ``except`` clause
+while still being able to distinguish parsing problems from storage or
+query problems.
+"""
+
+from __future__ import annotations
+
+
+class CrimsonError(Exception):
+    """Base class for all errors raised by the Crimson library."""
+
+
+class TreeStructureError(CrimsonError):
+    """An operation would create or encountered an invalid tree structure.
+
+    Examples: re-parenting a node under its own descendant, duplicate leaf
+    names where uniqueness is required, or an empty tree where a rooted
+    tree is expected.
+    """
+
+
+class ParseError(CrimsonError):
+    """A serialized tree or data matrix could not be parsed.
+
+    Raised by the Newick and NEXUS readers.  Carries the position of the
+    offending token when it is known.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class StorageError(CrimsonError):
+    """A repository operation failed.
+
+    Examples: loading a tree under a name that already exists, querying a
+    tree that was never loaded, or using a connection after it was closed.
+    """
+
+
+class QueryError(CrimsonError):
+    """A structural query was given arguments it cannot satisfy.
+
+    Examples: asking for the LCA of an unknown species, sampling more
+    leaves than the tree contains, or projecting over an empty leaf set.
+    """
+
+
+class ReconstructionError(CrimsonError):
+    """A tree reconstruction algorithm received unusable input.
+
+    Examples: a non-square distance matrix, fewer than two taxa, or
+    sequences of unequal length.
+    """
+
+
+class SimulationError(CrimsonError):
+    """A gold-standard simulation was configured with invalid parameters.
+
+    Examples: non-positive birth rates, an unnormalizable substitution
+    model, or a requested tree size below two leaves.
+    """

@@ -1,0 +1,53 @@
+"""Tree reconstruction algorithms evaluated by the Benchmark Manager.
+
+* :mod:`repro.reconstruction.distances` — p/JC69/K2P distance matrices,
+* :mod:`repro.reconstruction.nj` — Neighbor-Joining,
+* :mod:`repro.reconstruction.upgma` — UPGMA/WPGMA clustering,
+* :mod:`repro.reconstruction.parsimony` — Fitch scoring + greedy search,
+* :mod:`repro.reconstruction.random_tree` — random-topology floor.
+"""
+
+from repro.reconstruction.distances import (
+    DistanceMatrix,
+    SATURATION_CAP,
+    distance_matrix,
+    jc69_distance,
+    k2p_distance,
+    p_distance,
+    tree_distance_matrix,
+)
+from repro.reconstruction.nj import neighbor_joining
+from repro.reconstruction.upgma import upgma, wpgma
+from repro.reconstruction.parsimony import (
+    fitch_ancestral_states,
+    fitch_score,
+    parsimony_greedy,
+)
+from repro.reconstruction.random_tree import random_topology
+from repro.reconstruction.rearrange import (
+    nni_neighbors,
+    perturb,
+    random_spr,
+    spr_move,
+)
+
+__all__ = [
+    "DistanceMatrix",
+    "SATURATION_CAP",
+    "distance_matrix",
+    "jc69_distance",
+    "k2p_distance",
+    "p_distance",
+    "tree_distance_matrix",
+    "neighbor_joining",
+    "upgma",
+    "wpgma",
+    "fitch_ancestral_states",
+    "fitch_score",
+    "parsimony_greedy",
+    "random_topology",
+    "nni_neighbors",
+    "perturb",
+    "random_spr",
+    "spr_move",
+]

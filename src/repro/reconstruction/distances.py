@@ -1,0 +1,202 @@
+"""Pairwise evolutionary distances from aligned sequences.
+
+Distance-based reconstruction (NJ, UPGMA) starts from a taxon-by-taxon
+matrix.  This module computes the observed proportion of differing sites
+(p-distance) and the standard model corrections that convert it into an
+estimate of expected substitutions per site — Jukes–Cantor for JC69 data
+and Kimura two-parameter for transition/transversion-skewed data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReconstructionError
+
+#: Distances are capped here when the correction's logarithm diverges
+#: (saturated sequence pairs); large but finite keeps NJ/UPGMA stable.
+SATURATION_CAP = 5.0
+
+
+@dataclass
+class DistanceMatrix:
+    """A symmetric matrix of pairwise distances with taxon labels."""
+
+    names: list[str]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.values, dtype=float)
+        n = len(self.names)
+        if matrix.shape != (n, n):
+            raise ReconstructionError(
+                f"distance matrix shape {matrix.shape} does not match "
+                f"{n} taxon names"
+            )
+        if not np.allclose(matrix, matrix.T, atol=1e-9):
+            raise ReconstructionError("distance matrix is not symmetric")
+        if np.any(np.diag(matrix) != 0):
+            raise ReconstructionError("distance matrix diagonal must be zero")
+        if np.any(matrix < 0):
+            raise ReconstructionError("distances must be non-negative")
+        self.values = matrix
+
+    @property
+    def n(self) -> int:
+        return len(self.names)
+
+    def get(self, a: str, b: str) -> float:
+        """Distance between two named taxa."""
+        return float(self.values[self.names.index(a), self.names.index(b)])
+
+    def submatrix(self, subset: Sequence[str]) -> "DistanceMatrix":
+        """Restriction to a subset of taxa (preserving the given order).
+
+        Raises
+        ------
+        ReconstructionError
+            If a requested taxon is absent.
+        """
+        try:
+            indices = [self.names.index(name) for name in subset]
+        except ValueError as exc:
+            raise ReconstructionError(str(exc)) from None
+        grid = np.ix_(indices, indices)
+        return DistanceMatrix(list(subset), self.values[grid])
+
+
+def p_distance(a: str, b: str) -> float:
+    """Observed proportion of differing sites between two sequences.
+
+    Raises
+    ------
+    ReconstructionError
+        On unequal lengths or empty sequences.
+    """
+    if len(a) != len(b):
+        raise ReconstructionError(
+            f"sequences have different lengths: {len(a)} vs {len(b)}"
+        )
+    if not a:
+        raise ReconstructionError("cannot compare empty sequences")
+    differing = sum(1 for x, y in zip(a, b) if x != y)
+    return differing / len(a)
+
+
+def jc69_distance(a: str, b: str) -> float:
+    """Jukes–Cantor corrected distance: ``-3/4 ln(1 - 4p/3)``.
+
+    Saturated pairs (p ≥ 3/4) are capped at :data:`SATURATION_CAP`.
+    """
+    p = p_distance(a, b)
+    argument = 1.0 - 4.0 * p / 3.0
+    if argument <= 0.0:
+        return SATURATION_CAP
+    return min(-0.75 * math.log(argument), SATURATION_CAP)
+
+
+_TRANSITIONS = {("A", "G"), ("G", "A"), ("C", "T"), ("T", "C")}
+
+
+def k2p_distance(a: str, b: str) -> float:
+    """Kimura two-parameter distance, separating transitions/transversions.
+
+    ``d = -1/2 ln((1-2P-Q) sqrt(1-2Q))`` with P the transition and Q the
+    transversion proportion.  Saturation is capped.
+    """
+    if len(a) != len(b):
+        raise ReconstructionError(
+            f"sequences have different lengths: {len(a)} vs {len(b)}"
+        )
+    if not a:
+        raise ReconstructionError("cannot compare empty sequences")
+    transitions = 0
+    transversions = 0
+    for x, y in zip(a, b):
+        if x == y:
+            continue
+        if (x, y) in _TRANSITIONS:
+            transitions += 1
+        else:
+            transversions += 1
+    p = transitions / len(a)
+    q = transversions / len(a)
+    first = 1.0 - 2.0 * p - q
+    second = 1.0 - 2.0 * q
+    if first <= 0.0 or second <= 0.0:
+        return SATURATION_CAP
+    return min(
+        -0.5 * math.log(first * math.sqrt(second)),
+        SATURATION_CAP,
+    )
+
+
+_CORRECTIONS: dict[str, Callable[[str, str], float]] = {
+    "p": p_distance,
+    "jc69": jc69_distance,
+    "k2p": k2p_distance,
+}
+
+
+def distance_matrix(
+    sequences: Mapping[str, str], correction: str = "jc69"
+) -> DistanceMatrix:
+    """Pairwise distance matrix over a name → sequence mapping.
+
+    Parameters
+    ----------
+    sequences:
+        At least two aligned sequences.
+    correction:
+        ``"p"``, ``"jc69"``, or ``"k2p"``.
+
+    Raises
+    ------
+    ReconstructionError
+        On unknown corrections, fewer than two taxa, or misaligned input.
+    """
+    if correction not in _CORRECTIONS:
+        raise ReconstructionError(
+            f"unknown correction {correction!r}; choose from "
+            f"{sorted(_CORRECTIONS)}"
+        )
+    names = list(sequences)
+    if len(names) < 2:
+        raise ReconstructionError("need at least two sequences")
+    measure = _CORRECTIONS[correction]
+    n = len(names)
+    values = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = measure(sequences[names[i]], sequences[names[j]])
+            values[i, j] = values[j, i] = d
+    return DistanceMatrix(names, values)
+
+
+def tree_distance_matrix(tree) -> DistanceMatrix:
+    """Exact leaf-to-leaf path-length matrix of a tree (the additive
+    matrix NJ must reconstruct perfectly — the test oracle).
+
+    Path lengths are computed through the layered LCA index:
+    ``d(a, b) = dist(a) + dist(b) − 2·dist(LCA(a, b))``.
+    """
+    from repro.core.lca import LcaService
+    from repro.trees.tree import PhyloTree
+
+    assert isinstance(tree, PhyloTree)
+    leaves = tree.leaves()
+    names = [leaf.name for leaf in leaves]
+    if any(name is None for name in names):
+        raise ReconstructionError("tree has unnamed leaves")
+    service = LcaService(tree, "layered")
+    n = len(leaves)
+    values = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = service.path_distance(leaves[i], leaves[j])
+            values[i, j] = values[j, i] = d
+    return DistanceMatrix(list(names), values)

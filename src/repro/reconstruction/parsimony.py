@@ -1,0 +1,283 @@
+"""Maximum parsimony: Fitch scoring and greedy stepwise-addition search.
+
+Parsimony seeks the tree minimizing the number of character changes.
+Scoring a fixed tree is Fitch's (1971) linear-time set algorithm; finding
+the best tree is NP-hard, so — like the programs of the paper's era —
+the search here is heuristic: taxa are added one at a time, each on the
+branch where the insertion costs the fewest extra changes, optionally
+followed by nearest-neighbour-interchange (NNI) hill climbing.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReconstructionError
+from repro.trees.node import Node
+from repro.trees.tree import PhyloTree
+
+
+def fitch_score(tree: PhyloTree, sequences: Mapping[str, str]) -> int:
+    """Minimum number of state changes for ``tree`` given leaf sequences.
+
+    Works over arbitrary characters (each alignment column independently)
+    and arbitrary tree degrees; missing taxa are an error.
+
+    Raises
+    ------
+    ReconstructionError
+        On misaligned sequences or a leaf without data.
+    """
+    leaves = tree.leaves()
+    if not leaves:
+        raise ReconstructionError("cannot score an empty tree")
+    lengths = {len(sequences.get(leaf.name or "", "")) for leaf in leaves}
+    if len(lengths) != 1:
+        raise ReconstructionError("sequences are missing or misaligned")
+    (n_sites,) = lengths
+    if n_sites == 0:
+        raise ReconstructionError("sequences are empty")
+
+    # Encode characters as bitmasks per node, vectorized across sites.
+    symbol_codes: dict[str, int] = {}
+
+    def encode(sequence: str) -> np.ndarray:
+        row = np.empty(len(sequence), dtype=np.int64)
+        for index, symbol in enumerate(sequence):
+            code = symbol_codes.setdefault(symbol, 1 << len(symbol_codes))
+            row[index] = code
+        return row
+
+    masks: dict[int, np.ndarray] = {}
+    score = 0
+    for node in tree.postorder():
+        if node.is_leaf:
+            masks[id(node)] = encode(sequences[node.name])  # type: ignore[index]
+            continue
+        children = [masks.pop(id(child)) for child in node.children]
+        current = children[0]
+        for other in children[1:]:
+            intersection = current & other
+            union = current | other
+            changes = intersection == 0
+            score += int(changes.sum())
+            current = np.where(changes, union, intersection)
+        masks[id(node)] = current
+    return score
+
+
+def fitch_ancestral_states(
+    tree: PhyloTree, sequences: Mapping[str, str]
+) -> dict[str, str]:
+    """Most-parsimonious ancestral sequences for *named* interior nodes.
+
+    Runs the full Fitch algorithm: the bottom-up pass computes candidate
+    state sets, the top-down refinement picks, per site, the parent's
+    state when it is a candidate and an arbitrary candidate otherwise —
+    yielding one (of possibly many) assignment achieving the minimum
+    change count.
+
+    Returns a name → sequence mapping for every interior node that has a
+    name; leaf rows are included unchanged so the result is a complete
+    alignment over the labelled tree.
+
+    Raises
+    ------
+    ReconstructionError
+        On misaligned sequences or leaves without data (same contract as
+        :func:`fitch_score`).
+    """
+    leaves = tree.leaves()
+    if not leaves:
+        raise ReconstructionError("cannot reconstruct over an empty tree")
+    lengths = {len(sequences.get(leaf.name or "", "")) for leaf in leaves}
+    if len(lengths) != 1:
+        raise ReconstructionError("sequences are missing or misaligned")
+    (n_sites,) = lengths
+    if n_sites == 0:
+        raise ReconstructionError("sequences are empty")
+
+    symbol_codes: dict[str, int] = {}
+    code_symbols: dict[int, str] = {}
+
+    def encode(sequence: str) -> np.ndarray:
+        row = np.empty(len(sequence), dtype=np.int64)
+        for index, symbol in enumerate(sequence):
+            if symbol not in symbol_codes:
+                code = 1 << len(symbol_codes)
+                symbol_codes[symbol] = code
+                code_symbols[code] = symbol
+            row[index] = symbol_codes[symbol]
+        return row
+
+    # Bottom-up: candidate sets per node.
+    candidate: dict[int, np.ndarray] = {}
+    for node in tree.postorder():
+        if node.is_leaf:
+            candidate[id(node)] = encode(sequences[node.name])  # type: ignore[index]
+            continue
+        sets = [candidate[id(child)] for child in node.children]
+        current = sets[0]
+        for other in sets[1:]:
+            intersection = current & other
+            union = current | other
+            current = np.where(intersection == 0, union, intersection)
+        candidate[id(node)] = current
+
+    def lowest_bit(values: np.ndarray) -> np.ndarray:
+        return values & (-values)
+
+    # Top-down: choose concrete states.
+    chosen: dict[int, np.ndarray] = {}
+    output: dict[str, str] = {}
+    for node in tree.preorder():
+        sets = candidate[id(node)]
+        if node.parent is None:
+            states = lowest_bit(sets)
+        else:
+            parent_states = chosen[id(node.parent)]
+            keep_parent = (sets & parent_states) != 0
+            states = np.where(keep_parent, parent_states, lowest_bit(sets))
+        chosen[id(node)] = states
+        if node.name is not None:
+            output[node.name] = "".join(
+                code_symbols[int(code)] for code in states
+            )
+    return output
+
+
+def parsimony_greedy(
+    sequences: Mapping[str, str],
+    order: Sequence[str] | None = None,
+    nni_rounds: int = 1,
+) -> PhyloTree:
+    """Greedy stepwise-addition parsimony tree (with optional NNI polish).
+
+    Parameters
+    ----------
+    sequences:
+        Taxon name → aligned sequence, at least three taxa.
+    order:
+        Insertion order; defaults to the mapping order.
+    nni_rounds:
+        Maximum passes of nearest-neighbour-interchange improvement.
+
+    Raises
+    ------
+    ReconstructionError
+        On fewer than three taxa.
+    """
+    names = list(order) if order is not None else list(sequences)
+    if len(names) < 3:
+        raise ReconstructionError("parsimony search needs at least 3 taxa")
+    missing = [name for name in names if name not in sequences]
+    if missing:
+        raise ReconstructionError(f"no sequences for {missing}")
+
+    # Start from the first three taxa on a star.
+    root = Node()
+    for name in names[:3]:
+        root.new_child(name, 1.0)
+    tree = PhyloTree(root, name="parsimony")
+
+    for name in names[3:]:
+        tree = _insert_best(tree, name, sequences)
+
+    for _ in range(max(nni_rounds, 0)):
+        tree, improved = _nni_pass(tree, sequences)
+        if not improved:
+            break
+    tree.name = "parsimony"
+    return tree
+
+
+def _candidate_insertions(tree: PhyloTree) -> list[Node]:
+    """Every non-root node: inserting on the edge above it is a move."""
+    return [node for node in tree.preorder() if node.parent is not None]
+
+
+def _insert_best(
+    tree: PhyloTree, name: str, sequences: Mapping[str, str]
+) -> PhyloTree:
+    best_tree: PhyloTree | None = None
+    best_score: int | None = None
+    n_candidates = len(_candidate_insertions(tree))
+    for position in range(n_candidates):
+        candidate = tree.copy()
+        target = _candidate_insertions(candidate)[position]
+        _attach_on_edge(target, name)
+        candidate.invalidate_caches()
+        score = fitch_score(candidate, sequences)
+        if best_score is None or score < best_score:
+            best_score = score
+            best_tree = candidate
+    assert best_tree is not None
+    return best_tree
+
+
+def _attach_on_edge(node: Node, name: str) -> None:
+    """Split the edge above ``node`` and hang a new leaf off the split."""
+    parent = node.parent
+    assert parent is not None
+    position = parent.children.index(node)
+    node.detach()
+    junction = Node(None, node.length / 2.0)
+    junction.add_child(node)
+    node.length = node.length / 2.0
+    junction.new_child(name, 1.0)
+    parent.children.insert(position, junction)
+    junction.parent = parent
+
+
+def _nni_pass(
+    tree: PhyloTree, sequences: Mapping[str, str]
+) -> tuple[PhyloTree, bool]:
+    """One hill-climbing pass over all internal edges."""
+    current_score = fitch_score(tree, sequences)
+    internal_edges = [
+        node
+        for node in tree.preorder()
+        if node.parent is not None and node.children
+    ]
+    improved = False
+    for edge_index in range(len(internal_edges)):
+        for variant in (0, 1):
+            candidate = tree.copy()
+            edges = [
+                node
+                for node in candidate.preorder()
+                if node.parent is not None and node.children
+            ]
+            if edge_index >= len(edges):
+                continue
+            if not _apply_nni(edges[edge_index], variant):
+                continue
+            candidate.invalidate_caches()
+            score = fitch_score(candidate, sequences)
+            if score < current_score:
+                tree = candidate
+                current_score = score
+                improved = True
+    return tree, improved
+
+
+def _apply_nni(lower: Node, variant: int) -> bool:
+    """Swap a child of ``lower`` with a sibling of ``lower``."""
+    upper = lower.parent
+    assert upper is not None
+    siblings = [child for child in upper.children if child is not lower]
+    if not siblings or len(lower.children) < 2:
+        return False
+    sibling = siblings[0]
+    moved = lower.children[variant % len(lower.children)]
+    sibling_position = upper.children.index(sibling)
+    moved_position = lower.children.index(moved)
+    sibling.detach()
+    moved.detach()
+    upper.children.insert(sibling_position, moved)
+    moved.parent = upper
+    lower.children.insert(moved_position, sibling)
+    sibling.parent = lower
+    return True

@@ -1,0 +1,53 @@
+"""Random-topology strawman reconstruction.
+
+The Benchmark Manager needs a floor to calibrate against: an "algorithm"
+that ignores the data entirely and returns a uniformly random binary
+topology over the input taxa.  Any method that does not clearly beat this
+floor is not extracting signal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReconstructionError
+from repro.trees.node import Node
+from repro.trees.tree import PhyloTree
+
+
+def random_topology(
+    names: Sequence[str], rng: np.random.Generator | None = None
+) -> PhyloTree:
+    """Uniform random binary tree over ``names`` (all edges length 1).
+
+    Built by random sequential joining: repeatedly pick two clusters
+    uniformly at random and merge them.
+
+    Raises
+    ------
+    ReconstructionError
+        On fewer than two taxa or duplicate names.
+    """
+    if len(names) < 2:
+        raise ReconstructionError("a random topology needs at least 2 taxa")
+    if len(set(names)) != len(names):
+        raise ReconstructionError("taxon names must be unique")
+    rng = rng or np.random.default_rng()
+
+    clusters: list[Node] = [Node(name, 1.0) for name in names]
+    while len(clusters) > 1:
+        first, second = rng.choice(len(clusters), size=2, replace=False)
+        first, second = int(first), int(second)
+        if first > second:
+            first, second = second, first
+        node_b = clusters.pop(second)
+        node_a = clusters.pop(first)
+        parent = Node(None, 1.0)
+        parent.add_child(node_a)
+        parent.add_child(node_b)
+        clusters.append(parent)
+    root = clusters[0]
+    root.length = 0.0
+    return PhyloTree(root, name="random")

@@ -1,0 +1,191 @@
+"""Tree rearrangement operations: NNI and SPR.
+
+Rearrangements serve two roles in an evaluation system like Crimson:
+
+* as the *move set* of heuristic searches (the parsimony hill climber
+  uses NNI), and
+* as a way to manufacture controlled wrongness — applying ``r`` random
+  SPR moves to the true projection yields estimates at a known edit
+  distance, which calibrates comparison metrics (does RF grow
+  monotonically with the number of moves?).
+
+All operations copy the input; trees are never mutated in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TreeStructureError
+from repro.trees.node import Node
+from repro.trees.tree import PhyloTree
+
+
+def nni_neighbors(tree: PhyloTree) -> list[PhyloTree]:
+    """All trees one nearest-neighbour interchange away.
+
+    For every internal edge (u, v) with ``v`` an internal child of
+    ``u``, the two classic swaps exchange one child of ``v`` with one
+    sibling of ``v``.  Returns distinct trees (duplicates by ordered
+    shape are removed).
+    """
+    neighbors: list[PhyloTree] = []
+    seen: set[str] = set()
+    internal_edges = [
+        node
+        for node in tree.preorder()
+        if node.parent is not None and node.children
+    ]
+    for edge_index, _lower in enumerate(internal_edges):
+        for child_pick in range(2):
+            for sibling_pick in range(2):
+                clone = tree.copy()
+                edges = [
+                    node
+                    for node in clone.preorder()
+                    if node.parent is not None and node.children
+                ]
+                lower = edges[edge_index]
+                upper = lower.parent
+                assert upper is not None
+                siblings = [c for c in upper.children if c is not lower]
+                if not siblings or len(lower.children) < 2:
+                    continue
+                sibling = siblings[sibling_pick % len(siblings)]
+                moved = lower.children[child_pick % len(lower.children)]
+                _swap(upper, sibling, lower, moved)
+                clone.invalidate_caches()
+                key = clone.to_newick(include_lengths=False)
+                if key not in seen:
+                    seen.add(key)
+                    neighbors.append(clone)
+    return neighbors
+
+
+def _swap(upper: Node, sibling: Node, lower: Node, moved: Node) -> None:
+    sibling_position = upper.children.index(sibling)
+    moved_position = lower.children.index(moved)
+    sibling.detach()
+    moved.detach()
+    upper.children.insert(sibling_position, moved)
+    moved.parent = upper
+    lower.children.insert(moved_position, sibling)
+    sibling.parent = lower
+
+
+def spr_move(
+    tree: PhyloTree,
+    prune_name: str,
+    attach_name: str,
+) -> PhyloTree:
+    """Subtree-prune-and-regraft: cut the subtree rooted at the node
+    named ``prune_name`` and reattach it on the edge above the node
+    named ``attach_name``.
+
+    The pruned node's former parent is suppressed if left with a single
+    child (edge lengths summed), matching projection semantics.
+
+    Raises
+    ------
+    TreeStructureError
+        If the prune target is the root, the attach point lies inside
+        the pruned subtree, or the names are missing.
+    """
+    clone = tree.copy()
+    prune = clone.find(prune_name)
+    attach = clone.find(attach_name)
+    if prune.parent is None:
+        raise TreeStructureError("cannot prune the root")
+    if prune is attach or prune.is_ancestor_of(attach):
+        raise TreeStructureError(
+            "attach point lies inside the pruned subtree"
+        )
+    if attach.parent is None:
+        raise TreeStructureError("cannot regraft onto the root edge")
+    if attach is prune:
+        raise TreeStructureError("prune and attach targets coincide")
+
+    old_parent = prune.parent
+    prune.detach()
+
+    # Suppress a now-unary parent (unless it is the root with 1 child —
+    # keep roots intact so the leaf set and rooting survive).
+    if old_parent.parent is not None and len(old_parent.children) == 1:
+        only = old_parent.children[0]
+        grandparent = old_parent.parent
+        position = grandparent.children.index(old_parent)
+        only.detach()
+        old_parent.detach()
+        only.length += old_parent.length
+        grandparent.children.insert(position, only)
+        only.parent = grandparent
+
+    # Split the edge above the attach point.
+    parent = attach.parent
+    assert parent is not None
+    position = parent.children.index(attach)
+    attach.detach()
+    junction = Node(None, attach.length / 2.0)
+    attach.length = attach.length / 2.0
+    junction.add_child(attach)
+    junction.add_child(prune)
+    parent.children.insert(position, junction)
+    junction.parent = parent
+
+    clone.invalidate_caches()
+    return clone
+
+
+def random_spr(
+    tree: PhyloTree,
+    rng: np.random.Generator | None = None,
+    max_attempts: int = 100,
+) -> PhyloTree:
+    """One uniformly chosen valid SPR move (leaf-subtree prunes only).
+
+    Raises
+    ------
+    TreeStructureError
+        If no valid move exists (degenerate trees).
+    """
+    rng = rng or np.random.default_rng()
+    leaves = [leaf for leaf in tree.root.leaves() if leaf.name is not None]
+    candidates = [
+        node.name
+        for node in tree.preorder()
+        if node.parent is not None and node.name is not None
+    ]
+    if len(leaves) < 3:
+        raise TreeStructureError("SPR needs at least 3 leaves")
+    for _ in range(max_attempts):
+        prune = leaves[int(rng.integers(0, len(leaves)))].name
+        attach = candidates[int(rng.integers(0, len(candidates)))]
+        assert prune is not None
+        try:
+            moved = spr_move(tree, prune, attach)
+        except TreeStructureError:
+            continue
+        if moved.topology_key() != tree.topology_key():
+            return moved
+    raise TreeStructureError("no effective SPR move found")
+
+
+def perturb(
+    tree: PhyloTree,
+    n_moves: int,
+    rng: np.random.Generator | None = None,
+) -> PhyloTree:
+    """Apply ``n_moves`` random SPR moves — controlled wrongness.
+
+    Raises
+    ------
+    TreeStructureError
+        On negative move counts or trees too small to rearrange.
+    """
+    if n_moves < 0:
+        raise TreeStructureError("move count must be non-negative")
+    rng = rng or np.random.default_rng()
+    current = tree.copy()
+    for _ in range(n_moves):
+        current = random_spr(current, rng)
+    return current

@@ -1,0 +1,48 @@
+"""Gold-standard modeling: stochastic trees and sequence evolution.
+
+* :mod:`repro.simulation.birth_death` — Yule, birth–death, coalescent
+  tree generators,
+* :mod:`repro.simulation.models` — JC69/K80/F81/HKY85/GTR substitution
+  models,
+* :mod:`repro.simulation.rates` — discrete-Γ site-rate heterogeneity,
+* :mod:`repro.simulation.seqgen` — sequence evolution along a tree.
+"""
+
+from repro.simulation.birth_death import (
+    birth_death_tree,
+    coalescent_tree,
+    yule_tree,
+)
+from repro.simulation.models import (
+    ALPHABET,
+    SubstitutionModel,
+    f81,
+    gtr,
+    hky85,
+    jc69,
+    k80,
+    state_indices,
+    states_to_string,
+    tn93,
+)
+from repro.simulation.rates import SiteRates, discrete_gamma_rates
+from repro.simulation.seqgen import evolve_sequences
+
+__all__ = [
+    "birth_death_tree",
+    "coalescent_tree",
+    "yule_tree",
+    "ALPHABET",
+    "SubstitutionModel",
+    "f81",
+    "gtr",
+    "hky85",
+    "jc69",
+    "k80",
+    "state_indices",
+    "tn93",
+    "states_to_string",
+    "SiteRates",
+    "discrete_gamma_rates",
+    "evolve_sequences",
+]

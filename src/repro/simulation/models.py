@@ -1,0 +1,215 @@
+"""Nucleotide substitution models for gold-standard sequence evolution.
+
+The CIPRes modeling component evolves bio-molecular sequences along the
+simulation tree under "very complex sequence evolution models" (paper
+§1).  This module implements the standard continuous-time Markov models —
+JC69, K80, F81, HKY85, and GTR — as rate matrices normalized to one
+expected substitution per unit branch length, with transition-probability
+matrices ``P(t) = exp(Qt)`` computed by spectral decomposition.
+
+All models expose the same interface, :class:`SubstitutionModel`, so the
+sequence evolver and the distance-correction code are model-agnostic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+ALPHABET = "ACGT"
+_STATE_OF = {symbol: index for index, symbol in enumerate(ALPHABET)}
+
+
+def state_indices(sequence: str) -> np.ndarray:
+    """Encode a DNA string as an int array (A=0, C=1, G=2, T=3).
+
+    Raises
+    ------
+    SimulationError
+        On symbols outside the ACGT alphabet.
+    """
+    try:
+        return np.array([_STATE_OF[symbol] for symbol in sequence], dtype=np.int8)
+    except KeyError as exc:
+        raise SimulationError(f"invalid nucleotide {exc.args[0]!r}") from None
+
+
+def states_to_string(states: np.ndarray) -> str:
+    """Decode an int state array back to a DNA string."""
+    return "".join(ALPHABET[state] for state in states)
+
+
+class SubstitutionModel:
+    """A reversible nucleotide substitution model.
+
+    Parameters
+    ----------
+    rates:
+        Symmetric exchangeability parameters
+        ``(AC, AG, AT, CG, CT, GT)``.
+    frequencies:
+        Stationary base frequencies ``(πA, πC, πG, πT)``; must be
+        positive and sum to 1 (within tolerance).
+    name:
+        Display name.
+
+    Notes
+    -----
+    The rate matrix is scaled so the expected substitution rate at
+    stationarity is 1: branch lengths are then in expected substitutions
+    per site, the standard phylogenetic convention.
+    """
+
+    def __init__(
+        self,
+        rates: tuple[float, float, float, float, float, float],
+        frequencies: tuple[float, float, float, float],
+        name: str = "GTR",
+    ) -> None:
+        freq = np.asarray(frequencies, dtype=float)
+        if freq.shape != (4,) or np.any(freq <= 0):
+            raise SimulationError("frequencies must be four positive numbers")
+        if abs(freq.sum() - 1.0) > 1e-6:
+            raise SimulationError(f"frequencies must sum to 1, got {freq.sum():.6f}")
+        if len(rates) != 6 or any(rate <= 0 for rate in rates):
+            raise SimulationError("need six positive exchangeability rates")
+
+        self.name = name
+        self.frequencies = freq
+        self.exchangeabilities = tuple(float(rate) for rate in rates)
+
+        rate_ac, rate_ag, rate_at, rate_cg, rate_ct, rate_gt = self.exchangeabilities
+        symmetric = np.array(
+            [
+                [0.0, rate_ac, rate_ag, rate_at],
+                [rate_ac, 0.0, rate_cg, rate_ct],
+                [rate_ag, rate_cg, 0.0, rate_gt],
+                [rate_at, rate_ct, rate_gt, 0.0],
+            ]
+        )
+        q = symmetric * freq[np.newaxis, :]
+        np.fill_diagonal(q, -q.sum(axis=1))
+        # Normalize to one expected substitution per unit time.
+        scale = -(freq * np.diag(q)).sum()
+        if scale <= 0:
+            raise SimulationError("degenerate rate matrix")
+        self.q = q / scale
+
+        # Spectral decomposition of the reversible Q via the symmetrized
+        # form S = D^{1/2} Q D^{-1/2}, which is symmetric and therefore
+        # has a stable eigendecomposition.
+        sqrt_freq = np.sqrt(freq)
+        symmetrized = (
+            sqrt_freq[:, np.newaxis] * self.q / sqrt_freq[np.newaxis, :]
+        )
+        eigenvalues, eigenvectors = np.linalg.eigh(symmetrized)
+        self._eigenvalues = eigenvalues
+        self._right = eigenvectors / sqrt_freq[:, np.newaxis]
+        self._left = eigenvectors.T * sqrt_freq[np.newaxis, :]
+        # Note _right rows are scaled by 1/sqrt(pi_i): P(t) =
+        # diag(1/sqrt(pi)) V exp(Λt) V^T diag(sqrt(pi)).
+
+    def transition_matrix(self, t: float) -> np.ndarray:
+        """``P(t) = exp(Qt)`` — row ``i`` is the distribution of the child
+        state given parent state ``i`` after time ``t``.
+
+        Raises
+        ------
+        SimulationError
+            On negative ``t``.
+        """
+        if t < 0:
+            raise SimulationError(f"negative branch length {t}")
+        probabilities = (self._right * np.exp(self._eigenvalues * t)) @ self._left
+        # Clamp tiny negative round-off and renormalize rows.
+        np.clip(probabilities, 0.0, None, out=probabilities)
+        probabilities /= probabilities.sum(axis=1, keepdims=True)
+        return probabilities
+
+    def stationary_sample(self, length: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw a root sequence from the stationary distribution."""
+        return rng.choice(4, size=length, p=self.frequencies).astype(np.int8)
+
+    def __repr__(self) -> str:
+        return f"SubstitutionModel({self.name})"
+
+
+def jc69() -> SubstitutionModel:
+    """Jukes–Cantor 1969: equal rates, equal frequencies."""
+    return SubstitutionModel(
+        rates=(1.0, 1.0, 1.0, 1.0, 1.0, 1.0),
+        frequencies=(0.25, 0.25, 0.25, 0.25),
+        name="JC69",
+    )
+
+
+def k80(kappa: float = 2.0) -> SubstitutionModel:
+    """Kimura 1980: transition/transversion ratio ``kappa``, equal freqs.
+
+    Raises
+    ------
+    SimulationError
+        On non-positive ``kappa``.
+    """
+    if kappa <= 0:
+        raise SimulationError(f"kappa must be positive, got {kappa}")
+    # Transitions are A<->G and C<->T.
+    return SubstitutionModel(
+        rates=(1.0, kappa, 1.0, 1.0, kappa, 1.0),
+        frequencies=(0.25, 0.25, 0.25, 0.25),
+        name=f"K80(kappa={kappa:g})",
+    )
+
+
+def f81(frequencies: tuple[float, float, float, float]) -> SubstitutionModel:
+    """Felsenstein 1981: equal exchangeabilities, arbitrary frequencies."""
+    return SubstitutionModel(
+        rates=(1.0, 1.0, 1.0, 1.0, 1.0, 1.0),
+        frequencies=frequencies,
+        name="F81",
+    )
+
+
+def hky85(
+    kappa: float = 2.0,
+    frequencies: tuple[float, float, float, float] = (0.3, 0.2, 0.2, 0.3),
+) -> SubstitutionModel:
+    """Hasegawa–Kishino–Yano 1985: ``kappa`` plus arbitrary frequencies."""
+    if kappa <= 0:
+        raise SimulationError(f"kappa must be positive, got {kappa}")
+    return SubstitutionModel(
+        rates=(1.0, kappa, 1.0, 1.0, kappa, 1.0),
+        frequencies=frequencies,
+        name=f"HKY85(kappa={kappa:g})",
+    )
+
+
+def gtr(
+    rates: tuple[float, float, float, float, float, float],
+    frequencies: tuple[float, float, float, float],
+) -> SubstitutionModel:
+    """General time-reversible model with explicit parameters."""
+    return SubstitutionModel(rates=rates, frequencies=frequencies, name="GTR")
+
+
+def tn93(
+    kappa_purine: float = 2.0,
+    kappa_pyrimidine: float = 4.0,
+    frequencies: tuple[float, float, float, float] = (0.3, 0.2, 0.2, 0.3),
+) -> SubstitutionModel:
+    """Tamura–Nei 1993: separate purine (A<->G) and pyrimidine (C<->T)
+    transition rates plus arbitrary frequencies.
+
+    Raises
+    ------
+    SimulationError
+        On non-positive rate ratios.
+    """
+    if kappa_purine <= 0 or kappa_pyrimidine <= 0:
+        raise SimulationError("TN93 rate ratios must be positive")
+    return SubstitutionModel(
+        rates=(1.0, kappa_purine, 1.0, 1.0, kappa_pyrimidine, 1.0),
+        frequencies=frequencies,
+        name=f"TN93(aG={kappa_purine:g}, aT={kappa_pyrimidine:g})",
+    )

@@ -1,0 +1,94 @@
+"""Among-site rate heterogeneity (discrete-Γ and invariant sites).
+
+Real sequence evolution is not i.i.d. across sites; the standard remedy
+(Yang 1994) multiplies every site's branch lengths by a rate drawn from a
+mean-1 gamma distribution, discretized into ``k`` equal-probability
+categories.  An optional proportion of invariant sites gets rate 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def discrete_gamma_rates(alpha: float, n_categories: int = 4) -> np.ndarray:
+    """Mean rates of ``n_categories`` equal-probability Γ(α, 1/α) slices.
+
+    Uses the median-of-category approximation (quantiles at category
+    midpoints, renormalized to mean 1), which avoids needing incomplete
+    gamma moments and matches common implementations to within a few
+    percent.
+
+    Raises
+    ------
+    SimulationError
+        On non-positive ``alpha`` or fewer than one category.
+    """
+    if alpha <= 0:
+        raise SimulationError(f"gamma shape alpha must be positive, got {alpha}")
+    if n_categories < 1:
+        raise SimulationError("need at least one rate category")
+    from scipy.stats import gamma as gamma_dist
+
+    midpoints = (np.arange(n_categories) + 0.5) / n_categories
+    rates = gamma_dist.ppf(midpoints, a=alpha, scale=1.0 / alpha)
+    rates = np.asarray(rates, dtype=float)
+    rates *= n_categories / rates.sum()  # renormalize to mean exactly 1
+    return rates
+
+
+class SiteRates:
+    """Per-site rate multipliers for a sequence of a given length.
+
+    Parameters
+    ----------
+    length:
+        Number of sites.
+    alpha:
+        Γ shape; ``None`` means rate 1 everywhere (homogeneous).
+    n_categories:
+        Number of discrete Γ categories.
+    proportion_invariant:
+        Fraction of sites pinned to rate 0.
+    rng:
+        Source of randomness for assigning categories to sites.
+    """
+
+    def __init__(
+        self,
+        length: int,
+        rng: np.random.Generator,
+        alpha: float | None = None,
+        n_categories: int = 4,
+        proportion_invariant: float = 0.0,
+    ) -> None:
+        if length < 1:
+            raise SimulationError("sequence length must be at least 1")
+        if not 0.0 <= proportion_invariant < 1.0:
+            raise SimulationError(
+                f"proportion_invariant must be in [0, 1), got {proportion_invariant}"
+            )
+        self.length = length
+        if alpha is None:
+            rates = np.ones(length)
+        else:
+            categories = discrete_gamma_rates(alpha, n_categories)
+            rates = categories[rng.integers(0, n_categories, size=length)]
+        if proportion_invariant > 0.0:
+            invariant = rng.random(length) < proportion_invariant
+            rates = np.where(invariant, 0.0, rates)
+            # Keep the mean rate at 1 so branch lengths keep their meaning.
+            active_mean = rates.mean()
+            if active_mean > 0:
+                rates = rates / active_mean
+        self.rates = rates
+
+    def unique_rates(self) -> np.ndarray:
+        """Distinct rate values present (used to cache P(t) per rate)."""
+        return np.unique(self.rates)
+
+    def sites_with_rate(self, rate: float) -> np.ndarray:
+        """Indices of sites evolving at exactly ``rate``."""
+        return np.nonzero(self.rates == rate)[0]

@@ -1,0 +1,42 @@
+"""Repository Manager: relational storage for trees, species, and queries.
+
+* :mod:`repro.storage.database` — sqlite connection management,
+* :mod:`repro.storage.schema` — DDL (see DESIGN.md §6),
+* :mod:`repro.storage.tree_repository` — tree rows + layered index rows,
+  with SQL-backed LCA/clade/frontier queries,
+* :mod:`repro.storage.species_repository` — sequence data,
+* :mod:`repro.storage.query_repository` — query history with recall/re-run,
+* :mod:`repro.storage.loader` — NEXUS/Newick ingestion.
+"""
+
+from repro.storage.database import CrimsonDatabase
+from repro.storage.schema import SCHEMA_VERSION, create_schema
+from repro.storage.tree_repository import (
+    NodeRow,
+    StoredTree,
+    TreeInfo,
+    TreeRepository,
+)
+from repro.storage.species_repository import SpeciesRepository
+from repro.storage.query_repository import HistoryEntry, QueryRepository
+from repro.storage.loader import DataLoader
+from repro.storage.projection import project_stored
+from repro.storage.maintenance import IntegrityReport, verify_store, verify_tree
+
+__all__ = [
+    "project_stored",
+    "IntegrityReport",
+    "verify_store",
+    "verify_tree",
+    "CrimsonDatabase",
+    "SCHEMA_VERSION",
+    "create_schema",
+    "NodeRow",
+    "StoredTree",
+    "TreeInfo",
+    "TreeRepository",
+    "SpeciesRepository",
+    "HistoryEntry",
+    "QueryRepository",
+    "DataLoader",
+]

@@ -1,0 +1,113 @@
+"""Connection management for the Crimson relational store.
+
+:class:`CrimsonDatabase` owns one sqlite connection, applies the pragmas a
+bulk-loading scientific workload wants, creates the schema on first use,
+and hands out transaction scopes.  It works equally with on-disk files
+(persistent repositories) and ``":memory:"`` (tests and benchmarks).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.storage.schema import create_schema
+
+
+class CrimsonDatabase:
+    """One sqlite-backed Crimson store.
+
+    Parameters
+    ----------
+    path:
+        Filesystem path of the database, or ``":memory:"`` for an
+        ephemeral store.
+
+    Notes
+    -----
+    The connection is opened eagerly, with foreign keys enforced.  File
+    databases run in WAL mode so benchmark readers do not block the
+    loader.  Use the object as a context manager to guarantee the
+    connection is closed::
+
+        with CrimsonDatabase("crimson.db") as db:
+            ...
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        self._connection: sqlite3.Connection | None = sqlite3.connect(self.path)
+        self._connection.row_factory = sqlite3.Row
+        self._connection.execute("PRAGMA foreign_keys = ON")
+        if self.path != ":memory:":
+            self._connection.execute("PRAGMA journal_mode = WAL")
+            self._connection.execute("PRAGMA synchronous = NORMAL")
+        create_schema(self._connection)
+        self._connection.commit()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The live connection.
+
+        Raises
+        ------
+        StorageError
+            If the database has been closed.
+        """
+        if self._connection is None:
+            raise StorageError(f"database {self.path!r} is closed")
+        return self._connection
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    @property
+    def is_closed(self) -> bool:
+        return self._connection is None
+
+    def __enter__(self) -> "CrimsonDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Transactions and convenience execution
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[sqlite3.Connection]:
+        """Scope a write transaction; rolls back on any exception."""
+        connection = self.connection
+        try:
+            yield connection
+            connection.commit()
+        except BaseException:
+            connection.rollback()
+            raise
+
+    def execute(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
+        """Run one statement on the live connection."""
+        return self.connection.execute(sql, parameters)
+
+    def query_one(self, sql: str, parameters: tuple = ()) -> sqlite3.Row | None:
+        """Run a statement and return the first row (or ``None``)."""
+        return self.connection.execute(sql, parameters).fetchone()
+
+    def query_all(self, sql: str, parameters: tuple = ()) -> list[sqlite3.Row]:
+        """Run a statement and return all rows."""
+        return self.connection.execute(sql, parameters).fetchall()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.is_closed else "open"
+        return f"CrimsonDatabase({self.path!r}, {state})"

@@ -1,0 +1,226 @@
+"""The Data Loader: files in, repositories filled (paper §3, "Loading Data").
+
+Supports the paper's three loading modes:
+
+* load a phylogenetic tree **with species data** (NEXUS with TREES and
+  CHARACTERS/DATA blocks),
+* load a tree **structure only** (NEXUS TREES block or a bare Newick
+  file),
+* **append species data** to an already-stored tree (NEXUS CHARACTERS
+  block or a mapping).
+
+Loading status and errors are surfaced through a caller-suppliable
+``report`` callback, mirroring the dynamically generated messages of the
+Crimson GUI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.core.lca import DEFAULT_LABEL_BOUND
+from repro.errors import ParseError, StorageError
+from repro.storage.database import CrimsonDatabase
+from repro.storage.species_repository import SpeciesRepository
+from repro.storage.tree_repository import StoredTree, TreeRepository
+from repro.trees.nexus import parse_nexus
+from repro.trees.newick import parse_newick
+from repro.trees.tree import PhyloTree, validate_tree
+
+Reporter = Callable[[str], None]
+
+
+def _silent(_message: str) -> None:
+    return None
+
+
+class DataLoader:
+    """Loads NEXUS/Newick content into the Tree and Species Repositories."""
+
+    def __init__(self, db: CrimsonDatabase, report: Reporter = _silent) -> None:
+        self.db = db
+        self.trees = TreeRepository(db)
+        self.species = SpeciesRepository(db)
+        self.report = report
+
+    # ------------------------------------------------------------------
+    # Whole-file loading
+    # ------------------------------------------------------------------
+
+    def load_nexus_text(
+        self,
+        text: str,
+        name: str | None = None,
+        f: int = DEFAULT_LABEL_BOUND,
+        structure_only: bool = False,
+    ) -> list[StoredTree]:
+        """Load every tree in a NEXUS document; return their handles.
+
+        When the document carries a character matrix and
+        ``structure_only`` is not set, sequences are attached to every
+        loaded tree whose leaves they name.
+
+        Parameters
+        ----------
+        text:
+            NEXUS document text.
+        name:
+            Repository key override.  With one tree in the document the
+            tree is stored under ``name``; with several, under
+            ``name-<tree label>``.
+        f:
+            Label bound for the hierarchical index.
+        structure_only:
+            Skip species data even when present.
+
+        Raises
+        ------
+        ParseError
+            On malformed NEXUS content.
+        StorageError
+            On repository key conflicts.
+        """
+        document = parse_nexus(text)
+        if not document.trees:
+            raise ParseError("NEXUS document contains no TREES block")
+        handles: list[StoredTree] = []
+        multiple = len(document.trees) > 1
+        for tree_label, tree in document.trees:
+            key = self._key_for(name, tree_label, multiple)
+            self.report(f"loading tree {key!r} ({tree.size()} nodes)...")
+            validate_tree(tree, require_leaf_names=True)
+            handle = self.trees.store_tree(tree, name=key, f=f)
+            self.report(
+                f"stored {key!r}: {handle.info.n_nodes} nodes, "
+                f"{handle.info.n_leaves} leaves, depth {handle.info.max_depth}, "
+                f"{handle.info.n_blocks} index blocks over "
+                f"{handle.info.n_layers} layers"
+            )
+            handles.append(handle)
+            if document.characters is not None and not structure_only:
+                attached = self._attach_matching(handle, document.characters.rows,
+                                                 document.characters.datatype)
+                self.report(f"attached species data for {attached} taxa to {key!r}")
+        return handles
+
+    def load_nexus_file(
+        self,
+        path: str | Path,
+        name: str | None = None,
+        f: int = DEFAULT_LABEL_BOUND,
+        structure_only: bool = False,
+    ) -> list[StoredTree]:
+        """Load a NEXUS file (see :meth:`load_nexus_text`)."""
+        content = Path(path).read_text()
+        return self.load_nexus_text(
+            content, name=name or Path(path).stem, f=f, structure_only=structure_only
+        )
+
+    def load_newick_text(
+        self,
+        text: str,
+        name: str,
+        f: int = DEFAULT_LABEL_BOUND,
+    ) -> StoredTree:
+        """Load a bare Newick string as a structure-only tree."""
+        tree = parse_newick(text)
+        validate_tree(tree, require_leaf_names=True)
+        self.report(f"loading tree {name!r} ({tree.size()} nodes)...")
+        handle = self.trees.store_tree(tree, name=name, f=f)
+        self.report(
+            f"stored {name!r}: {handle.info.n_nodes} nodes, "
+            f"{handle.info.n_leaves} leaves"
+        )
+        return handle
+
+    def load_newick_file(
+        self, path: str | Path, name: str | None = None, f: int = DEFAULT_LABEL_BOUND
+    ) -> StoredTree:
+        """Load a Newick file as a structure-only tree."""
+        content = Path(path).read_text()
+        return self.load_newick_text(content, name or Path(path).stem, f=f)
+
+    def load_tree(
+        self,
+        tree: PhyloTree,
+        name: str | None = None,
+        f: int = DEFAULT_LABEL_BOUND,
+        sequences: Mapping[str, str] | None = None,
+        char_type: str = "DNA",
+    ) -> StoredTree:
+        """Load an in-memory tree, optionally with species data.
+
+        This is the programmatic path the simulation pipeline uses to
+        register freshly generated gold standards.
+        """
+        validate_tree(tree, require_leaf_names=True)
+        handle = self.trees.store_tree(tree, name=name, f=f)
+        if sequences:
+            self.species.attach_sequences(handle, sequences, char_type=char_type)
+            self.report(
+                f"stored {handle.info.name!r} with species data for "
+                f"{len(sequences)} taxa"
+            )
+        else:
+            self.report(f"stored {handle.info.name!r} (structure only)")
+        return handle
+
+    # ------------------------------------------------------------------
+    # Appending species data
+    # ------------------------------------------------------------------
+
+    def append_species_nexus(
+        self, tree_name: str, text: str, replace: bool = False
+    ) -> int:
+        """Append a NEXUS CHARACTERS/DATA matrix to an existing tree.
+
+        Returns the number of taxa attached.
+
+        Raises
+        ------
+        ParseError
+            If the document has no character matrix.
+        StorageError
+            If the tree is unknown (or rows clash and ``replace`` unset).
+        """
+        document = parse_nexus(text)
+        if document.characters is None or not document.characters.rows:
+            raise ParseError("NEXUS document has no character matrix to append")
+        handle = self.trees.open(tree_name)
+        count = self.species.attach_sequences(
+            handle,
+            document.characters.rows,
+            char_type=document.characters.datatype,
+            replace=replace,
+        )
+        self.report(f"appended species data for {count} taxa to {tree_name!r}")
+        return count
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _attach_matching(
+        self, handle: StoredTree, rows: Mapping[str, str], datatype: str
+    ) -> int:
+        """Attach the matrix rows whose names exist in the tree."""
+        known = set(handle.leaf_names())
+        subset = {name: seq for name, seq in rows.items() if name in known}
+        skipped = len(rows) - len(subset)
+        if skipped:
+            self.report(
+                f"warning: {skipped} matrix rows name taxa absent from "
+                f"{handle.info.name!r} and were skipped"
+            )
+        if subset:
+            self.species.attach_sequences(handle, subset, char_type=datatype)
+        return len(subset)
+
+    @staticmethod
+    def _key_for(name: str | None, tree_label: str, multiple: bool) -> str:
+        if name is None:
+            return tree_label
+        if multiple:
+            return f"{name}-{tree_label}"
+        return name

@@ -1,0 +1,128 @@
+"""Relational schema for the Crimson repositories.
+
+The schema mirrors the paper's architecture: the **Tree Repository**
+(``trees``, ``nodes`` and the index tables ``blocks``/``inodes``), the
+**Species Repository** (``species``), and the **Query Repository**
+(``query_history``).  Tree structure and species data are deliberately
+separated — the paper's queries are structure-based, so structural scans
+must not drag sequence payloads through the buffer pool.
+
+Conventions
+-----------
+* ``node_id`` is the node's pre-order rank, so the minimal spanning clade
+  of a node is exactly ``node_id BETWEEN n.node_id AND n.pre_order_end``.
+* ``inodes.local_label`` stores the dotted Dewey string local to the
+  block; ``label_depth`` is its component count (bounded by the tree's
+  ``f``); ``is_canonical`` marks the one inode that is a node's canonical
+  position (boundary nodes also appear as the ε root of their split
+  block).
+"""
+
+from __future__ import annotations
+
+SCHEMA_VERSION = 1
+
+DDL_STATEMENTS: tuple[str, ...] = (
+    """
+    CREATE TABLE IF NOT EXISTS meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS trees (
+        tree_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+        name        TEXT NOT NULL UNIQUE,
+        n_nodes     INTEGER NOT NULL,
+        n_leaves    INTEGER NOT NULL,
+        max_depth   INTEGER NOT NULL,
+        f           INTEGER NOT NULL,
+        n_layers    INTEGER NOT NULL,
+        n_blocks    INTEGER NOT NULL,
+        created_at  TEXT NOT NULL,
+        description TEXT NOT NULL DEFAULT ''
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS nodes (
+        tree_id        INTEGER NOT NULL REFERENCES trees(tree_id) ON DELETE CASCADE,
+        node_id        INTEGER NOT NULL,
+        parent_id      INTEGER,
+        child_order    INTEGER NOT NULL,
+        name           TEXT,
+        edge_length    REAL NOT NULL,
+        depth          INTEGER NOT NULL,
+        dist_from_root REAL NOT NULL,
+        pre_order_end  INTEGER NOT NULL,
+        is_leaf        INTEGER NOT NULL,
+        PRIMARY KEY (tree_id, node_id)
+    ) WITHOUT ROWID
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS blocks (
+        tree_id         INTEGER NOT NULL REFERENCES trees(tree_id) ON DELETE CASCADE,
+        block_id        INTEGER NOT NULL,
+        layer           INTEGER NOT NULL,
+        root_inode_id   INTEGER NOT NULL,
+        source_inode_id INTEGER,
+        rep_inode_id    INTEGER,
+        PRIMARY KEY (tree_id, block_id)
+    ) WITHOUT ROWID
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS inodes (
+        tree_id             INTEGER NOT NULL REFERENCES trees(tree_id) ON DELETE CASCADE,
+        inode_id            INTEGER NOT NULL,
+        layer               INTEGER NOT NULL,
+        block_id            INTEGER NOT NULL,
+        local_label         TEXT NOT NULL,
+        label_depth         INTEGER NOT NULL,
+        orig_node_id        INTEGER,
+        represents_block_id INTEGER,
+        is_canonical        INTEGER NOT NULL,
+        PRIMARY KEY (tree_id, inode_id)
+    ) WITHOUT ROWID
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS species (
+        tree_id   INTEGER NOT NULL REFERENCES trees(tree_id) ON DELETE CASCADE,
+        node_id   INTEGER NOT NULL,
+        sequence  TEXT NOT NULL,
+        char_type TEXT NOT NULL DEFAULT 'DNA',
+        PRIMARY KEY (tree_id, node_id)
+    ) WITHOUT ROWID
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS query_history (
+        query_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+        issued_at      TEXT NOT NULL,
+        tree_name      TEXT,
+        operation      TEXT NOT NULL,
+        params_json    TEXT NOT NULL,
+        duration_ms    REAL,
+        result_summary TEXT NOT NULL DEFAULT ''
+    )
+    """,
+    # Access-path indexes for the hot queries (DESIGN.md §6).
+    "CREATE INDEX IF NOT EXISTS idx_nodes_name ON nodes(tree_id, name)",
+    "CREATE INDEX IF NOT EXISTS idx_nodes_dist ON nodes(tree_id, dist_from_root)",
+    "CREATE INDEX IF NOT EXISTS idx_nodes_parent ON nodes(tree_id, parent_id)",
+    """
+    CREATE UNIQUE INDEX IF NOT EXISTS idx_inodes_label
+        ON inodes(tree_id, block_id, local_label)
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_inodes_orig
+        ON inodes(tree_id, orig_node_id, is_canonical)
+    """,
+)
+
+
+def create_schema(connection) -> None:
+    """Create all tables and indexes (idempotent)."""
+    for statement in DDL_STATEMENTS:
+        connection.execute(statement)
+    connection.execute(
+        "INSERT OR REPLACE INTO meta(key, value) VALUES ('schema_version', ?)",
+        (str(SCHEMA_VERSION),),
+    )

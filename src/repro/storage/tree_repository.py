@@ -1,0 +1,615 @@
+"""The Tree Repository: relational storage and index-backed queries.
+
+Storing a tree materializes three things in one transaction: the node
+table (pre-order ids, parent pointers, depths, weighted root distances,
+clade intervals), the layered-label index (``blocks``/``inodes`` rows,
+one-for-one with :class:`~repro.core.hindex.HierarchicalIndex`), and the
+tree's catalogue row.
+
+Queries against a stored tree run through :class:`StoredTree`, which
+answers LCA with the paper's layered algorithm *directly over SQL row
+fetches* — no in-memory index is rebuilt — demonstrating the paper's
+point that single queries touch only a small portion of a huge tree.
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.dewey import (
+    DeweyLabel,
+    common_prefix,
+    label_from_string,
+    label_to_string,
+)
+from repro.core.hindex import HierarchicalIndex
+from repro.core.lca import DEFAULT_LABEL_BOUND
+from repro.errors import QueryError, StorageError
+from repro.storage.database import CrimsonDatabase
+from repro.trees.node import Node
+from repro.trees.traversal import preorder_intervals
+from repro.trees.tree import PhyloTree
+
+
+@dataclass(frozen=True)
+class NodeRow:
+    """One row of the ``nodes`` table (a node's structural facts)."""
+
+    node_id: int
+    parent_id: int | None
+    child_order: int
+    name: str | None
+    edge_length: float
+    depth: int
+    dist_from_root: float
+    pre_order_end: int
+    is_leaf: bool
+
+    @property
+    def subtree_interval(self) -> tuple[int, int]:
+        """Pre-order interval ``[node_id, pre_order_end]`` of the clade."""
+        return (self.node_id, self.pre_order_end)
+
+
+@dataclass(frozen=True)
+class TreeInfo:
+    """Catalogue row of a stored tree."""
+
+    tree_id: int
+    name: str
+    n_nodes: int
+    n_leaves: int
+    max_depth: int
+    f: int
+    n_layers: int
+    n_blocks: int
+    created_at: str
+    description: str
+
+
+class TreeRepository:
+    """Stores and serves phylogenetic trees from a :class:`CrimsonDatabase`."""
+
+    def __init__(self, db: CrimsonDatabase) -> None:
+        self.db = db
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def store_tree(
+        self,
+        tree: PhyloTree,
+        name: str | None = None,
+        f: int = DEFAULT_LABEL_BOUND,
+        description: str = "",
+    ) -> "StoredTree":
+        """Persist ``tree`` with its layered index and return a handle.
+
+        Parameters
+        ----------
+        tree:
+            The tree to store (not modified).
+        name:
+            Repository key; defaults to ``tree.name``.
+        f:
+            Label bound for the hierarchical index.
+        description:
+            Free-text note recorded in the catalogue.
+
+        Raises
+        ------
+        StorageError
+            If no name is available or the name is already taken.
+        """
+        key = name or tree.name
+        if not key:
+            raise StorageError("a stored tree needs a name")
+        if self.db.query_one("SELECT 1 FROM trees WHERE name = ?", (key,)):
+            raise StorageError(f"a tree named {key!r} is already stored")
+
+        index = HierarchicalIndex(tree, f)
+        intervals = preorder_intervals(tree)
+        depths = tree.depths()
+        distances = tree.distances_from_root()
+
+        order: list[Node] = list(tree.preorder())
+        rank = {id(node): position for position, node in enumerate(order)}
+
+        now = _datetime.datetime.now(_datetime.timezone.utc).isoformat()
+        with self.db.transaction() as connection:
+            cursor = connection.execute(
+                """
+                INSERT INTO trees
+                    (name, n_nodes, n_leaves, max_depth, f, n_layers,
+                     n_blocks, created_at, description)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    key,
+                    len(order),
+                    sum(1 for node in order if not node.children),
+                    max(depths.values()),
+                    f,
+                    index.n_layers,
+                    index.n_blocks(),
+                    now,
+                    description,
+                ),
+            )
+            tree_id = cursor.lastrowid
+            assert tree_id is not None
+
+            node_rows = (
+                (
+                    tree_id,
+                    rank[id(node)],
+                    rank[id(node.parent)] if node.parent is not None else None,
+                    node.child_order,
+                    node.name,
+                    node.length,
+                    depths[id(node)],
+                    distances[id(node)],
+                    intervals[id(node)][1],
+                    int(not node.children),
+                )
+                for node in order
+            )
+            connection.executemany(
+                """
+                INSERT INTO nodes
+                    (tree_id, node_id, parent_id, child_order, name,
+                     edge_length, depth, dist_from_root, pre_order_end, is_leaf)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                node_rows,
+            )
+
+            canonical = {
+                inode for inode in getattr(index, "_inode_of_node").values()
+            }
+            inode_rows = (
+                (
+                    tree_id,
+                    inode_id,
+                    index.inode_layer[inode_id],
+                    index.inode_block[inode_id],
+                    label_to_string(index.inode_label[inode_id]),
+                    len(index.inode_label[inode_id]),
+                    (
+                        rank[id(index.inode_orig[inode_id])]
+                        if index.inode_orig[inode_id] is not None
+                        else None
+                    ),
+                    index.inode_represents[inode_id],
+                    int(inode_id in canonical),
+                )
+                for inode_id in range(index.n_inodes())
+            )
+            connection.executemany(
+                """
+                INSERT INTO inodes
+                    (tree_id, inode_id, layer, block_id, local_label,
+                     label_depth, orig_node_id, represents_block_id,
+                     is_canonical)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                inode_rows,
+            )
+
+            block_rows = (
+                (
+                    tree_id,
+                    block_id,
+                    index.block_layer[block_id],
+                    index.block_root_inode[block_id],
+                    index.block_source_inode[block_id],
+                    index.block_rep_inode[block_id],
+                )
+                for block_id in range(index.n_blocks())
+            )
+            connection.executemany(
+                """
+                INSERT INTO blocks
+                    (tree_id, block_id, layer, root_inode_id,
+                     source_inode_id, rep_inode_id)
+                VALUES (?, ?, ?, ?, ?, ?)
+                """,
+                block_rows,
+            )
+
+        return StoredTree(self.db, self.info(key))
+
+    # ------------------------------------------------------------------
+    # Catalogue
+    # ------------------------------------------------------------------
+
+    def info(self, name: str) -> TreeInfo:
+        """Catalogue entry for a stored tree.
+
+        Raises
+        ------
+        StorageError
+            If no tree of that name is stored.
+        """
+        row = self.db.query_one("SELECT * FROM trees WHERE name = ?", (name,))
+        if row is None:
+            raise StorageError(f"no tree named {name!r} in the repository")
+        return TreeInfo(
+            tree_id=row["tree_id"],
+            name=row["name"],
+            n_nodes=row["n_nodes"],
+            n_leaves=row["n_leaves"],
+            max_depth=row["max_depth"],
+            f=row["f"],
+            n_layers=row["n_layers"],
+            n_blocks=row["n_blocks"],
+            created_at=row["created_at"],
+            description=row["description"],
+        )
+
+    def open(self, name: str) -> "StoredTree":
+        """Open a query handle on a stored tree."""
+        return StoredTree(self.db, self.info(name))
+
+    def list_trees(self) -> list[TreeInfo]:
+        """All catalogue entries, ordered by name."""
+        rows = self.db.query_all("SELECT name FROM trees ORDER BY name")
+        return [self.info(row["name"]) for row in rows]
+
+    def delete_tree(self, name: str) -> None:
+        """Remove a stored tree and all dependent rows.
+
+        Raises
+        ------
+        StorageError
+            If no tree of that name is stored.
+        """
+        info = self.info(name)
+        with self.db.transaction() as connection:
+            # Explicit deletes keep the behaviour identical whether or not
+            # the connection enforces foreign keys.
+            for table in ("species", "inodes", "blocks", "nodes"):
+                connection.execute(
+                    f"DELETE FROM {table} WHERE tree_id = ?", (info.tree_id,)
+                )
+            connection.execute(
+                "DELETE FROM trees WHERE tree_id = ?", (info.tree_id,)
+            )
+
+    def __repr__(self) -> str:
+        return f"TreeRepository({self.db!r})"
+
+
+class StoredTree:
+    """Query handle over one stored tree; all reads go through SQL."""
+
+    def __init__(self, db: CrimsonDatabase, info: TreeInfo) -> None:
+        self.db = db
+        self.info = info
+        self._tree_id = info.tree_id
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+
+    def _node_row(self, row) -> NodeRow:
+        return NodeRow(
+            node_id=row["node_id"],
+            parent_id=row["parent_id"],
+            child_order=row["child_order"],
+            name=row["name"],
+            edge_length=row["edge_length"],
+            depth=row["depth"],
+            dist_from_root=row["dist_from_root"],
+            pre_order_end=row["pre_order_end"],
+            is_leaf=bool(row["is_leaf"]),
+        )
+
+    def node(self, node_id: int) -> NodeRow:
+        """Fetch a node by pre-order id.
+
+        Raises
+        ------
+        QueryError
+            If the id does not exist in this tree.
+        """
+        row = self.db.query_one(
+            "SELECT * FROM nodes WHERE tree_id = ? AND node_id = ?",
+            (self._tree_id, node_id),
+        )
+        if row is None:
+            raise QueryError(f"no node {node_id} in tree {self.info.name!r}")
+        return self._node_row(row)
+
+    def node_by_name(self, name: str) -> NodeRow:
+        """Fetch a node by taxon name (index-backed point lookup).
+
+        Raises
+        ------
+        QueryError
+            If the name is absent.
+        """
+        row = self.db.query_one(
+            "SELECT * FROM nodes WHERE tree_id = ? AND name = ?",
+            (self._tree_id, name),
+        )
+        if row is None:
+            raise QueryError(f"no node named {name!r} in tree {self.info.name!r}")
+        return self._node_row(row)
+
+    def root(self) -> NodeRow:
+        """The root row (pre-order id 0)."""
+        return self.node(0)
+
+    def leaves(self) -> list[NodeRow]:
+        """All leaf rows in pre-order."""
+        rows = self.db.query_all(
+            "SELECT * FROM nodes WHERE tree_id = ? AND is_leaf = 1 "
+            "ORDER BY node_id",
+            (self._tree_id,),
+        )
+        return [self._node_row(row) for row in rows]
+
+    def leaf_names(self) -> list[str]:
+        """Names of all leaves in pre-order."""
+        rows = self.db.query_all(
+            "SELECT name FROM nodes WHERE tree_id = ? AND is_leaf = 1 "
+            "ORDER BY node_id",
+            (self._tree_id,),
+        )
+        return [row["name"] for row in rows]
+
+    def children(self, node_id: int) -> list[NodeRow]:
+        """Child rows of a node, in child order."""
+        rows = self.db.query_all(
+            "SELECT * FROM nodes WHERE tree_id = ? AND parent_id = ? "
+            "ORDER BY child_order",
+            (self._tree_id, node_id),
+        )
+        return [self._node_row(row) for row in rows]
+
+    # ------------------------------------------------------------------
+    # Layered LCA over SQL
+    # ------------------------------------------------------------------
+
+    def _canonical_inode(self, node_id: int):
+        row = self.db.query_one(
+            "SELECT * FROM inodes WHERE tree_id = ? AND orig_node_id = ? "
+            "AND is_canonical = 1",
+            (self._tree_id, node_id),
+        )
+        if row is None:
+            raise StorageError(
+                f"index corrupt: no canonical inode for node {node_id}"
+            )
+        return row
+
+    def _inode(self, inode_id: int):
+        row = self.db.query_one(
+            "SELECT * FROM inodes WHERE tree_id = ? AND inode_id = ?",
+            (self._tree_id, inode_id),
+        )
+        if row is None:
+            raise StorageError(f"index corrupt: missing inode {inode_id}")
+        return row
+
+    def _inode_at(self, block_id: int, label: DeweyLabel):
+        row = self.db.query_one(
+            "SELECT * FROM inodes WHERE tree_id = ? AND block_id = ? "
+            "AND local_label = ?",
+            (self._tree_id, block_id, label_to_string(label)),
+        )
+        if row is None:
+            raise StorageError(
+                f"index corrupt: no inode at block {block_id} "
+                f"label {label_to_string(label)!r}"
+            )
+        return row
+
+    def _block(self, block_id: int):
+        row = self.db.query_one(
+            "SELECT * FROM blocks WHERE tree_id = ? AND block_id = ?",
+            (self._tree_id, block_id),
+        )
+        if row is None:
+            raise StorageError(f"index corrupt: missing block {block_id}")
+        return row
+
+    def lca(self, a: int | str, b: int | str) -> NodeRow:
+        """LCA of two nodes given by id or name, via the layered index.
+
+        Every step is an indexed point query; the number of steps is
+        bounded by the number of layers plus the block-chain hops, never
+        by the raw tree depth.
+        """
+        row_a = self.node_by_name(a) if isinstance(a, str) else self.node(a)
+        row_b = self.node_by_name(b) if isinstance(b, str) else self.node(b)
+        inode_a = self._canonical_inode(row_a.node_id)
+        inode_b = self._canonical_inode(row_b.node_id)
+        result = self._lca_inode(inode_a, inode_b)
+        orig = result["orig_node_id"]
+        if orig is None:
+            raise StorageError("index corrupt: layer-0 LCA without original node")
+        return self.node(orig)
+
+    def _lca_inode(self, inode_a, inode_b):
+        if inode_a["block_id"] == inode_b["block_id"]:
+            label = common_prefix(
+                label_from_string(inode_a["local_label"]),
+                label_from_string(inode_b["local_label"]),
+            )
+            return self._inode_at(inode_a["block_id"], label)
+        block_a = self._block(inode_a["block_id"])
+        block_b = self._block(inode_b["block_id"])
+        rep_a = block_a["rep_inode_id"]
+        rep_b = block_b["rep_inode_id"]
+        if rep_a is None or rep_b is None:
+            raise StorageError("index corrupt: multi-block layer lacks reps")
+        upper = self._lca_inode(self._inode(rep_a), self._inode(rep_b))
+        target_block = upper["represents_block_id"]
+        if target_block is None:
+            raise StorageError("index corrupt: upper inode without block ref")
+        anc_a = self._ancestor_in_block(inode_a, target_block)
+        anc_b = self._ancestor_in_block(inode_b, target_block)
+        label = common_prefix(
+            label_from_string(anc_a["local_label"]),
+            label_from_string(anc_b["local_label"]),
+        )
+        return self._inode_at(target_block, label)
+
+    def _ancestor_in_block(self, inode, target_block: int):
+        while inode["block_id"] != target_block:
+            source = self._block(inode["block_id"])["source_inode_id"]
+            if source is None:
+                raise StorageError("index corrupt: source chain left the tree")
+            inode = self._inode(source)
+        return inode
+
+    def lca_many(self, names_or_ids: Sequence[int | str]) -> NodeRow:
+        """LCA of a non-empty collection of nodes.
+
+        Raises
+        ------
+        QueryError
+            If the collection is empty.
+        """
+        if not names_or_ids:
+            raise QueryError("cannot take the LCA of zero nodes")
+        items = list(names_or_ids)
+        current: int | str = items[0]
+        result = (
+            self.node_by_name(current) if isinstance(current, str) else self.node(current)
+        )
+        for item in items[1:]:
+            result = self.lca(result.node_id, item)
+            if result.node_id == 0:
+                break
+        return result
+
+    def is_ancestor_or_self(self, ancestor: int | str, descendant: int | str) -> bool:
+        """Ancestor test via the clade interval (O(1) after two lookups)."""
+        row_a = (
+            self.node_by_name(ancestor)
+            if isinstance(ancestor, str)
+            else self.node(ancestor)
+        )
+        row_d = (
+            self.node_by_name(descendant)
+            if isinstance(descendant, str)
+            else self.node(descendant)
+        )
+        low, high = row_a.subtree_interval
+        return low <= row_d.node_id <= high
+
+    # ------------------------------------------------------------------
+    # Clades and frontiers
+    # ------------------------------------------------------------------
+
+    def clade(self, names_or_ids: Sequence[int | str]) -> list[NodeRow]:
+        """Minimal spanning clade: all rows under the LCA (pre-order)."""
+        anchor = self.lca_many(names_or_ids)
+        rows = self.db.query_all(
+            "SELECT * FROM nodes WHERE tree_id = ? AND node_id BETWEEN ? AND ? "
+            "ORDER BY node_id",
+            (self._tree_id, anchor.node_id, anchor.pre_order_end),
+        )
+        return [self._node_row(row) for row in rows]
+
+    def leaves_in_subtree(self, node_id: int) -> list[NodeRow]:
+        """Leaf rows inside a node's clade interval."""
+        anchor = self.node(node_id)
+        rows = self.db.query_all(
+            "SELECT * FROM nodes WHERE tree_id = ? AND node_id BETWEEN ? AND ? "
+            "AND is_leaf = 1 ORDER BY node_id",
+            (self._tree_id, anchor.node_id, anchor.pre_order_end),
+        )
+        return [self._node_row(row) for row in rows]
+
+    def count_leaves_in_subtree(self, node_id: int) -> int:
+        """Number of leaves in a node's subtree (single aggregate query)."""
+        anchor = self.node(node_id)
+        row = self.db.query_one(
+            "SELECT COUNT(*) AS n FROM nodes WHERE tree_id = ? "
+            "AND node_id BETWEEN ? AND ? AND is_leaf = 1",
+            (self._tree_id, anchor.node_id, anchor.pre_order_end),
+        )
+        assert row is not None
+        return row["n"]
+
+    def time_frontier(self, time: float) -> list[NodeRow]:
+        """Nodes whose root distance exceeds ``time`` but whose parent's
+        does not — the paper's sampling frontier (§2.2).
+
+        One indexed join; on the Figure-1 tree with ``time = 1`` this
+        returns exactly ``{Bha, x, Syn, Bsu}``.
+        """
+        rows = self.db.query_all(
+            """
+            SELECT child.* FROM nodes AS child
+            JOIN nodes AS parent
+              ON parent.tree_id = child.tree_id
+             AND parent.node_id = child.parent_id
+            WHERE child.tree_id = ?
+              AND child.dist_from_root > ?
+              AND parent.dist_from_root <= ?
+            ORDER BY child.node_id
+            """,
+            (self._tree_id, time, time),
+        )
+        frontier = [self._node_row(row) for row in rows]
+        root = self.root()
+        if root.dist_from_root > time:
+            frontier.insert(0, root)
+        return frontier
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    def fetch_tree(self) -> PhyloTree:
+        """Reconstruct the full in-memory :class:`PhyloTree`."""
+        rows = self.db.query_all(
+            "SELECT node_id, parent_id, name, edge_length FROM nodes "
+            "WHERE tree_id = ? ORDER BY node_id",
+            (self._tree_id,),
+        )
+        if not rows:
+            raise StorageError(f"tree {self.info.name!r} has no nodes")
+        nodes: dict[int, Node] = {}
+        root: Node | None = None
+        for row in rows:
+            node = Node(row["name"], row["edge_length"])
+            nodes[row["node_id"]] = node
+            if row["parent_id"] is None:
+                root = node
+            else:
+                nodes[row["parent_id"]].add_child(node)
+        assert root is not None
+        return PhyloTree(root, name=self.info.name)
+
+    def fetch_subtree(self, node_id: int) -> PhyloTree:
+        """Reconstruct the subtree rooted at ``node_id`` (one range scan)."""
+        anchor = self.node(node_id)
+        rows = self.db.query_all(
+            "SELECT node_id, parent_id, name, edge_length FROM nodes "
+            "WHERE tree_id = ? AND node_id BETWEEN ? AND ? ORDER BY node_id",
+            (self._tree_id, anchor.node_id, anchor.pre_order_end),
+        )
+        nodes: dict[int, Node] = {}
+        root: Node | None = None
+        for row in rows:
+            node = Node(row["name"], row["edge_length"])
+            nodes[row["node_id"]] = node
+            parent_id = row["parent_id"]
+            if parent_id is not None and parent_id in nodes:
+                nodes[parent_id].add_child(node)
+            else:
+                root = node
+        assert root is not None
+        return PhyloTree(root.detach(), name=None)
+
+    def __repr__(self) -> str:
+        return f"StoredTree({self.info.name!r}, nodes={self.info.n_nodes})"

@@ -1,0 +1,44 @@
+"""Tree substrate: in-memory model, traversals, and serialization.
+
+This package provides everything the Crimson index and storage layers
+assume about phylogenetic trees: the mutable :class:`Node`/:class:`PhyloTree`
+model, iterative traversal utilities safe for million-level-deep trees,
+and readers/writers for the Newick and NEXUS interchange formats.
+"""
+
+from repro.trees.node import Node
+from repro.trees.tree import PhyloTree, validate_tree
+from repro.trees.newick import parse_newick, parse_newick_many, write_newick
+from repro.trees.nexus import (
+    CharacterMatrix,
+    NexusDocument,
+    parse_nexus,
+    write_nexus,
+)
+from repro.trees.build import (
+    balanced,
+    caterpillar,
+    from_parent_table,
+    rename_leaves,
+    sample_tree,
+    star,
+)
+
+__all__ = [
+    "Node",
+    "PhyloTree",
+    "validate_tree",
+    "parse_newick",
+    "parse_newick_many",
+    "write_newick",
+    "CharacterMatrix",
+    "NexusDocument",
+    "parse_nexus",
+    "write_nexus",
+    "balanced",
+    "caterpillar",
+    "from_parent_table",
+    "rename_leaves",
+    "sample_tree",
+    "star",
+]

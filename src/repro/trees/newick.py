@@ -1,0 +1,281 @@
+"""Newick serialization.
+
+Newick is the tree notation embedded in NEXUS ``TREES`` blocks and the
+interchange format the Crimson loader accepts alongside NEXUS.  This
+parser handles the full common dialect:
+
+* unquoted labels (with underscore-for-space convention),
+* single-quoted labels with doubled-quote escapes (``'it''s'``),
+* branch lengths after ``:`` in integer, float, or scientific notation,
+* square-bracket comments anywhere between tokens,
+* interior node labels,
+* arbitrary (non-binary) degrees.
+
+Parsing is iterative — an explicit stack, not recursion — so the
+million-level trees the paper targets do not overflow the interpreter.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.trees.node import Node
+from repro.trees.tree import PhyloTree
+
+_UNQUOTED_TERMINATORS = set("(),:;[]' \t\n\r")
+
+
+class _Scanner:
+    """Single-pass tokenizer over a Newick string."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def skip_layout(self) -> None:
+        """Advance past whitespace and ``[...]`` comments."""
+        while self.pos < self.length:
+            ch = self.text[self.pos]
+            if ch in " \t\n\r":
+                self.pos += 1
+            elif ch == "[":
+                end = self.text.find("]", self.pos + 1)
+                if end == -1:
+                    raise ParseError("unterminated [comment]", self.pos)
+                self.pos = end + 1
+            else:
+                return
+
+    def peek(self) -> str:
+        self.skip_layout()
+        if self.pos >= self.length:
+            return ""
+        return self.text[self.pos]
+
+    def expect(self, ch: str) -> None:
+        got = self.peek()
+        if got != ch:
+            raise ParseError(f"expected {ch!r}, found {got or 'end of input'!r}", self.pos)
+        self.pos += 1
+
+    def read_label(self) -> str | None:
+        """Read a quoted or unquoted label; ``None`` when absent."""
+        self.skip_layout()
+        if self.pos >= self.length:
+            return None
+        if self.text[self.pos] == "'":
+            return self._read_quoted()
+        start = self.pos
+        while self.pos < self.length and self.text[self.pos] not in _UNQUOTED_TERMINATORS:
+            self.pos += 1
+        if self.pos == start:
+            return None
+        # Unquoted labels use underscores to stand for spaces.
+        return self.text[start : self.pos].replace("_", " ")
+
+    def _read_quoted(self) -> str:
+        start = self.pos
+        self.pos += 1  # opening quote
+        parts: list[str] = []
+        while True:
+            if self.pos >= self.length:
+                raise ParseError("unterminated quoted label", start)
+            ch = self.text[self.pos]
+            if ch == "'":
+                if self.pos + 1 < self.length and self.text[self.pos + 1] == "'":
+                    parts.append("'")
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return "".join(parts)
+            parts.append(ch)
+            self.pos += 1
+
+    def read_length(self) -> float | None:
+        """Read ``:number`` if present."""
+        if self.peek() != ":":
+            return None
+        self.pos += 1
+        self.skip_layout()
+        start = self.pos
+        while self.pos < self.length and (
+            self.text[self.pos].isdigit() or self.text[self.pos] in "+-.eE"
+        ):
+            self.pos += 1
+        token = self.text[start : self.pos]
+        try:
+            return float(token)
+        except ValueError:
+            raise ParseError(f"invalid branch length {token!r}", start) from None
+
+
+def parse_newick(text: str) -> PhyloTree:
+    """Parse one Newick tree from ``text``.
+
+    Raises
+    ------
+    ParseError
+        On any syntactic problem, with the offending position.
+    """
+    scanner = _Scanner(text)
+    if scanner.peek() == "":
+        raise ParseError("empty Newick input")
+
+    root = Node()
+    current = root
+    # Stack entries are interior nodes whose child list is being filled.
+    started = False
+
+    if scanner.peek() != "(":
+        # A degenerate single-node tree: "name:length;" or "name;".
+        name = scanner.read_label()
+        length = scanner.read_length()
+        scanner.expect(";")
+        root.name = name
+        root.length = length if length is not None else 0.0
+        _require_end(scanner)
+        return PhyloTree(root)
+
+    stack: list[Node] = []
+    node = root
+    while True:
+        ch = scanner.peek()
+        if ch == "(":
+            scanner.pos += 1
+            stack.append(node)
+            child = Node()
+            node.add_child(child)
+            node = child
+            started = True
+        elif ch == ",":
+            scanner.pos += 1
+            if not stack:
+                raise ParseError("comma outside parentheses", scanner.pos)
+            sibling = Node()
+            stack[-1].add_child(sibling)
+            node = sibling
+        elif ch == ")":
+            scanner.pos += 1
+            if not stack:
+                raise ParseError("unbalanced ')'", scanner.pos)
+            node = stack.pop()
+            name = scanner.read_label()
+            if name is not None:
+                node.name = name
+            length = scanner.read_length()
+            if length is not None:
+                node.length = length
+        elif ch == ";":
+            scanner.pos += 1
+            break
+        elif ch == "":
+            raise ParseError("unexpected end of input; missing ';'?", scanner.pos)
+        else:
+            name = scanner.read_label()
+            if name is not None:
+                node.name = name
+            length = scanner.read_length()
+            if length is not None:
+                node.length = length
+            nxt = scanner.peek()
+            if nxt not in (",", ")", ";"):
+                raise ParseError(f"unexpected {nxt!r} after label", scanner.pos)
+
+    if stack:
+        raise ParseError("unbalanced '(': tree ended while nested", scanner.pos)
+    if not started:
+        raise ParseError("no tree structure found")
+    _require_end(scanner)
+    return PhyloTree(root)
+
+
+def parse_newick_many(text: str) -> list[PhyloTree]:
+    """Parse a file of ``;``-terminated Newick trees, one per statement.
+
+    Blank space and comments between trees are allowed.  Returns at
+    least one tree.
+
+    Raises
+    ------
+    ParseError
+        On any malformed tree or an input with no trees at all.
+    """
+    trees: list[PhyloTree] = []
+    scanner = _Scanner(text)
+    start = 0
+    while True:
+        scanner.pos = start
+        if scanner.peek() == "":
+            break
+        # Find the end of this statement: the next ';' outside quotes
+        # and comments.
+        depth_scanner = _Scanner(text)
+        depth_scanner.pos = start
+        while True:
+            ch = depth_scanner.peek()
+            if ch == "":
+                raise ParseError("unterminated tree; missing ';'", depth_scanner.pos)
+            if ch == "'":
+                depth_scanner._read_quoted()
+                continue
+            depth_scanner.pos += 1
+            if ch == ";":
+                break
+        statement = text[start : depth_scanner.pos]
+        trees.append(parse_newick(statement))
+        start = depth_scanner.pos
+    if not trees:
+        raise ParseError("no trees in input")
+    return trees
+
+
+def _require_end(scanner: _Scanner) -> None:
+    if scanner.peek() != "":
+        raise ParseError("trailing characters after ';'", scanner.pos)
+
+
+def _format_label(name: str) -> str:
+    """Quote a label when it contains Newick metacharacters.
+
+    Names containing underscores are quoted too: written bare, an
+    underscore would read back as a space under the Newick convention,
+    breaking round-trips.
+    """
+    if name and "_" not in name and all(c not in _UNQUOTED_TERMINATORS for c in name):
+        return name
+    return "'" + name.replace("'", "''") + "'"
+
+
+def write_newick(tree: PhyloTree, include_lengths: bool = True) -> str:
+    """Serialize ``tree`` to a Newick string (iterative, order-preserving)."""
+    parts: list[str] = []
+    # Emulate recursion with an explicit work stack of (node, state) where
+    # state counts how many children have been emitted so far.
+    stack: list[tuple[Node, int]] = [(tree.root, 0)]
+    while stack:
+        node, emitted = stack.pop()
+        if node.children:
+            if emitted == 0:
+                parts.append("(")
+                stack.append((node, 1))
+                stack.append((node.children[0], 0))
+            elif emitted <= len(node.children) - 1:
+                parts.append(",")
+                stack.append((node, emitted + 1))
+                stack.append((node.children[emitted], 0))
+            else:
+                parts.append(")")
+                _emit_payload(parts, node, include_lengths)
+        else:
+            _emit_payload(parts, node, include_lengths)
+    parts.append(";")
+    return "".join(parts)
+
+
+def _emit_payload(parts: list[str], node: Node, include_lengths: bool) -> None:
+    if node.name is not None:
+        parts.append(_format_label(node.name))
+    if include_lengths and node.parent is not None:
+        # repr() gives the shortest decimal string that round-trips the
+        # float exactly, so parse(write(tree)) preserves lengths bit-for-bit.
+        parts.append(f":{node.length!r}")

@@ -1,0 +1,429 @@
+"""NEXUS file format support.
+
+NEXUS (Maddison, Swofford & Maddison 1997) is the standard interchange
+format for phylogenetic data and the input format of the Crimson Data
+Loader.  This module reads and writes the three blocks Crimson uses:
+
+``TAXA``
+    taxon dimensions and labels,
+``CHARACTERS`` / ``DATA``
+    aligned character matrices (the species data: sequences),
+``TREES``
+    named trees in Newick notation, with optional ``TRANSLATE`` maps.
+
+Unknown blocks are skipped, matching the NEXUS requirement that readers
+ignore blocks they do not understand.  The tokenizer honours NEXUS
+comments ``[...]`` and single-quoted labels with doubled-quote escapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+from repro.trees.newick import parse_newick, write_newick
+from repro.trees.tree import PhyloTree
+
+_PUNCTUATION = set("=;,")
+
+
+@dataclass
+class CharacterMatrix:
+    """An aligned character matrix from a CHARACTERS or DATA block."""
+
+    datatype: str = "DNA"
+    missing: str = "?"
+    gap: str = "-"
+    rows: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def n_taxa(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_chars(self) -> int:
+        if not self.rows:
+            return 0
+        return len(next(iter(self.rows.values())))
+
+    def validate(self) -> None:
+        """Raise :class:`ParseError` when rows have unequal lengths."""
+        lengths = {len(seq) for seq in self.rows.values()}
+        if len(lengths) > 1:
+            raise ParseError(
+                f"character matrix rows have unequal lengths: {sorted(lengths)}"
+            )
+
+
+@dataclass
+class NexusDocument:
+    """Parsed contents of a NEXUS file."""
+
+    taxa: list[str] = field(default_factory=list)
+    characters: CharacterMatrix | None = None
+    trees: list[tuple[str, PhyloTree]] = field(default_factory=list)
+
+    def tree(self, name: str) -> PhyloTree:
+        """Return the tree with the given name.
+
+        Raises
+        ------
+        ParseError
+            If no tree of that name exists in the document.
+        """
+        for tree_name, tree in self.trees:
+            if tree_name == name:
+                return tree
+        raise ParseError(f"no tree named {name!r} in NEXUS document")
+
+
+class _NexusTokenizer:
+    """NEXUS token stream: words, quoted strings, and punctuation."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def _skip_layout(self) -> None:
+        while self.pos < self.length:
+            ch = self.text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif ch == "[":
+                depth = 1
+                self.pos += 1
+                while self.pos < self.length and depth:
+                    if self.text[self.pos] == "[":
+                        depth += 1
+                    elif self.text[self.pos] == "]":
+                        depth -= 1
+                    self.pos += 1
+                if depth:
+                    raise ParseError("unterminated [comment]", self.pos)
+            else:
+                return
+
+    def next(self) -> str | None:
+        """Return the next token, or ``None`` at end of input.
+
+        Quoted tokens are returned with quotes resolved; a marker prefix is
+        not needed because NEXUS keywords are never quoted in practice and
+        this reader treats quoted tokens as data.
+        """
+        self._skip_layout()
+        if self.pos >= self.length:
+            return None
+        ch = self.text[self.pos]
+        if ch in _PUNCTUATION:
+            self.pos += 1
+            return ch
+        if ch == "'":
+            return self._read_quoted()
+        start = self.pos
+        while self.pos < self.length:
+            ch = self.text[self.pos]
+            if ch.isspace() or ch in _PUNCTUATION or ch in "['":
+                break
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def _read_quoted(self) -> str:
+        start = self.pos
+        self.pos += 1
+        parts: list[str] = []
+        while True:
+            if self.pos >= self.length:
+                raise ParseError("unterminated quoted token", start)
+            ch = self.text[self.pos]
+            if ch == "'":
+                if self.pos + 1 < self.length and self.text[self.pos + 1] == "'":
+                    parts.append("'")
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return "".join(parts)
+            parts.append(ch)
+            self.pos += 1
+
+    def until_semicolon(self) -> list[str]:
+        """Collect tokens up to (consuming) the next ``;``."""
+        tokens: list[str] = []
+        while True:
+            token = self.next()
+            if token is None:
+                raise ParseError("unexpected end of input; missing ';'", self.pos)
+            if token == ";":
+                return tokens
+            tokens.append(token)
+
+    def raw_until_semicolon(self) -> str:
+        """Return raw text (comments stripped) up to the next ``;``.
+
+        Used for tree definitions, which are parsed by the Newick reader.
+        Quoted sections are preserved verbatim so Newick quoting survives.
+        """
+        self._skip_layout()
+        parts: list[str] = []
+        while self.pos < self.length:
+            ch = self.text[self.pos]
+            if ch == ";":
+                self.pos += 1
+                return "".join(parts)
+            if ch == "[":
+                self._skip_layout()
+                continue
+            if ch == "'":
+                start = self.pos
+                self._read_quoted()
+                parts.append(self.text[start : self.pos])
+                continue
+            parts.append(ch)
+            self.pos += 1
+        raise ParseError("unexpected end of input in tree statement", self.pos)
+
+
+def parse_nexus(text: str) -> NexusDocument:
+    """Parse a NEXUS document.
+
+    Raises
+    ------
+    ParseError
+        On a missing ``#NEXUS`` header or malformed blocks.
+    """
+    stripped = text.lstrip()
+    if not stripped[:6].upper() == "#NEXUS":
+        raise ParseError("missing #NEXUS header")
+    tokenizer = _NexusTokenizer(stripped[6:])
+    document = NexusDocument()
+
+    while True:
+        token = tokenizer.next()
+        if token is None:
+            return document
+        if token.upper() != "BEGIN":
+            raise ParseError(f"expected BEGIN, found {token!r}", tokenizer.pos)
+        block_tokens = tokenizer.until_semicolon()
+        if len(block_tokens) != 1:
+            raise ParseError("malformed BEGIN statement", tokenizer.pos)
+        block_name = block_tokens[0].upper()
+        if block_name == "TAXA":
+            _parse_taxa_block(tokenizer, document)
+        elif block_name in ("CHARACTERS", "DATA"):
+            _parse_characters_block(tokenizer, document)
+        elif block_name == "TREES":
+            _parse_trees_block(tokenizer, document)
+        else:
+            _skip_block(tokenizer)
+
+
+def _block_commands(tokenizer: _NexusTokenizer):
+    """Yield ``(command, tokens)`` pairs until END; of the current block."""
+    while True:
+        token = tokenizer.next()
+        if token is None:
+            raise ParseError("unexpected end of input inside block", tokenizer.pos)
+        command = token.upper()
+        if command in ("END", "ENDBLOCK"):
+            rest = tokenizer.until_semicolon()
+            if rest:
+                raise ParseError("tokens after END", tokenizer.pos)
+            return
+        yield command, token
+
+
+def _parse_taxa_block(tokenizer: _NexusTokenizer, document: NexusDocument) -> None:
+    for command, _ in _block_commands(tokenizer):
+        if command == "TAXLABELS":
+            document.taxa = tokenizer.until_semicolon()
+        else:
+            tokenizer.until_semicolon()  # DIMENSIONS etc. are advisory
+
+
+def _parse_characters_block(
+    tokenizer: _NexusTokenizer, document: NexusDocument
+) -> None:
+    matrix = CharacterMatrix()
+    declared_nchar: int | None = None
+    for command, _ in _block_commands(tokenizer):
+        if command == "FORMAT":
+            tokens = tokenizer.until_semicolon()
+            _apply_format(matrix, tokens)
+        elif command == "DIMENSIONS":
+            tokens = tokenizer.until_semicolon()
+            declared_nchar = _declared_nchar(tokens)
+        elif command == "MATRIX":
+            tokens = tokenizer.until_semicolon()
+            _fill_matrix(matrix, tokens)
+        else:
+            tokenizer.until_semicolon()
+    matrix.validate()
+    if declared_nchar is not None and matrix.rows and matrix.n_chars != declared_nchar:
+        raise ParseError(
+            f"DIMENSIONS declares NCHAR={declared_nchar} but matrix rows "
+            f"have {matrix.n_chars} characters"
+        )
+    document.characters = matrix
+    if not document.taxa:
+        document.taxa = list(matrix.rows)
+
+
+def _key_value_pairs(tokens: list[str]) -> dict[str, str]:
+    """Extract ``KEY = value`` triples from a command's token list."""
+    pairs: dict[str, str] = {}
+    index = 0
+    while index < len(tokens):
+        if index + 1 < len(tokens) and tokens[index + 1] == "=":
+            if index + 2 >= len(tokens):
+                raise ParseError(f"{tokens[index]}= with no value")
+            pairs[tokens[index].upper()] = tokens[index + 2]
+            index += 3
+        else:
+            index += 1
+    return pairs
+
+
+def _apply_format(matrix: CharacterMatrix, tokens: list[str]) -> None:
+    pairs = _key_value_pairs(tokens)
+    if "DATATYPE" in pairs:
+        matrix.datatype = pairs["DATATYPE"].upper()
+    if "MISSING" in pairs:
+        matrix.missing = pairs["MISSING"]
+    if "GAP" in pairs:
+        matrix.gap = pairs["GAP"]
+
+
+def _declared_nchar(tokens: list[str]) -> int | None:
+    pairs = _key_value_pairs(tokens)
+    if "NCHAR" not in pairs:
+        return None
+    try:
+        return int(pairs["NCHAR"])
+    except ValueError:
+        raise ParseError(f"invalid NCHAR value {pairs['NCHAR']!r}") from None
+
+
+def _fill_matrix(matrix: CharacterMatrix, tokens: list[str]) -> None:
+    # Matrix rows are "name sequence" pairs; interleaved matrices repeat
+    # names, in which case segments are concatenated.
+    index = 0
+    while index < len(tokens):
+        name = tokens[index]
+        if index + 1 >= len(tokens):
+            raise ParseError(f"matrix row for {name!r} has no sequence")
+        sequence = tokens[index + 1]
+        matrix.rows[name] = matrix.rows.get(name, "") + sequence
+        index += 2
+
+
+def _parse_trees_block(tokenizer: _NexusTokenizer, document: NexusDocument) -> None:
+    translate: dict[str, str] = {}
+    while True:
+        token = tokenizer.next()
+        if token is None:
+            raise ParseError("unexpected end of input inside TREES block", tokenizer.pos)
+        command = token.upper()
+        if command in ("END", "ENDBLOCK"):
+            rest = tokenizer.until_semicolon()
+            if rest:
+                raise ParseError("tokens after END", tokenizer.pos)
+            return
+        if command == "TRANSLATE":
+            tokens = tokenizer.until_semicolon()
+            _fill_translate(translate, tokens)
+        elif command == "TREE":
+            name_token = tokenizer.next()
+            if name_token is None:
+                raise ParseError("TREE with no name", tokenizer.pos)
+            equals = tokenizer.next()
+            if equals != "=":
+                raise ParseError("TREE name must be followed by '='", tokenizer.pos)
+            newick_text = tokenizer.raw_until_semicolon().strip()
+            # Strip rooting annotations like [&R] — already removed as
+            # comments by the tokenizer — then parse.
+            tree = parse_newick(newick_text + ";")
+            _apply_translate(tree, translate)
+            tree.name = name_token
+            document.trees.append((name_token, tree))
+        else:
+            tokenizer.until_semicolon()
+
+
+def _fill_translate(translate: dict[str, str], tokens: list[str]) -> None:
+    # TRANSLATE is a comma-separated list of "key name" pairs.
+    entry: list[str] = []
+    for token in tokens + [","]:
+        if token == ",":
+            if not entry:
+                continue
+            if len(entry) != 2:
+                raise ParseError(f"malformed TRANSLATE entry: {' '.join(entry)!r}")
+            translate[entry[0]] = entry[1]
+            entry = []
+        else:
+            entry.append(token)
+
+
+def _apply_translate(tree: PhyloTree, translate: dict[str, str]) -> None:
+    if not translate:
+        return
+    for node in tree.preorder():
+        if node.name is not None and node.name in translate:
+            node.name = translate[node.name]
+    tree.invalidate_caches()
+
+
+def _skip_block(tokenizer: _NexusTokenizer) -> None:
+    while True:
+        token = tokenizer.next()
+        if token is None:
+            raise ParseError("unexpected end of input while skipping block", tokenizer.pos)
+        if token.upper() in ("END", "ENDBLOCK"):
+            tokenizer.until_semicolon()
+            return
+        # Consume the rest of this command.
+        if token != ";":
+            tokenizer.until_semicolon()
+
+
+def _quote_if_needed(name: str) -> str:
+    if name and all(not c.isspace() and c not in "=;,[]()'" for c in name):
+        return name
+    return "'" + name.replace("'", "''") + "'"
+
+
+def write_nexus(document: NexusDocument) -> str:
+    """Serialize a :class:`NexusDocument` back to NEXUS text."""
+    lines: list[str] = ["#NEXUS", ""]
+    if document.taxa:
+        lines.append("BEGIN TAXA;")
+        lines.append(f"    DIMENSIONS NTAX={len(document.taxa)};")
+        labels = " ".join(_quote_if_needed(t) for t in document.taxa)
+        lines.append(f"    TAXLABELS {labels};")
+        lines.append("END;")
+        lines.append("")
+    if document.characters is not None and document.characters.rows:
+        matrix = document.characters
+        lines.append("BEGIN CHARACTERS;")
+        lines.append(
+            f"    DIMENSIONS NTAX={matrix.n_taxa} NCHAR={matrix.n_chars};"
+        )
+        lines.append(
+            f"    FORMAT DATATYPE={matrix.datatype} "
+            f"MISSING={matrix.missing} GAP={matrix.gap};"
+        )
+        lines.append("    MATRIX")
+        width = max(len(_quote_if_needed(name)) for name in matrix.rows)
+        for name, sequence in matrix.rows.items():
+            lines.append(f"        {_quote_if_needed(name):<{width}} {sequence}")
+        lines.append("    ;")
+        lines.append("END;")
+        lines.append("")
+    if document.trees:
+        lines.append("BEGIN TREES;")
+        for name, tree in document.trees:
+            newick = write_newick(tree)
+            lines.append(f"    TREE {_quote_if_needed(name)} = {newick}")
+        lines.append("END;")
+        lines.append("")
+    return "\n".join(lines)

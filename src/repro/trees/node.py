@@ -1,0 +1,220 @@
+"""In-memory phylogenetic tree node.
+
+A :class:`Node` is a mutable rooted-tree vertex carrying the attributes
+Crimson stores relationally: an optional taxon ``name``, the ``length`` of
+the edge to its parent (evolutionary time), and ordered children.  Child
+order matters because Dewey labels are derived from it (the paper fixes a
+random order at load time and labels edges 1, 2, 3, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import TreeStructureError
+
+
+class Node:
+    """A vertex of a rooted phylogenetic tree.
+
+    Parameters
+    ----------
+    name:
+        Taxon name.  Leaves normally carry a name; interior nodes may be
+        anonymous (``None``).
+    length:
+        Length of the edge from the parent to this node, in evolutionary
+        time units.  The root's length is conventionally ``0.0``.
+
+    Attributes
+    ----------
+    parent:
+        The parent node, or ``None`` for a root.
+    children:
+        Ordered list of child nodes.  The 1-based position of a child in
+        this list is its Dewey edge label.
+    """
+
+    __slots__ = ("name", "length", "parent", "children")
+
+    def __init__(self, name: str | None = None, length: float = 0.0) -> None:
+        self.name = name
+        self.length = float(length)
+        self.parent: Node | None = None
+        self.children: list[Node] = []
+
+    # ------------------------------------------------------------------
+    # Structure manipulation
+    # ------------------------------------------------------------------
+
+    def add_child(self, child: Node) -> Node:
+        """Append ``child`` as the last child of this node and return it.
+
+        Raises
+        ------
+        TreeStructureError
+            If ``child`` already has a parent, or attaching it would
+            create a cycle (``child`` is an ancestor of ``self``).
+        """
+        if child.parent is not None:
+            raise TreeStructureError(
+                f"node {child!r} already has a parent; detach it first"
+            )
+        if child is self or child.is_ancestor_of(self):
+            raise TreeStructureError(
+                "attaching a node under its own descendant would create a cycle"
+            )
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def new_child(self, name: str | None = None, length: float = 0.0) -> Node:
+        """Create a fresh :class:`Node` and attach it as the last child."""
+        return self.add_child(Node(name, length))
+
+    def detach(self) -> Node:
+        """Remove this node (and its subtree) from its parent; return self."""
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+        return self
+
+    def remove_child(self, child: Node) -> Node:
+        """Detach ``child`` from this node and return it.
+
+        Raises
+        ------
+        TreeStructureError
+            If ``child`` is not a child of this node.
+        """
+        if child.parent is not self:
+            raise TreeStructureError(f"{child!r} is not a child of {self!r}")
+        return child.detach()
+
+    # ------------------------------------------------------------------
+    # Predicates and simple accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when this node has no children."""
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        """True when this node has no parent."""
+        return self.parent is None
+
+    @property
+    def child_order(self) -> int:
+        """1-based position among the parent's children (0 for a root).
+
+        This is the Dewey edge label of the edge above this node.
+        """
+        if self.parent is None:
+            return 0
+        return self.parent.children.index(self) + 1
+
+    def is_ancestor_of(self, other: Node) -> bool:
+        """True when ``self`` lies on the path from ``other`` to the root.
+
+        A node is *not* considered its own ancestor; use
+        ``a is b or a.is_ancestor_of(b)`` for ancestor-or-self.
+        """
+        walker = other.parent
+        while walker is not None:
+            if walker is self:
+                return True
+            walker = walker.parent
+        return False
+
+    # ------------------------------------------------------------------
+    # Path and depth measures
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of edges on the path from the root to this node."""
+        count = 0
+        walker = self.parent
+        while walker is not None:
+            count += 1
+            walker = walker.parent
+        return count
+
+    @property
+    def dist_from_root(self) -> float:
+        """Sum of edge lengths on the path from the root to this node."""
+        total = 0.0
+        walker: Node | None = self
+        while walker is not None and walker.parent is not None:
+            total += walker.length
+            walker = walker.parent
+        return total
+
+    def ancestors(self, include_self: bool = False) -> Iterator[Node]:
+        """Yield ancestors from the parent (or self) up to the root."""
+        walker = self if include_self else self.parent
+        while walker is not None:
+            yield walker
+            walker = walker.parent
+
+    # ------------------------------------------------------------------
+    # Subtree traversal (iterative: simulation trees are deeper than the
+    # default Python recursion limit)
+    # ------------------------------------------------------------------
+
+    def preorder(self) -> Iterator[Node]:
+        """Yield the subtree rooted here in pre-order (children in order)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def postorder(self) -> Iterator[Node]:
+        """Yield the subtree rooted here in post-order (children first)."""
+        # Two-stack formulation keeps this iterative and allocation-light.
+        stack = [self]
+        output: list[Node] = []
+        while stack:
+            node = stack.pop()
+            output.append(node)
+            stack.extend(node.children)
+        return reversed(output)
+
+    def leaves(self) -> Iterator[Node]:
+        """Yield the leaves of the subtree rooted here, in pre-order."""
+        for node in self.preorder():
+            if not node.children:
+                yield node
+
+    def subtree_size(self) -> int:
+        """Number of nodes (including self) in the subtree rooted here."""
+        return sum(1 for _ in self.preorder())
+
+    # ------------------------------------------------------------------
+    # Dewey labels over the whole tree (plain scheme; the layered scheme
+    # lives in repro.core)
+    # ------------------------------------------------------------------
+
+    def dewey_label(self) -> tuple[int, ...]:
+        """Plain Dewey label of this node: child orders from root down.
+
+        The root's label is the empty tuple.  Cost is proportional to the
+        node's depth — the very property the layered index removes.
+        """
+        parts: list[int] = []
+        walker: Node | None = self
+        while walker is not None and walker.parent is not None:
+            parts.append(walker.child_order)
+            walker = walker.parent
+        return tuple(reversed(parts))
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        label = self.name if self.name is not None else "<anonymous>"
+        return f"Node({label!r}, length={self.length:g}, children={len(self.children)})"

@@ -1,0 +1,90 @@
+"""Whole-tree traversal utilities shared by the index and query layers.
+
+These helpers compute, in single iterative passes, the per-node tables the
+relational loader materializes as columns: pre-order rank, pre-order
+interval end (clade interval), depth, and weighted distance from the root.
+All of them survive trees far deeper than Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.trees.node import Node
+from repro.trees.tree import PhyloTree
+
+
+def preorder_table(tree: PhyloTree) -> dict[int, int]:
+    """Map ``id(node)`` to its 0-based pre-order rank."""
+    return {id(node): rank for rank, node in enumerate(tree.preorder())}
+
+
+def preorder_intervals(tree: PhyloTree) -> dict[int, tuple[int, int]]:
+    """Map ``id(node)`` to its clade interval ``(pre, pre_end)``.
+
+    ``pre`` is the node's pre-order rank and ``pre_end`` the largest rank
+    in its subtree, so a node ``d`` is a descendant-or-self of ``a`` iff
+    ``a.pre <= d.pre <= a.pre_end``.  This is the property the minimal
+    spanning clade query exploits as a SQL ``BETWEEN``.
+    """
+    ranks = preorder_table(tree)
+    ends: dict[int, int] = {}
+    for node in tree.postorder():
+        rank = ranks[id(node)]
+        if node.children:
+            ends[id(node)] = max(ends[id(child)] for child in node.children)
+        else:
+            ends[id(node)] = rank
+    return {key: (ranks[key], ends[key]) for key in ranks}
+
+
+def depth_table(tree: PhyloTree) -> dict[int, int]:
+    """Map ``id(node)`` to its edge depth (root is 0)."""
+    return tree.depths()
+
+
+def root_distance_table(tree: PhyloTree) -> dict[int, float]:
+    """Map ``id(node)`` to its weighted distance from the root."""
+    return tree.distances_from_root()
+
+
+def iter_edges(tree: PhyloTree) -> Iterator[tuple[Node, Node]]:
+    """Yield ``(parent, child)`` pairs in pre-order."""
+    for node in tree.preorder():
+        for child in node.children:
+            yield node, child
+
+
+def naive_lca(a: Node, b: Node) -> Node:
+    """Least common ancestor by walking parent pointers.
+
+    This is the baseline the paper's indexing replaces: cost proportional
+    to the depth of the deeper argument, with no index support.
+    """
+    ancestors: set[int] = set()
+    walker: Node | None = a
+    while walker is not None:
+        ancestors.add(id(walker))
+        walker = walker.parent
+    walker = b
+    while walker is not None:
+        if id(walker) in ancestors:
+            return walker
+        walker = walker.parent
+    raise ValueError("nodes do not share a root; are they from the same tree?")
+
+
+def path_to_root(node: Node) -> list[Node]:
+    """Nodes from ``node`` (inclusive) up to the root (inclusive)."""
+    path: list[Node] = []
+    walker: Node | None = node
+    while walker is not None:
+        path.append(walker)
+        walker = walker.parent
+    return path
+
+
+def map_nodes(tree: PhyloTree, fn: Callable[[Node], None]) -> None:
+    """Apply ``fn`` to every node in pre-order (for bulk annotation)."""
+    for node in tree.preorder():
+        fn(node)

@@ -1,0 +1,56 @@
+"""Shared fixtures: the paper's example tree, random trees, databases."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.storage.database import CrimsonDatabase
+from repro.trees.build import sample_tree
+from repro.trees.node import Node
+from repro.trees.tree import PhyloTree
+
+
+@pytest.fixture
+def fig1():
+    """The Crimson paper's Figure-1 tree."""
+    return sample_tree()
+
+
+@pytest.fixture
+def db():
+    """An in-memory Crimson database, closed after the test."""
+    database = CrimsonDatabase()
+    yield database
+    database.close()
+
+
+def make_random_tree(
+    n_nodes: int, seed: int, max_children: int = 4, name_prefix: str = "L"
+) -> PhyloTree:
+    """Deterministic random tree with every node named (uniform attachment).
+
+    Shared by unit tests that need arbitrary shapes without hypothesis.
+    """
+    rng = random.Random(seed)
+    root = Node(f"{name_prefix}0")
+    nodes = [root]
+    for index in range(1, n_nodes):
+        eligible = [n for n in nodes if len(n.children) < max_children]
+        parent = rng.choice(eligible or nodes)
+        child = Node(f"{name_prefix}{index}", rng.random() * 2.0)
+        parent.add_child(child)
+        nodes.append(child)
+    return PhyloTree(root)
+
+
+@pytest.fixture
+def random_tree_factory():
+    return make_random_tree
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

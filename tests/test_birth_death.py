@@ -1,0 +1,126 @@
+"""Unit tests for stochastic tree generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.birth_death import (
+    birth_death_tree,
+    coalescent_tree,
+    yule_tree,
+)
+from repro.trees.tree import validate_tree
+
+
+def leaf_root_distances(tree):
+    distances = tree.distances_from_root()
+    return [distances[id(leaf)] for leaf in tree.root.leaves()]
+
+
+class TestYule:
+    def test_leaf_count(self, rng):
+        tree = yule_tree(37, rng=rng)
+        assert tree.n_leaves() == 37
+
+    def test_binary_interior(self, rng):
+        tree = yule_tree(20, rng=rng)
+        for node in tree.preorder():
+            assert node.is_leaf or len(node.children) == 2
+
+    def test_ultrametric(self, rng):
+        distances = leaf_root_distances(yule_tree(25, rng=rng))
+        assert max(distances) - min(distances) < 1e-9
+
+    def test_valid_structure(self, rng):
+        validate_tree(yule_tree(15, rng=rng))
+
+    def test_unique_leaf_names(self, rng):
+        names = yule_tree(30, rng=rng).leaf_names()
+        assert len(set(names)) == 30
+
+    def test_reproducible_with_seed(self):
+        first = yule_tree(12, rng=np.random.default_rng(7))
+        second = yule_tree(12, rng=np.random.default_rng(7))
+        assert first.to_newick() == second.to_newick()
+
+    def test_higher_rate_means_shorter_tree(self):
+        slow = yule_tree(40, birth_rate=0.5, rng=np.random.default_rng(1))
+        fast = yule_tree(40, birth_rate=5.0, rng=np.random.default_rng(1))
+        assert fast.total_edge_length() < slow.total_edge_length()
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(SimulationError):
+            yule_tree(1, rng=rng)
+        with pytest.raises(SimulationError):
+            yule_tree(5, birth_rate=0.0, rng=rng)
+
+
+class TestBirthDeath:
+    def test_leaf_count_conditioned(self, rng):
+        tree = birth_death_tree(25, 1.0, 0.4, rng=rng)
+        assert tree.n_leaves() == 25
+
+    def test_zero_death_behaves_like_yule(self, rng):
+        tree = birth_death_tree(20, 1.0, 0.0, rng=rng)
+        assert tree.n_leaves() == 20
+        for node in tree.preorder():
+            assert node.is_leaf or len(node.children) == 2
+
+    def test_no_extinct_markers_remain(self, rng):
+        tree = birth_death_tree(15, 1.0, 0.5, rng=rng)
+        assert all(
+            node.name != "<extinct>" for node in tree.preorder()
+        )
+
+    def test_ultrametric_after_pruning(self, rng):
+        distances = leaf_root_distances(birth_death_tree(20, 1.0, 0.3, rng=rng))
+        assert max(distances) - min(distances) < 1e-9
+
+    def test_valid_structure(self, rng):
+        validate_tree(birth_death_tree(10, 1.0, 0.2, rng=rng))
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(SimulationError):
+            birth_death_tree(1, 1.0, 0.1, rng=rng)
+        with pytest.raises(SimulationError):
+            birth_death_tree(5, 0.0, 0.1, rng=rng)
+        with pytest.raises(SimulationError):
+            birth_death_tree(5, 1.0, -0.1, rng=rng)
+
+
+class TestCoalescent:
+    def test_leaf_count(self, rng):
+        assert coalescent_tree(18, rng=rng).n_leaves() == 18
+
+    def test_strictly_binary(self, rng):
+        tree = coalescent_tree(12, rng=rng)
+        for node in tree.preorder():
+            assert node.is_leaf or len(node.children) == 2
+
+    def test_ultrametric(self, rng):
+        distances = leaf_root_distances(coalescent_tree(15, rng=rng))
+        assert max(distances) - min(distances) < 1e-9
+
+    def test_larger_population_means_deeper_tree(self):
+        small = coalescent_tree(20, 1.0, rng=np.random.default_rng(2))
+        large = coalescent_tree(20, 100.0, rng=np.random.default_rng(2))
+        assert (
+            max(leaf_root_distances(large)) > max(leaf_root_distances(small))
+        )
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(SimulationError):
+            coalescent_tree(1, rng=rng)
+        with pytest.raises(SimulationError):
+            coalescent_tree(5, population_size=0.0, rng=rng)
+
+
+class TestDepthScaling:
+    def test_yule_depth_grows_with_size(self):
+        """Simulation trees get deep — the paper's §1 motivation."""
+        rng = np.random.default_rng(3)
+        small = yule_tree(16, rng=rng).max_depth()
+        large = yule_tree(512, rng=rng).max_depth()
+        assert large > small

@@ -1,0 +1,104 @@
+"""Unit tests for bootstrap support analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmark.bootstrap import (
+    bootstrap_support,
+    resample_columns,
+    support_versus_truth,
+)
+from repro.benchmark.manager import ALL_ALGORITHMS
+from repro.benchmark.metrics import clusters
+from repro.errors import QueryError
+from repro.simulation.birth_death import yule_tree
+from repro.simulation.models import jc69
+from repro.simulation.seqgen import evolve_sequences
+
+
+class TestResampleColumns:
+    def test_preserves_shape(self, rng):
+        sequences = {"a": "ACGT", "b": "TGCA"}
+        resampled = resample_columns(sequences, rng)
+        assert set(resampled) == {"a", "b"}
+        assert all(len(sequence) == 4 for sequence in resampled.values())
+
+    def test_columns_stay_aligned(self, rng):
+        """Resampling permutes/repeats columns but never mixes rows: at
+        every output position the (a,b) pair must be one of the input
+        column pairs."""
+        sequences = {"a": "AACC", "b": "GGTT"}
+        input_pairs = set(zip(sequences["a"], sequences["b"]))
+        resampled = resample_columns(sequences, rng)
+        output_pairs = set(zip(resampled["a"], resampled["b"]))
+        assert output_pairs <= input_pairs
+
+    def test_varies_across_draws(self):
+        rng = np.random.default_rng(1)
+        sequences = {"a": "ACGTACGTACGTACGT"}
+        draws = {resample_columns(sequences, rng)["a"] for _ in range(10)}
+        assert len(draws) > 1
+
+    def test_empty_raises(self, rng):
+        with pytest.raises(QueryError):
+            resample_columns({}, rng)
+
+    def test_misaligned_raises(self, rng):
+        with pytest.raises(QueryError):
+            resample_columns({"a": "ACG", "b": "AC"}, rng)
+
+
+class TestBootstrapSupport:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        rng = np.random.default_rng(2)
+        truth = yule_tree(8, rng=rng)
+        sequences = evolve_sequences(truth, jc69(), 800, rng=rng, scale=0.3)
+        result = bootstrap_support(
+            sequences, ALL_ALGORITHMS["nj-jc69"], n_replicates=30, rng=rng
+        )
+        return truth, sequences, result
+
+    def test_replicate_count(self, analysis):
+        _truth, _sequences, result = analysis
+        assert len(result.replicates) == 30
+
+    def test_supports_in_unit_interval(self, analysis):
+        _truth, _sequences, result = analysis
+        assert result.support
+        for value in result.support.values():
+            assert 0.5 < value <= 1.0  # majority threshold
+
+    def test_consensus_leafset(self, analysis):
+        _truth, sequences, result = analysis
+        assert set(result.consensus.leaf_names()) == set(sequences)
+
+    def test_strong_signal_gets_high_support(self, analysis):
+        """With 800 sites and moderate divergence, most true clusters
+        should be recovered with solid support."""
+        truth, _sequences, result = analysis
+        summary = support_versus_truth(result, truth)
+        assert summary["true_cluster_recall"] >= 0.5
+        assert summary["mean_support_true"] >= 0.6
+
+    def test_support_of_lookup(self, analysis):
+        truth, _sequences, result = analysis
+        some_cluster = next(iter(result.support))
+        assert result.support_of(set(some_cluster)) == result.support[some_cluster]
+        assert result.support_of({"nonexistent-taxon"}) == 0.0
+
+    def test_invalid_replicates(self, rng):
+        with pytest.raises(QueryError):
+            bootstrap_support({"a": "AC", "b": "AC"}, ALL_ALGORITHMS["nj-jc69"],
+                              n_replicates=0, rng=rng)
+
+    def test_support_versus_truth_fields(self, analysis):
+        truth, _sequences, result = analysis
+        summary = support_versus_truth(result, truth)
+        assert set(summary) == {
+            "mean_support_true",
+            "mean_support_false",
+            "true_cluster_recall",
+        }

@@ -1,0 +1,73 @@
+"""Unit tests for minimal spanning clade queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clade import clade_leaves, is_monophyletic, minimal_spanning_clade
+from repro.core.lca import LcaService
+from repro.errors import QueryError
+
+
+class TestMinimalSpanningClade:
+    def test_sibling_pair(self, fig1):
+        nodes = minimal_spanning_clade(fig1, ["Lla", "Spy"])
+        assert {node.name for node in nodes} == {"x", "Lla", "Spy"}
+
+    def test_cross_subtree_pair(self, fig1):
+        nodes = minimal_spanning_clade(fig1, ["Lla", "Bha"])
+        assert {node.name for node in nodes} == {"A", "x", "Lla", "Spy", "Bha"}
+
+    def test_whole_tree(self, fig1):
+        nodes = minimal_spanning_clade(fig1, ["Syn", "Bsu"])
+        assert len(nodes) == fig1.size()
+
+    def test_single_leaf(self, fig1):
+        nodes = minimal_spanning_clade(fig1, ["Lla"])
+        assert [node.name for node in nodes] == ["Lla"]
+
+    def test_interior_name_allowed(self, fig1):
+        nodes = minimal_spanning_clade(fig1, ["x", "Bha"])
+        assert {node.name for node in nodes} == {"A", "x", "Lla", "Spy", "Bha"}
+
+    def test_preorder_output(self, fig1):
+        nodes = minimal_spanning_clade(fig1, ["Lla", "Bha"])
+        ranks = [fig1.preorder_rank(node) for node in nodes]
+        assert ranks == sorted(ranks)
+
+    def test_empty_raises(self, fig1):
+        with pytest.raises(QueryError):
+            minimal_spanning_clade(fig1, [])
+
+    def test_unknown_name_raises(self, fig1):
+        with pytest.raises(QueryError):
+            minimal_spanning_clade(fig1, ["ghost"])
+
+    @pytest.mark.parametrize("strategy", ["naive", "dewey", "layered"])
+    def test_any_strategy(self, fig1, strategy):
+        service = LcaService(fig1, strategy)
+        nodes = minimal_spanning_clade(fig1, ["Lla", "Spy"], service)
+        assert {node.name for node in nodes} == {"x", "Lla", "Spy"}
+
+
+class TestCladeLeaves:
+    def test_leaves_only(self, fig1):
+        assert set(clade_leaves(fig1, ["Lla", "Bha"])) == {"Lla", "Spy", "Bha"}
+
+
+class TestMonophyly:
+    def test_true_clade(self, fig1):
+        assert is_monophyletic(fig1, ["Lla", "Spy"])
+
+    def test_clade_with_implied_members(self, fig1):
+        assert is_monophyletic(fig1, ["Lla", "Spy", "Bha"])
+
+    def test_not_a_clade(self, fig1):
+        assert not is_monophyletic(fig1, ["Lla", "Bha"])  # Spy missing
+
+    def test_all_leaves_are_monophyletic(self, fig1):
+        assert is_monophyletic(fig1, fig1.leaf_names())
+
+    def test_empty_raises(self, fig1):
+        with pytest.raises(QueryError):
+            is_monophyletic(fig1, [])

@@ -1,0 +1,251 @@
+"""End-to-end tests of the ``crimson`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+NEXUS = """#NEXUS
+BEGIN CHARACTERS;
+    FORMAT DATATYPE=DNA;
+    MATRIX
+        a ACGTACGT
+        b ACGTACGA
+        c ACCTACGT
+        d GCGTACGT
+    ;
+END;
+BEGIN TREES;
+    TREE demo = ((a:1,b:1):0.5,(c:1,d:1):0.5);
+END;
+"""
+
+
+@pytest.fixture
+def dbpath(tmp_path):
+    return str(tmp_path / "cli.db")
+
+
+def run(dbpath, *args, seed=None):
+    argv = ["--db", dbpath]
+    if seed is not None:
+        argv += ["--seed", str(seed)]
+    return main(argv + [str(a) for a in args])
+
+
+@pytest.fixture
+def loaded(dbpath, tmp_path):
+    path = tmp_path / "demo.nex"
+    path.write_text(NEXUS)
+    assert run(dbpath, "load", path) == 0
+    return dbpath
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in (
+            ["list"],
+            ["info", "t"],
+            ["lca", "t", "a", "b"],
+            ["benchmark", "t", "-k", "5"],
+            ["simulate", "--name", "x"],
+        ):
+            assert parser.parse_args(command).command == command[0]
+
+
+class TestLoadAndCatalogue:
+    def test_load_and_list(self, loaded, capsys):
+        assert run(loaded, "list") == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_info(self, loaded, capsys):
+        assert run(loaded, "info", "demo") == 0
+        output = capsys.readouterr().out
+        assert "leaves:" in output
+        assert "species rows" in output
+
+    def test_load_newick(self, dbpath, tmp_path, capsys):
+        path = tmp_path / "t.nwk"
+        path.write_text("(a:1,b:2);")
+        assert run(dbpath, "load", path, "--format", "newick") == 0
+
+    def test_delete(self, loaded, capsys):
+        assert run(loaded, "delete", "demo") == 0
+        run(loaded, "list")
+        assert "no trees stored" in capsys.readouterr().out
+
+    def test_error_on_unknown_tree(self, dbpath, capsys):
+        assert run(dbpath, "info", "ghost") == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_append_species(self, loaded, tmp_path, capsys):
+        matrix = tmp_path / "chars.nex"
+        matrix.write_text(NEXUS)
+        assert run(loaded, "append-species", "demo", matrix, "--replace") == 0
+
+
+class TestQueries:
+    def test_lca(self, loaded, capsys):
+        assert run(loaded, "lca", "demo", "a", "b") == 0
+        assert "LCA:" in capsys.readouterr().out
+
+    def test_clade(self, loaded, capsys):
+        assert run(loaded, "clade", "demo", "a", "b") == 0
+        output = capsys.readouterr().out
+        assert "leaf" in output
+
+    def test_frontier(self, loaded, capsys):
+        assert run(loaded, "frontier", "demo", "--time", "0.7") == 0
+        output = capsys.readouterr().out
+        assert "dist=" in output
+
+    def test_sample(self, loaded, capsys):
+        assert run(loaded, "sample", "demo", "-k", "2", seed=1) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+
+    def test_sample_time(self, loaded, capsys):
+        assert (
+            run(loaded, "sample", "demo", "-k", "2", "--method", "time",
+                "--time", "0.7", seed=1)
+            == 0
+        )
+
+    def test_project_explicit(self, loaded, capsys):
+        assert run(loaded, "project", "demo", "--taxa", "a", "b", "c") == 0
+        assert capsys.readouterr().out.strip().endswith(";")
+
+    def test_project_random(self, loaded, capsys):
+        assert run(loaded, "project", "demo", "-k", "2", seed=3) == 0
+
+    def test_match_success_exit_code(self, loaded, capsys):
+        assert run(loaded, "match", "demo", "((a,b),(c,d));") == 0
+        assert "matched:    True" in capsys.readouterr().out
+
+    def test_match_failure_exit_code(self, loaded, capsys):
+        assert run(loaded, "match", "demo", "((a,c),(b,d));") == 1
+
+    def test_history_records_queries(self, loaded, capsys):
+        run(loaded, "lca", "demo", "a", "b")
+        run(loaded, "history")
+        assert "lca" in capsys.readouterr().out
+
+
+class TestViewAndExport:
+    @pytest.mark.parametrize(
+        "fmt,needle",
+        [
+            ("ascii", "└──"),
+            ("phylogram", "|"),
+            ("newick", ";"),
+            ("nexus", "#NEXUS"),
+            ("walrus", "walrus-json"),
+        ],
+    )
+    def test_view_formats(self, loaded, capsys, fmt, needle):
+        assert run(loaded, "view", "demo", "--format", fmt) == 0
+        assert needle in capsys.readouterr().out
+
+    def test_export_walrus(self, loaded, tmp_path, capsys):
+        out = tmp_path / "demo.json"
+        assert run(loaded, "export", "demo", out, "--format", "walrus") == 0
+        document = json.loads(out.read_text())
+        assert document["n_nodes"] == 7
+
+
+class TestSimulateAndBenchmark:
+    def test_simulate_structure_only(self, dbpath, capsys):
+        assert (
+            run(dbpath, "simulate", "--name", "sim", "--leaves", "20", seed=5)
+            == 0
+        )
+        run(dbpath, "info", "sim")
+        assert "leaves:      20" in capsys.readouterr().out
+
+    def test_simulate_with_sequences_and_benchmark(self, dbpath, capsys):
+        assert (
+            run(
+                dbpath, "simulate", "--name", "sim", "--leaves", "30",
+                "--seq-length", "200", "--subst-model", "hky85", seed=6,
+            )
+            == 0
+        )
+        assert (
+            run(
+                dbpath, "benchmark", "sim", "-k", "8", "--trials", "1",
+                "--algorithms", "nj-jc69", "random", seed=7,
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "nj-jc69" in output
+        assert "random" in output
+
+    def test_simulate_birth_death(self, dbpath, capsys):
+        assert (
+            run(
+                dbpath, "simulate", "--name", "bd", "--model", "birth-death",
+                "--leaves", "15", "--death", "0.2", seed=8,
+            )
+            == 0
+        )
+
+    def test_simulate_coalescent(self, dbpath, capsys):
+        assert (
+            run(
+                dbpath, "simulate", "--name", "co", "--model", "coalescent",
+                "--leaves", "12", seed=9,
+            )
+            == 0
+        )
+
+
+class TestBootstrapCommand:
+    def test_bootstrap_end_to_end(self, dbpath, capsys):
+        assert (
+            run(
+                dbpath, "simulate", "--name", "sim", "--leaves", "25",
+                "--seq-length", "300", seed=11,
+            )
+            == 0
+        )
+        assert (
+            run(
+                dbpath, "bootstrap", "sim", "-k", "6",
+                "--replicates", "20", "--algorithm", "nj-jc69", seed=12,
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "replicates" in output
+        assert "mean support" in output
+
+    def test_bootstrap_without_species_data_fails(self, loaded, capsys):
+        # The 'demo' fixture tree has species data, so delete it first.
+        from repro.storage.database import CrimsonDatabase
+        from repro.storage.species_repository import SpeciesRepository
+        from repro.storage.tree_repository import TreeRepository
+
+        with CrimsonDatabase(loaded) as db:
+            repo = TreeRepository(db)
+            species = SpeciesRepository(db)
+            species.delete_for_tree(repo.open("demo"))
+        assert run(loaded, "bootstrap", "demo", "-k", "3", seed=1) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bootstrap_recorded_in_history(self, dbpath, capsys):
+        run(dbpath, "simulate", "--name", "sim", "--leaves", "20",
+            "--seq-length", "200", seed=13)
+        run(dbpath, "bootstrap", "sim", "-k", "5", "--replicates", "10",
+            seed=14)
+        capsys.readouterr()
+        run(dbpath, "history")
+        assert "bootstrap" in capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Unit tests for connection management and schema creation."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.database import CrimsonDatabase
+from repro.storage.schema import SCHEMA_VERSION
+
+
+class TestLifecycle:
+    def test_in_memory_default(self):
+        db = CrimsonDatabase()
+        assert db.path == ":memory:"
+        assert not db.is_closed
+        db.close()
+
+    def test_close_is_idempotent(self):
+        db = CrimsonDatabase()
+        db.close()
+        db.close()
+        assert db.is_closed
+
+    def test_use_after_close_raises(self):
+        db = CrimsonDatabase()
+        db.close()
+        with pytest.raises(StorageError):
+            db.execute("SELECT 1")
+
+    def test_context_manager_closes(self):
+        with CrimsonDatabase() as db:
+            db.execute("SELECT 1")
+        assert db.is_closed
+
+    def test_file_database(self, tmp_path):
+        path = tmp_path / "crimson.db"
+        with CrimsonDatabase(path) as db:
+            assert db.query_one("SELECT 1 AS one")["one"] == 1
+        assert path.exists()
+
+    def test_file_database_persists(self, tmp_path):
+        path = tmp_path / "crimson.db"
+        with CrimsonDatabase(path) as db:
+            db.execute(
+                "INSERT INTO query_history (issued_at, operation, params_json) "
+                "VALUES ('now', 'test', '{}')"
+            )
+            db.connection.commit()
+        with CrimsonDatabase(path) as db:
+            row = db.query_one("SELECT COUNT(*) AS n FROM query_history")
+            assert row["n"] == 1
+
+    def test_repr_states(self):
+        db = CrimsonDatabase()
+        assert "open" in repr(db)
+        db.close()
+        assert "closed" in repr(db)
+
+
+class TestSchema:
+    EXPECTED_TABLES = {
+        "meta",
+        "trees",
+        "nodes",
+        "blocks",
+        "inodes",
+        "species",
+        "query_history",
+    }
+
+    def test_all_tables_created(self, db):
+        rows = db.query_all(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        )
+        names = {row["name"] for row in rows}
+        assert self.EXPECTED_TABLES <= names
+
+    def test_schema_version_recorded(self, db):
+        row = db.query_one("SELECT value FROM meta WHERE key = 'schema_version'")
+        assert row["value"] == str(SCHEMA_VERSION)
+
+    def test_schema_creation_idempotent(self, db):
+        from repro.storage.schema import create_schema
+
+        create_schema(db.connection)  # second run must not fail
+
+    def test_tree_name_unique(self, db):
+        db.execute(
+            "INSERT INTO trees (name, n_nodes, n_leaves, max_depth, f, "
+            "n_layers, n_blocks, created_at) VALUES "
+            "('t', 1, 1, 0, 8, 1, 1, 'now')"
+        )
+        with pytest.raises(sqlite3.IntegrityError):
+            db.execute(
+                "INSERT INTO trees (name, n_nodes, n_leaves, max_depth, f, "
+                "n_layers, n_blocks, created_at) VALUES "
+                "('t', 1, 1, 0, 8, 1, 1, 'now')"
+            )
+
+    def test_expected_indexes_exist(self, db):
+        rows = db.query_all(
+            "SELECT name FROM sqlite_master WHERE type = 'index'"
+        )
+        names = {row["name"] for row in rows}
+        assert "idx_nodes_name" in names
+        assert "idx_inodes_label" in names
+        assert "idx_nodes_dist" in names
+
+
+class TestTransactions:
+    def test_commit_on_success(self, db):
+        with db.transaction() as connection:
+            connection.execute(
+                "INSERT INTO query_history (issued_at, operation, params_json) "
+                "VALUES ('now', 'op', '{}')"
+            )
+        row = db.query_one("SELECT COUNT(*) AS n FROM query_history")
+        assert row["n"] == 1
+
+    def test_rollback_on_error(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction() as connection:
+                connection.execute(
+                    "INSERT INTO query_history (issued_at, operation, params_json) "
+                    "VALUES ('now', 'op', '{}')"
+                )
+                raise RuntimeError("boom")
+        row = db.query_one("SELECT COUNT(*) AS n FROM query_history")
+        assert row["n"] == 0

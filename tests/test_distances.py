@@ -1,0 +1,165 @@
+"""Unit tests for distance computations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ReconstructionError
+from repro.reconstruction.distances import (
+    DistanceMatrix,
+    SATURATION_CAP,
+    distance_matrix,
+    jc69_distance,
+    k2p_distance,
+    p_distance,
+    tree_distance_matrix,
+)
+from repro.trees.build import sample_tree
+
+
+class TestPDistance:
+    def test_identical(self):
+        assert p_distance("ACGT", "ACGT") == 0.0
+
+    def test_all_different(self):
+        assert p_distance("AAAA", "CCCC") == 1.0
+
+    def test_half(self):
+        assert p_distance("AACC", "AATT") == 0.5
+
+    def test_unequal_lengths_raise(self):
+        with pytest.raises(ReconstructionError):
+            p_distance("ACG", "AC")
+
+    def test_empty_raises(self):
+        with pytest.raises(ReconstructionError):
+            p_distance("", "")
+
+
+class TestJc69Correction:
+    def test_zero_for_identical(self):
+        assert jc69_distance("ACGT", "ACGT") == 0.0
+
+    def test_formula(self):
+        p = 0.25
+        sequence_a = "A" * 75 + "C" * 25
+        sequence_b = "A" * 75 + "G" * 25
+        expected = -0.75 * math.log(1 - 4 * p / 3)
+        assert jc69_distance(sequence_a, sequence_b) == pytest.approx(expected)
+
+    def test_correction_exceeds_p(self):
+        sequence_a = "A" * 80 + "C" * 20
+        sequence_b = "A" * 80 + "G" * 20
+        assert jc69_distance(sequence_a, sequence_b) > p_distance(
+            sequence_a, sequence_b
+        )
+
+    def test_saturation_capped(self):
+        assert jc69_distance("AAAA", "CCCC") == SATURATION_CAP
+
+
+class TestK2pCorrection:
+    def test_zero_for_identical(self):
+        assert k2p_distance("ACGT", "ACGT") == 0.0
+
+    def test_pure_transitions_formula(self):
+        # 20% transitions (A<->G), no transversions.
+        sequence_a = "A" * 100
+        sequence_b = "G" * 20 + "A" * 80
+        p, q = 0.2, 0.0
+        expected = -0.5 * math.log((1 - 2 * p - q) * math.sqrt(1 - 2 * q))
+        assert k2p_distance(sequence_a, sequence_b) == pytest.approx(expected)
+
+    def test_equals_jc_for_balanced_changes(self):
+        """With transitions:transversions in 1:2 ratio (the JC regime),
+        K2P and JC agree closely."""
+        sequence_a = "A" * 300
+        sequence_b = "G" * 20 + "C" * 20 + "T" * 20 + "A" * 240
+        assert k2p_distance(sequence_a, sequence_b) == pytest.approx(
+            jc69_distance(sequence_a, sequence_b), rel=0.02
+        )
+
+    def test_saturation_capped(self):
+        assert k2p_distance("AAAA", "GGGG") == SATURATION_CAP
+
+
+class TestDistanceMatrix:
+    def test_validation_rejects_asymmetry(self):
+        with pytest.raises(ReconstructionError):
+            DistanceMatrix(["a", "b"], np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_validation_rejects_nonzero_diagonal(self):
+        with pytest.raises(ReconstructionError):
+            DistanceMatrix(["a", "b"], np.array([[1.0, 1.0], [1.0, 0.0]]))
+
+    def test_validation_rejects_negative(self):
+        with pytest.raises(ReconstructionError):
+            DistanceMatrix(["a", "b"], np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_validation_rejects_shape_mismatch(self):
+        with pytest.raises(ReconstructionError):
+            DistanceMatrix(["a", "b", "c"], np.zeros((2, 2)))
+
+    def test_get_by_name(self):
+        matrix = DistanceMatrix(
+            ["a", "b"], np.array([[0.0, 2.5], [2.5, 0.0]])
+        )
+        assert matrix.get("a", "b") == 2.5
+
+    def test_submatrix(self):
+        values = np.array(
+            [[0.0, 1.0, 2.0], [1.0, 0.0, 3.0], [2.0, 3.0, 0.0]]
+        )
+        matrix = DistanceMatrix(["a", "b", "c"], values)
+        sub = matrix.submatrix(["c", "a"])
+        assert sub.names == ["c", "a"]
+        assert sub.get("c", "a") == 2.0
+
+    def test_submatrix_unknown_raises(self):
+        matrix = DistanceMatrix(["a", "b"], np.zeros((2, 2)))
+        with pytest.raises(ReconstructionError):
+            matrix.submatrix(["a", "ghost"])
+
+
+class TestMatrixConstruction:
+    SEQUENCES = {"a": "AAAA", "b": "AAAC", "c": "AACC"}
+
+    def test_p_matrix(self):
+        matrix = distance_matrix(self.SEQUENCES, "p")
+        assert matrix.get("a", "b") == 0.25
+        assert matrix.get("a", "c") == 0.5
+
+    def test_unknown_correction(self):
+        with pytest.raises(ReconstructionError):
+            distance_matrix(self.SEQUENCES, "hamming")
+
+    def test_single_taxon_raises(self):
+        with pytest.raises(ReconstructionError):
+            distance_matrix({"a": "ACGT"})
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ReconstructionError):
+            distance_matrix({"a": "ACGT", "b": "AC"})
+
+
+class TestTreeDistanceMatrix:
+    def test_fig1_path_lengths(self):
+        matrix = tree_distance_matrix(sample_tree())
+        assert matrix.get("Lla", "Spy") == pytest.approx(2.0)
+        assert matrix.get("Lla", "Bha") == pytest.approx(1.5 + 1.5)
+        assert matrix.get("Syn", "Bsu") == pytest.approx(2.5 + 1.25)
+        assert matrix.get("Lla", "Syn") == pytest.approx(2.25 + 2.5)
+
+    def test_metric_axioms(self):
+        matrix = tree_distance_matrix(sample_tree())
+        n = matrix.n
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert (
+                        matrix.values[i, j]
+                        <= matrix.values[i, k] + matrix.values[k, j] + 1e-9
+                    )

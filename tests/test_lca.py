@@ -1,0 +1,51 @@
+"""Unit tests for the unified LCA service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lca import DEFAULT_LABEL_BOUND, LcaService
+from repro.errors import QueryError
+from repro.trees.traversal import naive_lca
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", ["naive", "dewey", "layered"])
+    def test_all_strategies_agree(self, fig1, strategy):
+        service = LcaService(fig1, strategy)
+        nodes = list(fig1.preorder())
+        for a in nodes:
+            for b in nodes:
+                assert service.lca(a, b) is naive_lca(a, b)
+
+    def test_unknown_strategy_raises(self, fig1):
+        with pytest.raises(QueryError):
+            LcaService(fig1, "magic")  # type: ignore[arg-type]
+
+    @pytest.mark.parametrize("strategy", ["naive", "dewey", "layered"])
+    def test_lca_many(self, fig1, strategy):
+        service = LcaService(fig1, strategy)
+        anchor = service.lca_many([fig1.find("Lla"), fig1.find("Bha")])
+        assert anchor is fig1.find("A")
+
+    @pytest.mark.parametrize("strategy", ["naive", "dewey", "layered"])
+    def test_lca_many_empty(self, fig1, strategy):
+        with pytest.raises(QueryError):
+            LcaService(fig1, strategy).lca_many([])
+
+    @pytest.mark.parametrize("strategy", ["naive", "dewey", "layered"])
+    def test_ancestor_test(self, fig1, strategy):
+        service = LcaService(fig1, strategy)
+        assert service.is_ancestor_or_self(fig1.find("x"), fig1.find("Spy"))
+        assert not service.is_ancestor_or_self(fig1.find("Bha"), fig1.find("Spy"))
+
+    def test_custom_label_bound(self, fig1):
+        service = LcaService(fig1, "layered", f=2)
+        assert service._layered is not None
+        assert service._layered.f == 2
+
+    def test_default_bound_sane(self):
+        assert 2 <= DEFAULT_LABEL_BOUND <= 64
+
+    def test_repr(self, fig1):
+        assert "layered" in repr(LcaService(fig1))

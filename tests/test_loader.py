@@ -1,0 +1,142 @@
+"""Unit tests for the Data Loader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError, StorageError, TreeStructureError
+from repro.storage.loader import DataLoader
+from repro.storage.species_repository import SpeciesRepository
+
+NEXUS_WITH_DATA = """#NEXUS
+BEGIN TAXA;
+    TAXLABELS a b c d;
+END;
+BEGIN CHARACTERS;
+    FORMAT DATATYPE=DNA;
+    MATRIX
+        a ACGT
+        b ACGA
+        c ACCT
+        d GCGT
+    ;
+END;
+BEGIN TREES;
+    TREE demo = ((a:1,b:1):0.5,(c:1,d:1):0.5);
+END;
+"""
+
+NEXUS_TREES_ONLY = """#NEXUS
+BEGIN TREES;
+    TREE first = (a:1,b:1);
+    TREE second = ((a:1,b:1):1,c:1);
+END;
+"""
+
+
+@pytest.fixture
+def loader(db):
+    return DataLoader(db)
+
+
+class TestNexusLoading:
+    def test_load_with_species_data(self, db, loader):
+        handles = loader.load_nexus_text(NEXUS_WITH_DATA)
+        assert len(handles) == 1
+        assert handles[0].info.name == "demo"
+        species = SpeciesRepository(db)
+        assert species.count(handles[0]) == 4
+        assert species.sequence_of(handles[0], "c") == "ACCT"
+
+    def test_structure_only_skips_matrix(self, db, loader):
+        handles = loader.load_nexus_text(NEXUS_WITH_DATA, structure_only=True)
+        assert SpeciesRepository(db).count(handles[0]) == 0
+
+    def test_name_override(self, loader):
+        handles = loader.load_nexus_text(NEXUS_WITH_DATA, name="gold")
+        assert handles[0].info.name == "gold"
+
+    def test_multiple_trees_get_suffixed_names(self, loader):
+        handles = loader.load_nexus_text(NEXUS_TREES_ONLY, name="batch")
+        assert [h.info.name for h in handles] == ["batch-first", "batch-second"]
+
+    def test_multiple_trees_default_names(self, loader):
+        handles = loader.load_nexus_text(NEXUS_TREES_ONLY)
+        assert [h.info.name for h in handles] == ["first", "second"]
+
+    def test_no_trees_raises(self, loader):
+        with pytest.raises(ParseError):
+            loader.load_nexus_text("#NEXUS\nBEGIN TAXA;\nTAXLABELS a;\nEND;\n")
+
+    def test_duplicate_name_raises(self, loader):
+        loader.load_nexus_text(NEXUS_WITH_DATA)
+        with pytest.raises(StorageError):
+            loader.load_nexus_text(NEXUS_WITH_DATA)
+
+    def test_matrix_rows_for_unknown_taxa_skipped(self, db, loader):
+        text = NEXUS_WITH_DATA.replace("        d GCGT", "        zz GCGT")
+        messages = []
+        reporting = DataLoader(db, report=messages.append)
+        handles = reporting.load_nexus_text(text)
+        assert SpeciesRepository(db).count(handles[0]) == 3
+        assert any("skipped" in message for message in messages)
+
+    def test_load_nexus_file(self, tmp_path, loader):
+        path = tmp_path / "input.nex"
+        path.write_text(NEXUS_WITH_DATA)
+        handles = loader.load_nexus_file(path)
+        assert handles[0].info.name == "input"
+
+
+class TestNewickLoading:
+    def test_load_newick_text(self, loader):
+        handle = loader.load_newick_text("((a:1,b:1):1,c:2);", name="nwk")
+        assert handle.info.n_leaves == 3
+
+    def test_load_newick_file(self, tmp_path, loader):
+        path = tmp_path / "tree.nwk"
+        path.write_text("(a:1,b:1);")
+        handle = loader.load_newick_file(path)
+        assert handle.info.name == "tree"
+
+    def test_unnamed_leaves_rejected(self, loader):
+        with pytest.raises(TreeStructureError):
+            loader.load_newick_text("((,a:1):1,b:1);", name="bad")
+
+
+class TestInMemoryLoading:
+    def test_load_tree_with_sequences(self, db, loader, fig1):
+        sequences = {name: "ACGT" for name in fig1.leaf_names()}
+        handle = loader.load_tree(fig1, sequences=sequences)
+        assert SpeciesRepository(db).count(handle) == 5
+
+    def test_report_callback_receives_status(self, db, fig1):
+        messages = []
+        loader = DataLoader(db, report=messages.append)
+        loader.load_tree(fig1)
+        assert any("structure only" in message for message in messages)
+
+
+class TestAppendSpecies:
+    def test_append_to_existing(self, db, loader):
+        loader.load_nexus_text(NEXUS_WITH_DATA, structure_only=True)
+        count = loader.append_species_nexus("demo", NEXUS_WITH_DATA)
+        assert count == 4
+        handle = loader.trees.open("demo")
+        assert SpeciesRepository(db).count(handle) == 4
+
+    def test_append_without_matrix_raises(self, loader):
+        loader.load_nexus_text(NEXUS_WITH_DATA, structure_only=True)
+        with pytest.raises(ParseError):
+            loader.append_species_nexus("demo", NEXUS_TREES_ONLY)
+
+    def test_append_to_unknown_tree_raises(self, loader):
+        with pytest.raises(StorageError):
+            loader.append_species_nexus("ghost", NEXUS_WITH_DATA)
+
+    def test_append_conflict_needs_replace(self, loader):
+        loader.load_nexus_text(NEXUS_WITH_DATA)
+        with pytest.raises(StorageError):
+            loader.append_species_nexus("demo", NEXUS_WITH_DATA)
+        count = loader.append_species_nexus("demo", NEXUS_WITH_DATA, replace=True)
+        assert count == 4

@@ -1,0 +1,174 @@
+"""Unit tests for tree comparison metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmark.metrics import (
+    bipartitions,
+    branch_score_distance,
+    clusters,
+    compare_splits,
+    normalized_rf,
+    robinson_foulds,
+    same_topology,
+    triplet_distance,
+)
+from repro.errors import QueryError
+from repro.reconstruction.random_tree import random_topology
+from repro.simulation.birth_death import yule_tree
+from repro.trees.newick import parse_newick
+
+
+class TestClustersAndSplits:
+    def test_clusters_fig1(self, fig1):
+        result = clusters(fig1)
+        assert frozenset({"Lla", "Spy"}) in result
+        assert frozenset({"Lla", "Spy", "Bha"}) in result
+        assert len(result) == 2  # A and x only (root is trivial)
+
+    def test_clusters_with_trivial(self, fig1):
+        result = clusters(fig1, include_trivial=True)
+        assert frozenset({"Syn"}) in result
+        assert frozenset(fig1.leaf_names()) in result
+
+    def test_bipartitions_normalized(self):
+        tree = parse_newick("((a,b),(c,d),e);")
+        splits = bipartitions(tree)
+        # Sides not containing 'a' (the smallest name).
+        assert splits == {frozenset({"c", "d"})} | {
+            frozenset({"c", "d", "e"})
+        }
+
+    def test_duplicate_leaves_raise(self):
+        tree = parse_newick("((a,a),b);")
+        with pytest.raises(QueryError):
+            bipartitions(tree)
+
+    def test_star_has_no_splits(self):
+        tree = parse_newick("(a,b,c,d);")
+        assert bipartitions(tree) == set()
+
+
+class TestRobinsonFoulds:
+    def test_identity(self, fig1):
+        assert robinson_foulds(fig1, fig1.copy()) == 0
+
+    def test_symmetry(self):
+        a = parse_newick("((a,b),(c,d),e);")
+        b = parse_newick("((a,c),(b,d),e);")
+        assert robinson_foulds(a, b) == robinson_foulds(b, a)
+
+    def test_known_distance(self):
+        a = parse_newick("((a,b),(c,d));")
+        b = parse_newick("((a,c),(b,d));")
+        assert robinson_foulds(a, b) == 2  # each tree's one split unshared
+
+    def test_rooting_invisible_to_unrooted_rf(self):
+        a = parse_newick("((a,b),(c,d));")
+        b = parse_newick("(((c,d),a),b);")
+        assert robinson_foulds(a, b) == 0
+
+    def test_different_leafsets_raise(self):
+        a = parse_newick("(a,b);")
+        b = parse_newick("(a,c);")
+        with pytest.raises(QueryError):
+            robinson_foulds(a, b)
+
+    def test_normalized_bounds(self, rng):
+        truth = yule_tree(20, rng=rng)
+        noise = random_topology(truth.leaf_names(), rng)
+        value = normalized_rf(truth, noise)
+        assert 0.0 <= value <= 1.0
+
+    def test_normalized_zero_is_identity(self, fig1):
+        assert normalized_rf(fig1, fig1.copy()) == 0.0
+
+    def test_fp_fn_decomposition(self):
+        reference = parse_newick("(((a,b),c),(d,e));")
+        estimate = parse_newick("(((a,c),b),(d,e));")
+        comparison = compare_splits(reference, estimate)
+        assert (
+            comparison.rf_distance
+            == comparison.false_positives + comparison.false_negatives
+        )
+        assert 0.0 <= comparison.false_positive_rate <= 1.0
+        assert 0.0 <= comparison.false_negative_rate <= 1.0
+
+    def test_unresolved_estimate_has_no_false_positives(self):
+        reference = parse_newick("((a,b),(c,d),e);")
+        star = parse_newick("(a,b,c,d,e);")
+        comparison = compare_splits(reference, star)
+        assert comparison.false_positives == 0
+        assert comparison.false_negatives == 2
+
+
+class TestBranchScore:
+    def test_identity_is_zero(self, fig1):
+        assert branch_score_distance(fig1, fig1.copy()) == 0.0
+
+    def test_pure_length_difference(self):
+        a = parse_newick("((a:1,b:1):1,(c:1,d:1):1);")
+        b = parse_newick("((a:1,b:1):2,(c:1,d:1):1);")
+        assert branch_score_distance(a, b) == pytest.approx(1.0)
+
+    def test_symmetry(self, rng):
+        first = yule_tree(10, rng=rng)
+        second = yule_tree(10, rng=rng)
+        assert branch_score_distance(first, second) == pytest.approx(
+            branch_score_distance(second, first)
+        )
+
+    def test_sensitive_where_rf_is_blind(self):
+        a = parse_newick("((a:1,b:1):1,(c:1,d:1):1);")
+        b = parse_newick("((a:3,b:1):1,(c:1,d:1):1);")
+        assert robinson_foulds(a, b) == 0
+        assert branch_score_distance(a, b) > 0
+
+
+class TestTripletDistance:
+    def test_identity(self, rng):
+        tree = yule_tree(8, rng=rng)
+        assert triplet_distance(tree, tree.copy()) == 0.0
+
+    def test_known_value(self):
+        a = parse_newick("((a,b),c);")
+        b = parse_newick("((a,c),b);")
+        assert triplet_distance(a, b) == 1.0  # the single triple differs
+
+    def test_range(self, rng):
+        truth = yule_tree(10, rng=rng)
+        noise = random_topology(truth.leaf_names(), rng)
+        assert 0.0 <= triplet_distance(truth, noise) <= 1.0
+
+    def test_sampled_estimate_close_to_exact(self):
+        rng = np.random.default_rng(3)
+        first = yule_tree(12, rng=rng)
+        second = random_topology(first.leaf_names(), rng)
+        exact = triplet_distance(first, second, max_triplets=None)
+        sampled = triplet_distance(first, second, max_triplets=150, rng=rng)
+        assert sampled == pytest.approx(exact, abs=0.2)
+
+    def test_detects_rooting_differences(self):
+        a = parse_newick("((a,b),(c,d));")
+        b = parse_newick("(((c,d),a),b);")
+        assert robinson_foulds(a, b) == 0  # unrooted-identical
+        assert triplet_distance(a, b) > 0  # rooted-different
+
+    def test_too_few_leaves_raise(self):
+        a = parse_newick("(a,b);")
+        with pytest.raises(QueryError):
+            triplet_distance(a, a.copy())
+
+
+class TestSameTopology:
+    def test_order_insensitive(self):
+        a = parse_newick("((a,b),c);")
+        b = parse_newick("(c,(b,a));")
+        assert same_topology(a, b)
+
+    def test_shape_sensitive(self):
+        a = parse_newick("((a,b),c);")
+        b = parse_newick("((a,c),b);")
+        assert not same_topology(a, b)

@@ -1,0 +1,144 @@
+"""Unit tests for substitution models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.models import (
+    ALPHABET,
+    SubstitutionModel,
+    f81,
+    gtr,
+    hky85,
+    jc69,
+    k80,
+    state_indices,
+    states_to_string,
+)
+
+ALL_MODELS = [
+    jc69(),
+    k80(2.0),
+    k80(5.0),
+    f81((0.4, 0.3, 0.2, 0.1)),
+    hky85(3.0, (0.35, 0.15, 0.2, 0.3)),
+    gtr((1.0, 2.0, 0.5, 0.8, 3.0, 1.2), (0.25, 0.3, 0.25, 0.2)),
+]
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        assert states_to_string(state_indices("ACGTGCA")) == "ACGTGCA"
+
+    def test_invalid_symbol(self):
+        with pytest.raises(SimulationError):
+            state_indices("ACGX")
+
+    def test_alphabet(self):
+        assert ALPHABET == "ACGT"
+
+
+class TestModelValidity:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_rows_of_q_sum_to_zero(self, model):
+        assert np.allclose(model.q.sum(axis=1), 0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_unit_substitution_rate(self, model):
+        rate = -(model.frequencies * np.diag(model.q)).sum()
+        assert rate == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    @pytest.mark.parametrize("t", [0.0, 0.01, 0.5, 2.0, 10.0])
+    def test_transition_matrix_is_stochastic(self, model, t):
+        matrix = model.transition_matrix(t)
+        assert np.all(matrix >= 0)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_identity_at_zero(self, model):
+        assert np.allclose(model.transition_matrix(0.0), np.eye(4), atol=1e-12)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_stationarity(self, model):
+        matrix = model.transition_matrix(1.3)
+        assert np.allclose(model.frequencies @ matrix, model.frequencies)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_chapman_kolmogorov(self, model):
+        """P(s+t) = P(s) P(t) — the defining semigroup property."""
+        first = model.transition_matrix(0.3)
+        second = model.transition_matrix(0.7)
+        combined = model.transition_matrix(1.0)
+        assert np.allclose(first @ second, combined, atol=1e-10)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_detailed_balance(self, model):
+        """Reversibility: π_i P_ij(t) = π_j P_ji(t)."""
+        matrix = model.transition_matrix(0.8)
+        flux = model.frequencies[:, np.newaxis] * matrix
+        assert np.allclose(flux, flux.T, atol=1e-10)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_long_time_limit_is_stationary(self, model):
+        matrix = model.transition_matrix(500.0)
+        for row in matrix:
+            assert np.allclose(row, model.frequencies, atol=1e-6)
+
+    def test_negative_time_raises(self):
+        with pytest.raises(SimulationError):
+            jc69().transition_matrix(-0.1)
+
+
+class TestJc69ClosedForm:
+    def test_matches_analytic_formula(self):
+        model = jc69()
+        t = 0.42
+        matrix = model.transition_matrix(t)
+        same = 0.25 + 0.75 * np.exp(-4.0 * t / 3.0)
+        diff = 0.25 - 0.25 * np.exp(-4.0 * t / 3.0)
+        expected = np.full((4, 4), diff)
+        np.fill_diagonal(expected, same)
+        assert np.allclose(matrix, expected, atol=1e-12)
+
+
+class TestK80Structure:
+    def test_transitions_exceed_transversions(self):
+        matrix = k80(5.0).transition_matrix(0.3)
+        # A->G (transition) must be more likely than A->C (transversion).
+        assert matrix[0, 2] > matrix[0, 1]
+        # C->T transition likewise.
+        assert matrix[1, 3] > matrix[1, 0]
+
+    def test_kappa_one_equals_jc(self):
+        assert np.allclose(
+            k80(1.0).transition_matrix(0.5),
+            jc69().transition_matrix(0.5),
+            atol=1e-12,
+        )
+
+
+class TestParameterValidation:
+    def test_bad_frequencies_rejected(self):
+        with pytest.raises(SimulationError):
+            f81((0.5, 0.5, 0.2, 0.2))  # sums to 1.4
+        with pytest.raises(SimulationError):
+            f81((1.0, 0.0, 0.0, 0.0))  # zero entries
+
+    def test_bad_kappa_rejected(self):
+        with pytest.raises(SimulationError):
+            k80(0.0)
+        with pytest.raises(SimulationError):
+            hky85(-1.0)
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(SimulationError):
+            SubstitutionModel((1, 1, 1, 1, 1, 0), (0.25, 0.25, 0.25, 0.25))
+
+    def test_stationary_sample_distribution(self):
+        model = f81((0.7, 0.1, 0.1, 0.1))
+        rng = np.random.default_rng(0)
+        draw = model.stationary_sample(20000, rng)
+        assert (draw == 0).mean() == pytest.approx(0.7, abs=0.02)

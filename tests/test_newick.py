@@ -1,0 +1,134 @@
+"""Unit tests for the Newick reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.trees.newick import parse_newick, write_newick
+from repro.trees.tree import PhyloTree
+
+
+class TestParseBasics:
+    def test_simple_binary(self):
+        tree = parse_newick("(a:1,b:2);")
+        assert set(tree.leaf_names()) == {"a", "b"}
+        assert tree.find("a").length == 1.0
+        assert tree.find("b").length == 2.0
+
+    def test_nested(self):
+        tree = parse_newick("((a:1,b:1):0.5,c:2);")
+        assert tree.max_depth() == 2
+        assert tree.root.children[0].length == 0.5
+
+    def test_interior_labels(self):
+        tree = parse_newick("((a,b)ab,c)root;")
+        assert tree.root.name == "root"
+        assert tree.find("ab").children
+
+    def test_multifurcation(self):
+        tree = parse_newick("(a,b,c,d);")
+        assert len(tree.root.children) == 4
+
+    def test_no_lengths(self):
+        tree = parse_newick("(a,b);")
+        assert tree.find("a").length == 0.0
+
+    def test_scientific_notation_length(self):
+        tree = parse_newick("(a:1e-3,b:2.5E2);")
+        assert tree.find("a").length == pytest.approx(1e-3)
+        assert tree.find("b").length == pytest.approx(250.0)
+
+    def test_single_node(self):
+        tree = parse_newick("lonely;")
+        assert tree.root.name == "lonely"
+        assert tree.size() == 1
+
+    def test_single_node_with_length(self):
+        tree = parse_newick("lonely:3.5;")
+        assert tree.root.name == "lonely"
+
+
+class TestQuotingAndComments:
+    def test_quoted_label(self):
+        tree = parse_newick("('Homo sapiens':1,b:1);")
+        assert "Homo sapiens" in tree
+
+    def test_quoted_label_with_escaped_quote(self):
+        tree = parse_newick("('it''s':1,b:1);")
+        assert "it's" in tree
+
+    def test_underscore_means_space_unquoted(self):
+        tree = parse_newick("(Homo_sapiens:1,b:1);")
+        assert "Homo sapiens" in tree
+
+    def test_comments_are_skipped(self):
+        tree = parse_newick("[&R] (a:1[a comment],b:1) [trailing];")
+        assert set(tree.leaf_names()) == {"a", "b"}
+
+    def test_metacharacters_survive_roundtrip(self):
+        tree = parse_newick("('we(ird)':1,'col:on':2);")
+        again = parse_newick(write_newick(tree))
+        assert set(again.leaf_names()) == {"we(ird)", "col:on"}
+
+    def test_underscore_name_roundtrip(self):
+        from repro.trees.node import Node
+
+        root = Node()
+        root.new_child("has_underscore", 1.0)
+        root.new_child("b", 1.0)
+        again = parse_newick(write_newick(PhyloTree(root)))
+        assert "has_underscore" in again
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "(a,b)",  # missing semicolon
+            "(a,(b,c);",  # unbalanced open
+            "(a,b));",  # unbalanced close
+            "a,b;",  # comma outside parens
+            "(a:1,b:bad);",  # invalid length
+            "(a,b); trailing",  # text after ;
+            "(a[unclosed,b);",  # unterminated comment
+            "('unclosed,b);",  # unterminated quote
+        ],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(ParseError):
+            parse_newick(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_newick("(a:1,b:xyz);")
+        assert excinfo.value.position is not None
+
+
+class TestWriter:
+    def test_roundtrip_fig1(self, fig1):
+        text = write_newick(fig1)
+        again = parse_newick(text)
+        assert again.equals(fig1)
+
+    def test_without_lengths(self, fig1):
+        text = write_newick(fig1, include_lengths=False)
+        assert ":" not in text
+
+    def test_child_order_preserved(self):
+        text = "(c:1.0,(b:1.0,a:1.0):1.0);"
+        assert write_newick(parse_newick(text)) == text
+
+    def test_deep_tree_roundtrip(self):
+        # A 5000-level ladder must serialize without recursion errors.
+        from repro.trees.build import caterpillar
+
+        tree = caterpillar(5000)
+        again = parse_newick(write_newick(tree))
+        assert again.n_leaves() == 5000
+        assert again.equals(tree)
+
+    def test_roundtrip_via_method(self, fig1):
+        assert PhyloTree.from_newick(fig1.to_newick()).equals(fig1)

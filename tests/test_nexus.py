@@ -1,0 +1,170 @@
+"""Unit tests for the NEXUS reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.trees.nexus import (
+    CharacterMatrix,
+    NexusDocument,
+    parse_nexus,
+    write_nexus,
+)
+
+FULL_DOCUMENT = """#NEXUS
+BEGIN TAXA;
+    DIMENSIONS NTAX=4;
+    TAXLABELS Bha Lla Syn Bsu;
+END;
+BEGIN CHARACTERS;
+    DIMENSIONS NTAX=4 NCHAR=8;
+    FORMAT DATATYPE=DNA MISSING=? GAP=-;
+    MATRIX
+        Bha ACGTACGT
+        Lla ACGTACGA
+        Syn ACCTACGT
+        Bsu ACGTTCGT
+    ;
+END;
+BEGIN TREES;
+    TRANSLATE 1 Bha, 2 Lla, 3 Syn, 4 Bsu;
+    TREE gold = ((1:1,2:1):0.5,(3:1,4:1):0.5);
+END;
+"""
+
+
+class TestParseBlocks:
+    def test_taxa(self):
+        document = parse_nexus(FULL_DOCUMENT)
+        assert document.taxa == ["Bha", "Lla", "Syn", "Bsu"]
+
+    def test_characters(self):
+        document = parse_nexus(FULL_DOCUMENT)
+        matrix = document.characters
+        assert matrix is not None
+        assert matrix.datatype == "DNA"
+        assert matrix.n_taxa == 4
+        assert matrix.n_chars == 8
+        assert matrix.rows["Lla"] == "ACGTACGA"
+
+    def test_tree_with_translate(self):
+        document = parse_nexus(FULL_DOCUMENT)
+        tree = document.tree("gold")
+        assert set(tree.leaf_names()) == {"Bha", "Lla", "Syn", "Bsu"}
+        assert tree.find("Bha").length == 1.0
+
+    def test_tree_lookup_missing(self):
+        document = parse_nexus(FULL_DOCUMENT)
+        with pytest.raises(ParseError):
+            document.tree("nope")
+
+    def test_data_block_alias(self):
+        text = FULL_DOCUMENT.replace("BEGIN CHARACTERS", "BEGIN DATA")
+        document = parse_nexus(text)
+        assert document.characters is not None
+        assert document.characters.n_chars == 8
+
+    def test_unknown_blocks_skipped(self):
+        text = (
+            "#NEXUS\nBEGIN ASSUMPTIONS;\n  USERTYPE foo = 1;\nEND;\n"
+            "BEGIN TREES;\n  TREE t = (a:1,b:1);\nEND;\n"
+        )
+        document = parse_nexus(text)
+        assert len(document.trees) == 1
+
+    def test_case_insensitive_keywords(self):
+        text = "#nexus\nbegin trees;\n  tree t = (a:1,b:1);\nend;\n"
+        document = parse_nexus(text)
+        assert document.trees[0][0] == "t"
+
+    def test_comments_anywhere(self):
+        text = (
+            "#NEXUS [a comment]\nBEGIN TREES; [another]\n"
+            "  TREE t = [&R] (a:1,b:1);\nEND;\n"
+        )
+        document = parse_nexus(text)
+        assert set(document.trees[0][1].leaf_names()) == {"a", "b"}
+
+    def test_multiple_trees(self):
+        text = (
+            "#NEXUS\nBEGIN TREES;\n"
+            "  TREE first = (a:1,b:1);\n"
+            "  TREE second = ((a:1,b:1):1,c:1);\n"
+            "END;\n"
+        )
+        document = parse_nexus(text)
+        assert [name for name, _ in document.trees] == ["first", "second"]
+
+    def test_interleaved_matrix_concatenates(self):
+        text = (
+            "#NEXUS\nBEGIN CHARACTERS;\n"
+            "  FORMAT DATATYPE=DNA;\n"
+            "  MATRIX\n    a ACGT\n    b ACGT\n    a TTTT\n    b GGGG\n  ;\n"
+            "END;\n"
+        )
+        document = parse_nexus(text)
+        assert document.characters.rows["a"] == "ACGTTTTT"
+
+    def test_quoted_taxon_labels(self):
+        text = (
+            "#NEXUS\nBEGIN TAXA;\n  TAXLABELS 'Homo sapiens' Pan;\nEND;\n"
+        )
+        document = parse_nexus(text)
+        assert document.taxa == ["Homo sapiens", "Pan"]
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not nexus at all",
+            "#NEXUS\nBEGIN TREES;\n  TREE t = (a,b);\n",  # unterminated block
+            "#NEXUS\nSOMETHING ELSE;\n",  # expected BEGIN
+            "#NEXUS\nBEGIN TREES;\n  TREE t (a,b);\nEND;\n",  # missing '='
+        ],
+    )
+    def test_malformed_documents_raise(self, text):
+        with pytest.raises(ParseError):
+            parse_nexus(text)
+
+    def test_unequal_matrix_rows_raise(self):
+        text = (
+            "#NEXUS\nBEGIN CHARACTERS;\n  MATRIX\n    a ACGT\n    b AC\n  ;\nEND;\n"
+        )
+        with pytest.raises(ParseError):
+            parse_nexus(text)
+
+    def test_nchar_mismatch_raises(self):
+        text = (
+            "#NEXUS\nBEGIN CHARACTERS;\n  DIMENSIONS NCHAR=5;\n"
+            "  MATRIX\n    a ACGT\n    b ACGT\n  ;\nEND;\n"
+        )
+        with pytest.raises(ParseError):
+            parse_nexus(text)
+
+
+class TestWriter:
+    def test_roundtrip_full_document(self):
+        document = parse_nexus(FULL_DOCUMENT)
+        again = parse_nexus(write_nexus(document))
+        assert again.taxa == document.taxa
+        assert again.characters.rows == document.characters.rows
+        assert again.trees[0][1].equals(document.trees[0][1])
+
+    def test_writes_tree_only_document(self, fig1):
+        document = NexusDocument(taxa=fig1.leaf_names(), trees=[("fig1", fig1)])
+        text = write_nexus(document)
+        assert "#NEXUS" in text
+        again = parse_nexus(text)
+        assert again.trees[0][1].equals(fig1)
+
+    def test_quotes_spacey_names(self):
+        document = NexusDocument(taxa=["Homo sapiens"])
+        text = write_nexus(document)
+        assert "'Homo sapiens'" in text
+
+    def test_matrix_validate(self):
+        matrix = CharacterMatrix(rows={"a": "ACGT", "b": "AC"})
+        with pytest.raises(ParseError):
+            matrix.validate()

@@ -1,0 +1,91 @@
+"""Unit tests for Neighbor-Joining."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmark.metrics import normalized_rf, robinson_foulds
+from repro.errors import ReconstructionError
+from repro.reconstruction.distances import (
+    DistanceMatrix,
+    distance_matrix,
+    tree_distance_matrix,
+)
+from repro.reconstruction.nj import neighbor_joining
+from repro.simulation.birth_death import yule_tree
+from repro.simulation.models import jc69
+from repro.simulation.seqgen import evolve_sequences
+from repro.trees.tree import validate_tree
+
+
+class TestSmallCases:
+    def test_two_taxa(self):
+        matrix = DistanceMatrix(["a", "b"], np.array([[0.0, 3.0], [3.0, 0.0]]))
+        tree = neighbor_joining(matrix)
+        assert sorted(tree.leaf_names()) == ["a", "b"]
+        assert tree.find("a").length + tree.find("b").length == pytest.approx(3.0)
+
+    def test_three_taxa_limb_lengths(self):
+        values = np.array(
+            [[0.0, 3.0, 4.0], [3.0, 0.0, 5.0], [4.0, 5.0, 0.0]]
+        )
+        tree = neighbor_joining(DistanceMatrix(["a", "b", "c"], values))
+        # Classic three-point formulas: a=(3+4-5)/2=1, b=(3+5-4)/2=2, c=3.
+        assert tree.find("a").length == pytest.approx(1.0)
+        assert tree.find("b").length == pytest.approx(2.0)
+        assert tree.find("c").length == pytest.approx(3.0)
+
+    def test_single_taxon_raises(self):
+        with pytest.raises(ReconstructionError):
+            neighbor_joining(DistanceMatrix(["a"], np.zeros((1, 1))))
+
+    def test_structure_valid(self, rng):
+        matrix = tree_distance_matrix(yule_tree(9, rng=rng))
+        validate_tree(neighbor_joining(matrix), require_leaf_names=False)
+
+
+class TestAdditiveRecovery:
+    """On an additive (tree) metric NJ is exact — the defining guarantee."""
+
+    @pytest.mark.parametrize("n_leaves", [4, 6, 10, 16, 25])
+    def test_recovers_yule_topology(self, n_leaves):
+        rng = np.random.default_rng(n_leaves)
+        truth = yule_tree(n_leaves, rng=rng)
+        matrix = tree_distance_matrix(truth)
+        estimate = neighbor_joining(matrix)
+        assert robinson_foulds(truth, estimate) == 0
+
+    def test_recovers_path_lengths(self, rng):
+        truth = yule_tree(12, rng=rng)
+        matrix = tree_distance_matrix(truth)
+        estimate = neighbor_joining(matrix)
+        recovered = tree_distance_matrix(estimate).submatrix(matrix.names)
+        assert np.allclose(recovered.values, matrix.values, atol=1e-9)
+
+    def test_nonclock_additive_matrix(self):
+        """NJ handles rate variation across lineages (where UPGMA fails):
+        an additive but non-ultrametric matrix is still recovered."""
+        from repro.trees.newick import parse_newick
+
+        truth = parse_newick("((a:0.1,b:2.0):0.3,(c:0.5,d:0.05):1.1);")
+        matrix = tree_distance_matrix(truth)
+        estimate = neighbor_joining(matrix)
+        assert robinson_foulds(truth, estimate) == 0
+
+
+class TestOnSequences:
+    def test_close_to_truth_on_long_sequences(self):
+        rng = np.random.default_rng(5)
+        truth = yule_tree(14, rng=rng)
+        sequences = evolve_sequences(truth, jc69(), 4000, rng=rng, scale=0.3)
+        estimate = neighbor_joining(distance_matrix(sequences, "jc69"))
+        assert normalized_rf(truth, estimate) <= 0.2
+
+    def test_negative_branch_estimates_clamped(self):
+        rng = np.random.default_rng(6)
+        truth = yule_tree(10, rng=rng)
+        sequences = evolve_sequences(truth, jc69(), 200, rng=rng, scale=0.05)
+        estimate = neighbor_joining(distance_matrix(sequences, "jc69"))
+        for node in estimate.preorder():
+            assert node.length >= 0.0

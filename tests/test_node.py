@@ -1,0 +1,191 @@
+"""Unit tests for the Node model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TreeStructureError
+from repro.trees.node import Node
+
+
+class TestConstruction:
+    def test_defaults(self):
+        node = Node()
+        assert node.name is None
+        assert node.length == 0.0
+        assert node.parent is None
+        assert node.children == []
+
+    def test_named_with_length(self):
+        node = Node("A", 2.5)
+        assert node.name == "A"
+        assert node.length == 2.5
+
+    def test_length_coerced_to_float(self):
+        assert isinstance(Node("A", 1).length, float)
+
+
+class TestAttachment:
+    def test_add_child_sets_parent(self):
+        parent = Node("p")
+        child = Node("c")
+        parent.add_child(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_new_child_returns_child(self):
+        parent = Node("p")
+        child = parent.new_child("c", 1.0)
+        assert child.name == "c"
+        assert child.parent is parent
+
+    def test_add_child_rejects_already_parented(self):
+        a, b = Node("a"), Node("b")
+        child = Node("c")
+        a.add_child(child)
+        with pytest.raises(TreeStructureError):
+            b.add_child(child)
+
+    def test_add_child_rejects_self(self):
+        node = Node("a")
+        with pytest.raises(TreeStructureError):
+            node.add_child(node)
+
+    def test_add_child_rejects_cycle(self):
+        a = Node("a")
+        b = a.new_child("b")
+        c = b.new_child("c")
+        with pytest.raises(TreeStructureError):
+            c.add_child(a)
+
+    def test_detach_removes_from_parent(self):
+        parent = Node("p")
+        child = parent.new_child("c")
+        child.detach()
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_detach_root_is_noop(self):
+        node = Node("a")
+        assert node.detach() is node
+
+    def test_remove_child(self):
+        parent = Node("p")
+        child = parent.new_child("c")
+        parent.remove_child(child)
+        assert parent.children == []
+
+    def test_remove_non_child_raises(self):
+        parent = Node("p")
+        stranger = Node("s")
+        with pytest.raises(TreeStructureError):
+            parent.remove_child(stranger)
+
+
+class TestPredicates:
+    def test_is_leaf(self):
+        parent = Node("p")
+        child = parent.new_child("c")
+        assert child.is_leaf
+        assert not parent.is_leaf
+
+    def test_is_root(self):
+        parent = Node("p")
+        child = parent.new_child("c")
+        assert parent.is_root
+        assert not child.is_root
+
+    def test_child_order_is_one_based(self):
+        parent = Node("p")
+        first = parent.new_child("a")
+        second = parent.new_child("b")
+        assert first.child_order == 1
+        assert second.child_order == 2
+
+    def test_root_child_order_is_zero(self):
+        assert Node("r").child_order == 0
+
+    def test_is_ancestor_of(self):
+        a = Node("a")
+        b = a.new_child("b")
+        c = b.new_child("c")
+        assert a.is_ancestor_of(c)
+        assert b.is_ancestor_of(c)
+        assert not c.is_ancestor_of(a)
+
+    def test_node_not_its_own_ancestor(self):
+        node = Node("a")
+        assert not node.is_ancestor_of(node)
+
+
+class TestMeasures:
+    def test_depth(self):
+        a = Node("a")
+        b = a.new_child("b")
+        c = b.new_child("c")
+        assert a.depth == 0
+        assert c.depth == 2
+
+    def test_dist_from_root(self):
+        a = Node("a")
+        b = a.new_child("b", 1.5)
+        c = b.new_child("c", 2.0)
+        assert c.dist_from_root == pytest.approx(3.5)
+
+    def test_root_dist_is_zero(self):
+        assert Node("a", 7.0).dist_from_root == 0.0
+
+    def test_ancestors_excludes_self_by_default(self):
+        a = Node("a")
+        b = a.new_child("b")
+        c = b.new_child("c")
+        assert [n.name for n in c.ancestors()] == ["b", "a"]
+
+    def test_ancestors_include_self(self):
+        a = Node("a")
+        b = a.new_child("b")
+        assert [n.name for n in b.ancestors(include_self=True)] == ["b", "a"]
+
+
+class TestTraversal:
+    @pytest.fixture
+    def shape(self):
+        #     r
+        #    / \
+        #   a   d
+        #  / \
+        # b   c
+        r = Node("r")
+        a = r.new_child("a")
+        a.new_child("b")
+        a.new_child("c")
+        r.new_child("d")
+        return r
+
+    def test_preorder(self, shape):
+        assert [n.name for n in shape.preorder()] == ["r", "a", "b", "c", "d"]
+
+    def test_postorder(self, shape):
+        assert [n.name for n in shape.postorder()] == ["b", "c", "a", "d", "r"]
+
+    def test_leaves(self, shape):
+        assert [n.name for n in shape.leaves()] == ["b", "c", "d"]
+
+    def test_subtree_size(self, shape):
+        assert shape.subtree_size() == 5
+
+    def test_traversal_survives_deep_chain(self):
+        root = Node("0")
+        walker = root
+        for index in range(1, 20000):
+            walker = walker.new_child(str(index))
+        assert sum(1 for _ in root.preorder()) == 20000
+        assert sum(1 for _ in root.postorder()) == 20000
+
+    def test_dewey_label(self, shape):
+        c = shape.children[0].children[1]
+        assert c.dewey_label() == (1, 2)
+        assert shape.dewey_label() == ()
+
+    def test_repr_mentions_name(self):
+        assert "'a'" in repr(Node("a"))

@@ -1,0 +1,180 @@
+"""Every worked example in the paper, asserted end to end.
+
+These tests pin the reproduction to the paper's own text: the Figure-1
+Dewey labels, the Figure-4 layered index, the §2.1 LCA walkthroughs, the
+§2.2 time-sampling example, and the Figure-2 projection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmark.sampling import sample_with_time, time_frontier
+from repro.core.decompose import decompose
+from repro.core.dewey import DeweyIndex, label_to_string
+from repro.core.hindex import HierarchicalIndex
+from repro.core.pattern import match_pattern
+from repro.core.projection import project_tree
+from repro.trees.build import sample_tree
+from repro.trees.newick import parse_newick
+
+
+class TestFigure1DeweyLabels:
+    """§2.1: 'the label of the leaf node Lla … would be (2.1.1), and that
+    of Spy would be (2.1.2)'."""
+
+    def test_lla_label(self, fig1):
+        index = DeweyIndex(fig1)
+        assert label_to_string(index.label(fig1.find("Lla"))) == "2.1.1"
+
+    def test_spy_label(self, fig1):
+        index = DeweyIndex(fig1)
+        assert label_to_string(index.label(fig1.find("Spy"))) == "2.1.2"
+
+    def test_lca_is_label_2_1(self, fig1):
+        """'the least common ancestor of Lla and Spy … yielding the
+        (interior) node with label (2.1)'."""
+        index = DeweyIndex(fig1)
+        anchor = index.lca(fig1.find("Lla"), fig1.find("Spy"))
+        assert label_to_string(index.label(anchor)) == "2.1"
+        assert anchor is fig1.find("x")
+
+
+class TestFigure4LayeredIndex:
+    """The f=2 decomposition produces exactly the Figure-4 structure."""
+
+    def test_two_layer_zero_blocks(self, fig1):
+        decomposition = decompose(fig1, 2)
+        assert len(decomposition.blocks) == 2
+
+    def test_block_membership(self, fig1):
+        decomposition = decompose(fig1, 2)
+        top, split = decomposition.blocks
+        top_names = {node.name for node, _ in top.members}
+        split_names = {node.name for node, _ in split.members}
+        assert top_names == {"R", "Syn", "A", "Bsu", "Bha", "x"}
+        assert split_names == {"Lla", "Spy"}
+
+    def test_split_block_rooted_at_x(self, fig1):
+        decomposition = decompose(fig1, 2)
+        split = decomposition.blocks[1]
+        assert split.root.name == "x"
+
+    def test_source_is_x_at_label_2_1(self, fig1):
+        """'We call node 3 the source node of node 6' — the source of the
+        split block is x's boundary position, label 2.1 in block 1."""
+        decomposition = decompose(fig1, 2)
+        split = decomposition.blocks[1]
+        assert split.source_block == 0
+        assert split.source_label == (2, 1)
+
+    def test_two_layers_total(self, fig1):
+        index = HierarchicalIndex(fig1, 2)
+        assert index.n_layers == 2
+        summary = index.layer_summary()
+        assert summary[0]["blocks"] == 2
+        assert summary[1]["blocks"] == 1
+
+    def test_labels_bounded_by_f(self, fig1):
+        index = HierarchicalIndex(fig1, 2)
+        assert index.max_label_length() <= 2
+
+
+class TestSection21LcaWalkthrough:
+    """'Thus the LCA of Lla and Syn is the LCA of 3 and Syn, which is
+    node 1' — the root, reached through the layer-1 tree."""
+
+    def test_lca_lla_syn_is_root(self, fig1):
+        index = HierarchicalIndex(fig1, 2)
+        assert index.lca(fig1.find("Lla"), fig1.find("Syn")) is fig1.root
+
+    def test_lca_lla_spy_is_x_within_split_block(self, fig1):
+        index = HierarchicalIndex(fig1, 2)
+        assert index.lca(fig1.find("Lla"), fig1.find("Spy")) is fig1.find("x")
+
+    def test_layered_agrees_with_plain_dewey_on_all_pairs(self, fig1):
+        layered = HierarchicalIndex(fig1, 2)
+        plain = DeweyIndex(fig1)
+        nodes = list(fig1.preorder())
+        for a in nodes:
+            for b in nodes:
+                assert layered.lca(a, b) is plain.lca(a, b)
+
+
+class TestSection22TimeSampling:
+    """'there are four nodes which satisfy this condition … {Bha, x, Syn,
+    BSU}', and sampling draws one leaf per frontier subtree."""
+
+    def test_frontier_at_time_1(self, fig1):
+        frontier = {node.name for node in time_frontier(fig1, 1.0)}
+        assert frontier == {"Bha", "x", "Syn", "Bsu"}
+
+    def test_sample_four_at_time_1(self, fig1):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            sample = set(sample_with_time(fig1, 1.0, 4, rng))
+            assert sample in (
+                {"Bha", "Lla", "Syn", "Bsu"},
+                {"Bha", "Spy", "Syn", "Bsu"},
+            )
+
+    def test_both_outcomes_occur(self, fig1):
+        rng = np.random.default_rng(1)
+        outcomes = {
+            frozenset(sample_with_time(fig1, 1.0, 4, rng)) for _ in range(60)
+        }
+        assert frozenset({"Bha", "Lla", "Syn", "Bsu"}) in outcomes
+        assert frozenset({"Bha", "Spy", "Syn", "Bsu"}) in outcomes
+
+
+class TestFigure2Projection:
+    """Projecting {Bha, Lla, Syn} merges x into Lla's edge (0.5 + 1.0)."""
+
+    def test_projection_structure(self, fig1):
+        projection = project_tree(fig1, ["Bha", "Lla", "Syn"])
+        assert set(projection.leaf_names()) == {"Bha", "Lla", "Syn"}
+        root = projection.root
+        assert {child.name for child in root.children} == {"Syn", "A"}
+
+    def test_merged_edge_weight(self, fig1):
+        projection = project_tree(fig1, ["Bha", "Lla", "Syn"])
+        lla = projection.find("Lla")
+        assert lla.length == pytest.approx(1.5)  # 0.5 + 1.0
+
+    def test_figure2_edge_multiset(self, fig1):
+        projection = project_tree(fig1, ["Bha", "Lla", "Syn"])
+        lengths = sorted(
+            node.length
+            for node in projection.preorder()
+            if node.parent is not None
+        )
+        assert lengths == pytest.approx([0.75, 1.5, 1.5, 2.5])
+
+    def test_every_interior_branches(self, fig1):
+        projection = project_tree(fig1, ["Bha", "Lla", "Syn"])
+        for node in projection.preorder():
+            if not node.is_leaf:
+                assert len(node.children) >= 2
+
+
+class TestPatternMatchExample:
+    """§2.2: 'the tree pattern shown in Figure 2 will match the tree
+    shown in Figure 1. However if we exchange the location of species
+    Bha and Lla in the pattern tree, the new pattern will not match'."""
+
+    def test_figure2_pattern_matches(self, fig1):
+        pattern = parse_newick("(Syn:2.5,(Lla:1.5,Bha:1.5):0.75);")
+        result = match_pattern(fig1, pattern, compare_lengths=True)
+        assert result.matched
+        assert result.similarity == 1.0
+
+    def test_swapped_pattern_fails_ordered_match(self, fig1):
+        pattern = parse_newick("(Syn:2.5,(Bha:1.5,Lla:1.5):0.75);")
+        result = match_pattern(fig1, pattern, compare_lengths=True)
+        assert not result.matched
+
+    def test_swapped_pattern_matches_unordered(self, fig1):
+        pattern = parse_newick("(Syn:2.5,(Bha:1.5,Lla:1.5):0.75);")
+        result = match_pattern(fig1, pattern, ordered=False)
+        assert result.matched

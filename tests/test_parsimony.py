@@ -1,0 +1,115 @@
+"""Unit tests for Fitch parsimony scoring and greedy search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmark.metrics import robinson_foulds
+from repro.errors import ReconstructionError
+from repro.reconstruction.parsimony import fitch_score, parsimony_greedy
+from repro.simulation.birth_death import yule_tree
+from repro.simulation.models import jc69
+from repro.simulation.seqgen import evolve_sequences
+from repro.trees.newick import parse_newick
+
+
+class TestFitchScore:
+    def test_identical_sequences_score_zero(self):
+        tree = parse_newick("((a,b),(c,d));")
+        sequences = {name: "ACGT" for name in "abcd"}
+        assert fitch_score(tree, sequences) == 0
+
+    def test_textbook_single_site(self):
+        # Fitch's canonical example: ((A,C),(C,C)) needs one change.
+        tree = parse_newick("((a,b),(c,d));")
+        sequences = {"a": "A", "b": "C", "c": "C", "d": "C"}
+        assert fitch_score(tree, sequences) == 1
+
+    def test_worst_case_all_different(self):
+        tree = parse_newick("((a,b),(c,d));")
+        sequences = {"a": "A", "b": "C", "c": "G", "d": "T"}
+        assert fitch_score(tree, sequences) == 3
+
+    def test_sites_add_up(self):
+        tree = parse_newick("((a,b),(c,d));")
+        sequences = {"a": "AA", "b": "CA", "c": "CC", "d": "CC"}
+        assert fitch_score(tree, sequences) == 1 + 1
+
+    def test_topology_affects_score(self):
+        grouped = parse_newick("((a,b),(c,d));")
+        split = parse_newick("((a,c),(b,d));")
+        sequences = {"a": "A", "b": "A", "c": "C", "d": "C"}
+        assert fitch_score(grouped, sequences) == 1
+        assert fitch_score(split, sequences) == 2
+
+    def test_multifurcation_supported(self):
+        tree = parse_newick("(a,b,c);")
+        sequences = {"a": "A", "b": "A", "c": "C"}
+        assert fitch_score(tree, sequences) == 1
+
+    def test_non_dna_characters_work(self):
+        tree = parse_newick("((a,b),c);")
+        sequences = {"a": "01", "b": "01", "c": "10"}
+        assert fitch_score(tree, sequences) == 2
+
+    def test_missing_sequence_raises(self):
+        tree = parse_newick("(a,b);")
+        with pytest.raises(ReconstructionError):
+            fitch_score(tree, {"a": "ACGT"})
+
+    def test_misaligned_raises(self):
+        tree = parse_newick("(a,b);")
+        with pytest.raises(ReconstructionError):
+            fitch_score(tree, {"a": "ACGT", "b": "AC"})
+
+
+class TestGreedySearch:
+    def test_builds_tree_over_all_taxa(self, rng):
+        truth = yule_tree(8, rng=rng)
+        sequences = evolve_sequences(truth, jc69(), 300, rng=rng, scale=0.2)
+        estimate = parsimony_greedy(sequences)
+        assert set(estimate.leaf_names()) == set(sequences)
+
+    def test_score_beats_random_insertion_order_average(self, rng):
+        truth = yule_tree(10, rng=rng)
+        sequences = evolve_sequences(truth, jc69(), 400, rng=rng, scale=0.2)
+        greedy_score = fitch_score(parsimony_greedy(sequences), sequences)
+        from repro.reconstruction.random_tree import random_topology
+
+        random_scores = [
+            fitch_score(random_topology(list(sequences), rng), sequences)
+            for _ in range(5)
+        ]
+        assert greedy_score <= min(random_scores)
+
+    def test_recovers_clean_signal(self):
+        rng = np.random.default_rng(4)
+        truth = yule_tree(7, rng=rng)
+        sequences = evolve_sequences(truth, jc69(), 3000, rng=rng, scale=0.3)
+        estimate = parsimony_greedy(sequences, nni_rounds=2)
+        assert robinson_foulds(truth, estimate) <= 2
+
+    def test_too_few_taxa_raises(self):
+        with pytest.raises(ReconstructionError):
+            parsimony_greedy({"a": "ACGT", "b": "ACGT"})
+
+    def test_missing_sequence_raises(self):
+        with pytest.raises(ReconstructionError):
+            parsimony_greedy(
+                {"a": "A", "b": "A", "c": "A"}, order=["a", "b", "c", "ghost"]
+            )
+
+    def test_custom_insertion_order(self, rng):
+        truth = yule_tree(6, rng=rng)
+        sequences = evolve_sequences(truth, jc69(), 200, rng=rng, scale=0.2)
+        order = sorted(sequences)
+        estimate = parsimony_greedy(sequences, order=order)
+        assert set(estimate.leaf_names()) == set(order)
+
+    def test_nni_never_worsens(self, rng):
+        truth = yule_tree(9, rng=rng)
+        sequences = evolve_sequences(truth, jc69(), 300, rng=rng, scale=0.25)
+        no_nni = parsimony_greedy(sequences, nni_rounds=0)
+        with_nni = parsimony_greedy(sequences, nni_rounds=3)
+        assert fitch_score(with_nni, sequences) <= fitch_score(no_nni, sequences)

@@ -1,0 +1,153 @@
+"""Unit tests for tree projection."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.lca import LcaService
+from repro.core.projection import brute_force_projection, project_tree
+from repro.errors import QueryError
+from repro.trees.build import balanced, caterpillar
+
+
+class TestBasicProjections:
+    def test_all_leaves_is_near_identity(self, fig1):
+        projection = project_tree(fig1, fig1.leaf_names())
+        # Same leaves, same topology (no out-degree-1 nodes existed).
+        assert set(projection.leaf_names()) == set(fig1.leaf_names())
+        assert projection.topology_key() == fig1.topology_key()
+
+    def test_two_leaves(self, fig1):
+        projection = project_tree(fig1, ["Lla", "Spy"])
+        assert projection.root.name == "x"
+        assert sorted(projection.leaf_names()) == ["Lla", "Spy"]
+        assert projection.find("Lla").length == pytest.approx(1.0)
+
+    def test_single_leaf(self, fig1):
+        projection = project_tree(fig1, ["Bha"])
+        assert projection.size() == 1
+        assert projection.root.name == "Bha"
+        assert projection.root.length == 0.0
+
+    def test_single_leaf_keep_root_edge(self, fig1):
+        projection = project_tree(fig1, ["Bha"], keep_root_edge=True)
+        assert projection.root.length == pytest.approx(2.25)
+
+    def test_duplicates_collapsed(self, fig1):
+        projection = project_tree(fig1, ["Lla", "Lla", "Spy"])
+        assert sorted(projection.leaf_names()) == ["Lla", "Spy"]
+
+    def test_root_is_sample_lca(self, fig1):
+        projection = project_tree(fig1, ["Lla", "Bha"])
+        assert projection.root.name == "A"
+
+    def test_keep_root_edge_on_nested_sample(self, fig1):
+        projection = project_tree(fig1, ["Lla", "Spy"], keep_root_edge=True)
+        # Path above x: 0.75 + 0.5.
+        assert projection.root.length == pytest.approx(1.25)
+
+    def test_order_independent(self, fig1):
+        first = project_tree(fig1, ["Syn", "Lla", "Bha"])
+        second = project_tree(fig1, ["Bha", "Syn", "Lla"])
+        assert first.to_newick() == second.to_newick()
+
+
+class TestErrors:
+    def test_empty_sample(self, fig1):
+        with pytest.raises(QueryError):
+            project_tree(fig1, [])
+
+    def test_unknown_leaf(self, fig1):
+        with pytest.raises(QueryError):
+            project_tree(fig1, ["Lla", "ghost"])
+
+    def test_interior_name_rejected(self, fig1):
+        with pytest.raises(QueryError):
+            project_tree(fig1, ["Lla", "x"])
+
+    def test_brute_force_empty(self, fig1):
+        with pytest.raises(QueryError):
+            brute_force_projection(fig1, [])
+
+    def test_brute_force_unknown(self, fig1):
+        with pytest.raises(QueryError):
+            brute_force_projection(fig1, ["ghost"])
+
+
+class TestAgainstBruteForce:
+    def test_balanced_samples(self):
+        tree = balanced(4)
+        names = tree.leaf_names()
+        rng = random.Random(5)
+        for _ in range(25):
+            k = rng.randint(2, len(names))
+            sample = rng.sample(names, k)
+            fast = project_tree(tree, sample)
+            slow = brute_force_projection(tree, sample)
+            assert fast.equals(slow, tolerance=1e-9)
+
+    def test_caterpillar_samples(self):
+        tree = caterpillar(30)
+        names = tree.leaf_names()
+        rng = random.Random(6)
+        for _ in range(25):
+            sample = rng.sample(names, rng.randint(2, 10))
+            fast = project_tree(tree, sample)
+            slow = brute_force_projection(tree, sample)
+            assert fast.equals(slow, tolerance=1e-9)
+
+    def test_random_trees(self, random_tree_factory):
+        rng = random.Random(7)
+        for seed in range(10):
+            tree = random_tree_factory(80, seed)
+            leaves = [leaf.name for leaf in tree.root.leaves()]
+            sample = rng.sample(leaves, rng.randint(1, len(leaves)))
+            fast = project_tree(tree, sample)
+            slow = brute_force_projection(tree, sample)
+            assert fast.equals(slow, tolerance=1e-9)
+
+
+class TestWithExplicitService:
+    @pytest.mark.parametrize("strategy", ["naive", "dewey", "layered"])
+    def test_any_lca_strategy_works(self, fig1, strategy):
+        service = LcaService(fig1, strategy)
+        projection = project_tree(
+            fig1, ["Bha", "Lla", "Syn"], lca_service=service
+        )
+        lengths = sorted(
+            n.length for n in projection.preorder() if n.parent is not None
+        )
+        assert lengths == pytest.approx([0.75, 1.5, 1.5, 2.5])
+
+    def test_reused_service_multiple_projections(self, fig1):
+        service = LcaService(fig1, "layered", f=2)
+        first = project_tree(fig1, ["Lla", "Syn"], lca_service=service)
+        second = project_tree(fig1, ["Spy", "Bsu"], lca_service=service)
+        assert first.root.name == "R"
+        assert second.root.name == "R"
+
+
+class TestProjectionInvariants:
+    def test_interiors_always_branch(self, random_tree_factory):
+        rng = random.Random(8)
+        for seed in range(6):
+            tree = random_tree_factory(60, seed)
+            leaves = [leaf.name for leaf in tree.root.leaves()]
+            sample = rng.sample(leaves, min(len(leaves), 7))
+            projection = project_tree(tree, sample)
+            for node in projection.preorder():
+                assert node.is_leaf or len(node.children) >= 2
+
+    def test_leaf_distances_preserved(self, fig1):
+        """Projection preserves root-path lengths below the new root."""
+        projection = project_tree(fig1, ["Bha", "Lla", "Syn"])
+        original = fig1.distances_from_root()
+        projected = projection.distances_from_root()
+        offset = original[id(fig1.find(projection.root.name))]
+        for leaf in projection.root.leaves():
+            original_leaf = fig1.find(leaf.name)
+            assert projected[id(leaf)] == pytest.approx(
+                original[id(original_leaf)] - offset
+            )

@@ -1,0 +1,112 @@
+"""Tests for the quartet distance metric and the TN93 model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmark.metrics import quartet_distance, robinson_foulds
+from repro.errors import QueryError, SimulationError
+from repro.reconstruction.random_tree import random_topology
+from repro.simulation.birth_death import yule_tree
+from repro.simulation.models import hky85, tn93
+
+
+class TestQuartetDistance:
+    def test_identity(self, rng):
+        tree = yule_tree(8, rng=rng)
+        assert quartet_distance(tree, tree.copy()) == 0.0
+
+    def test_known_four_taxon_value(self):
+        from repro.trees.newick import parse_newick
+
+        a = parse_newick("((a,b),(c,d));")
+        b = parse_newick("((a,c),(b,d));")
+        assert quartet_distance(a, b) == 1.0
+
+    def test_star_vs_resolved(self):
+        from repro.trees.newick import parse_newick
+
+        resolved = parse_newick("((a,b),(c,d));")
+        star = parse_newick("(a,b,c,d);")
+        assert quartet_distance(resolved, star) == 1.0  # star is unresolved
+
+    def test_range(self, rng):
+        truth = yule_tree(12, rng=rng)
+        noise = random_topology(truth.leaf_names(), rng)
+        assert 0.0 <= quartet_distance(truth, noise) <= 1.0
+
+    def test_root_invariance(self):
+        """Quartets ignore rooting (unlike triplets)."""
+        from repro.trees.newick import parse_newick
+
+        a = parse_newick("((a,b),(c,d));")
+        b = parse_newick("(((c,d),a),b);")
+        assert quartet_distance(a, b) == 0.0
+
+    def test_sampling_close_to_exact(self):
+        rng = np.random.default_rng(5)
+        first = yule_tree(10, rng=rng)
+        second = random_topology(first.leaf_names(), rng)
+        exact = quartet_distance(first, second, max_quartets=10**9)
+        sampled = quartet_distance(first, second, max_quartets=300, rng=rng)
+        assert sampled == pytest.approx(exact, abs=0.2)
+
+    def test_correlates_with_rf(self, rng):
+        """Trees with zero RF distance must have zero quartet distance."""
+        truth = yule_tree(9, rng=rng)
+        from repro.reconstruction.distances import tree_distance_matrix
+        from repro.reconstruction.nj import neighbor_joining
+
+        estimate = neighbor_joining(tree_distance_matrix(truth))
+        assert robinson_foulds(truth, estimate) == 0
+        assert quartet_distance(truth, estimate) == 0.0
+
+    def test_too_few_leaves(self):
+        from repro.trees.newick import parse_newick
+
+        tree = parse_newick("((a,b),c);")
+        with pytest.raises(QueryError):
+            quartet_distance(tree, tree.copy())
+
+    def test_mismatched_leafsets(self):
+        from repro.trees.newick import parse_newick
+
+        with pytest.raises(QueryError):
+            quartet_distance(
+                parse_newick("((a,b),(c,d));"), parse_newick("((a,b),(c,e));")
+            )
+
+
+class TestTn93:
+    def test_valid_model(self):
+        model = tn93()
+        matrix = model.transition_matrix(0.5)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert np.allclose(model.frequencies @ matrix, model.frequencies)
+
+    def test_purine_pyrimidine_asymmetry(self):
+        model = tn93(kappa_purine=1.0, kappa_pyrimidine=10.0)
+        matrix = model.transition_matrix(0.2)
+        # C->T (pyrimidine transition) must dominate A->G.
+        assert matrix[1, 3] > matrix[0, 2]
+
+    def test_reduces_to_hky(self):
+        same = tn93(kappa_purine=2.0, kappa_pyrimidine=2.0)
+        hky = hky85(kappa=2.0)
+        assert np.allclose(
+            same.transition_matrix(0.7), hky.transition_matrix(0.7), atol=1e-12
+        )
+
+    def test_invalid_rates(self):
+        with pytest.raises(SimulationError):
+            tn93(kappa_purine=0.0)
+        with pytest.raises(SimulationError):
+            tn93(kappa_pyrimidine=-1.0)
+
+    def test_usable_in_seqgen(self, rng):
+        from repro.simulation.seqgen import evolve_sequences
+
+        tree = yule_tree(6, rng=rng)
+        sequences = evolve_sequences(tree, tn93(), 100, rng=rng, scale=0.2)
+        assert len(sequences) == 6

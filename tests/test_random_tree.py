@@ -1,0 +1,51 @@
+"""Unit tests for the random-topology strawman."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReconstructionError
+from repro.reconstruction.random_tree import random_topology
+from repro.trees.tree import validate_tree
+
+
+class TestRandomTopology:
+    def test_leafset(self, rng):
+        names = [f"t{i}" for i in range(10)]
+        tree = random_topology(names, rng)
+        assert set(tree.leaf_names()) == set(names)
+
+    def test_binary(self, rng):
+        tree = random_topology([f"t{i}" for i in range(15)], rng)
+        for node in tree.preorder():
+            assert node.is_leaf or len(node.children) == 2
+
+    def test_valid_structure(self, rng):
+        validate_tree(random_topology(["a", "b", "c", "d"], rng))
+
+    def test_two_taxa(self, rng):
+        tree = random_topology(["a", "b"], rng)
+        assert tree.size() == 3
+
+    def test_too_few_raises(self, rng):
+        with pytest.raises(ReconstructionError):
+            random_topology(["a"], rng)
+
+    def test_duplicates_raise(self, rng):
+        with pytest.raises(ReconstructionError):
+            random_topology(["a", "a"], rng)
+
+    def test_varies_across_draws(self):
+        rng = np.random.default_rng(1)
+        names = [f"t{i}" for i in range(8)]
+        shapes = {
+            random_topology(names, rng).topology_key() for _ in range(20)
+        }
+        assert len(shapes) > 1
+
+    def test_reproducible(self):
+        names = [f"t{i}" for i in range(8)]
+        first = random_topology(names, np.random.default_rng(3))
+        second = random_topology(names, np.random.default_rng(3))
+        assert first.to_newick() == second.to_newick()

@@ -1,0 +1,73 @@
+"""Unit tests for site-rate heterogeneity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.rates import SiteRates, discrete_gamma_rates
+
+
+class TestDiscreteGamma:
+    def test_mean_is_one(self):
+        for alpha in (0.1, 0.5, 1.0, 2.0, 10.0):
+            rates = discrete_gamma_rates(alpha, 4)
+            assert rates.mean() == pytest.approx(1.0)
+
+    def test_rates_increase(self):
+        rates = discrete_gamma_rates(0.5, 6)
+        assert np.all(np.diff(rates) > 0)
+
+    def test_small_alpha_is_more_skewed(self):
+        mild = discrete_gamma_rates(10.0, 4)
+        harsh = discrete_gamma_rates(0.2, 4)
+        assert harsh.max() / harsh.min() > mild.max() / mild.min()
+
+    def test_single_category_is_flat(self):
+        rates = discrete_gamma_rates(0.5, 1)
+        assert rates.shape == (1,)
+        assert rates[0] == pytest.approx(1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(SimulationError):
+            discrete_gamma_rates(0.0)
+
+    def test_invalid_categories(self):
+        with pytest.raises(SimulationError):
+            discrete_gamma_rates(1.0, 0)
+
+
+class TestSiteRates:
+    def test_homogeneous_default(self, rng):
+        site_rates = SiteRates(100, rng)
+        assert np.all(site_rates.rates == 1.0)
+
+    def test_gamma_assignment_uses_categories(self, rng):
+        site_rates = SiteRates(5000, rng, alpha=0.5, n_categories=4)
+        assert len(site_rates.unique_rates()) == 4
+
+    def test_invariant_sites(self, rng):
+        site_rates = SiteRates(5000, rng, proportion_invariant=0.3)
+        zero_fraction = (site_rates.rates == 0.0).mean()
+        assert zero_fraction == pytest.approx(0.3, abs=0.03)
+
+    def test_invariant_rescaling_keeps_mean_one(self, rng):
+        site_rates = SiteRates(
+            5000, rng, alpha=1.0, proportion_invariant=0.25
+        )
+        assert site_rates.rates.mean() == pytest.approx(1.0)
+
+    def test_sites_with_rate(self, rng):
+        site_rates = SiteRates(200, rng, alpha=0.7)
+        for rate in site_rates.unique_rates():
+            sites = site_rates.sites_with_rate(float(rate))
+            assert np.all(site_rates.rates[sites] == rate)
+
+    def test_invalid_length(self, rng):
+        with pytest.raises(SimulationError):
+            SiteRates(0, rng)
+
+    def test_invalid_invariant_proportion(self, rng):
+        with pytest.raises(SimulationError):
+            SiteRates(10, rng, proportion_invariant=1.0)

@@ -1,0 +1,137 @@
+"""Unit tests for NNI/SPR rearrangements."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmark.metrics import robinson_foulds
+from repro.errors import TreeStructureError
+from repro.reconstruction.rearrange import (
+    nni_neighbors,
+    perturb,
+    random_spr,
+    spr_move,
+)
+from repro.simulation.birth_death import yule_tree
+from repro.trees.newick import parse_newick
+from repro.trees.tree import validate_tree
+
+
+class TestNniNeighbors:
+    def test_neighbor_count_on_quartet(self):
+        tree = parse_newick("((a,b),(c,d));")
+        neighbors = nni_neighbors(tree)
+        assert 1 <= len(neighbors) <= 4
+        for neighbor in neighbors:
+            assert set(neighbor.leaf_names()) == {"a", "b", "c", "d"}
+
+    def test_neighbors_differ_from_origin(self):
+        tree = parse_newick("((a,b),(c,d));")
+        for neighbor in nni_neighbors(tree):
+            assert neighbor.topology_key() != tree.topology_key()
+
+    def test_neighbors_are_valid_trees(self, rng):
+        tree = yule_tree(10, rng=rng)
+        for neighbor in nni_neighbors(tree):
+            validate_tree(neighbor, require_leaf_names=False)
+
+    def test_original_unchanged(self):
+        tree = parse_newick("((a,b),(c,d));")
+        before = tree.to_newick()
+        nni_neighbors(tree)
+        assert tree.to_newick() == before
+
+    def test_rf_distance_of_nni_is_two(self):
+        """An NNI changes exactly one split on binary trees."""
+        tree = parse_newick("(((a,b),c),((d,e),f));")
+        for neighbor in nni_neighbors(tree):
+            assert robinson_foulds(tree, neighbor) <= 2
+
+
+class TestSprMove:
+    def test_basic_move(self):
+        tree = parse_newick("(((a,b)ab,c)abc,(d,e)de);")
+        moved = spr_move(tree, "a", "d")
+        assert set(moved.leaf_names()) == {"a", "b", "c", "d", "e"}
+        # a now sits with d.
+        a = moved.find("a")
+        assert "d" in {leaf.name for leaf in a.parent.leaves()}
+
+    def test_unary_suppression(self):
+        tree = parse_newick("(((a,b)ab,c)abc,(d,e)de);")
+        moved = spr_move(tree, "a", "d")
+        for node in moved.preorder():
+            assert node.is_leaf or len(node.children) >= 2
+
+    def test_edge_lengths_preserved_total(self):
+        tree = parse_newick("(((a:1,b:1):1,c:1):1,(d:1,e:1):1);")
+        moved = spr_move(tree, "a", "d")
+        # Total length is conserved: the split edge re-sums to the
+        # original and the suppressed edge merges into its child.
+        assert moved.total_edge_length() == pytest.approx(
+            tree.total_edge_length()
+        )
+
+    def test_prune_root_rejected(self):
+        tree = parse_newick("((a,b)ab,c)r;")
+        with pytest.raises(TreeStructureError):
+            spr_move(tree, "r", "a")
+
+    def test_attach_inside_pruned_subtree_rejected(self):
+        tree = parse_newick("(((a,b)ab,c),d);")
+        with pytest.raises(TreeStructureError):
+            spr_move(tree, "ab", "a")
+
+    def test_original_untouched(self):
+        tree = parse_newick("(((a,b)ab,c)abc,(d,e)de);")
+        before = tree.to_newick()
+        spr_move(tree, "a", "d")
+        assert tree.to_newick() == before
+
+    def test_interior_subtree_move(self):
+        tree = parse_newick("(((a,b)ab,c)abc,((d,e)de,f)def);")
+        moved = spr_move(tree, "ab", "f")
+        assert set(moved.leaf_names()) == set("abcdef")
+        validate_tree(moved)
+
+
+class TestRandomAndPerturb:
+    def test_random_spr_changes_topology(self, rng):
+        tree = yule_tree(12, rng=rng)
+        moved = random_spr(tree, rng)
+        assert moved.topology_key() != tree.topology_key()
+        assert set(moved.leaf_names()) == set(tree.leaf_names())
+
+    def test_perturb_zero_is_identity(self, rng):
+        tree = yule_tree(8, rng=rng)
+        assert perturb(tree, 0, rng).topology_key() == tree.topology_key()
+
+    def test_perturb_negative_raises(self, rng):
+        with pytest.raises(TreeStructureError):
+            perturb(yule_tree(8, rng=rng), -1, rng)
+
+    def test_too_small_raises(self, rng):
+        tree = parse_newick("(a,b);")
+        with pytest.raises(TreeStructureError):
+            random_spr(tree, rng)
+
+    def test_rf_grows_with_moves_on_average(self):
+        """Metric calibration: more SPR moves → larger RF distance from
+        the origin, on average (the property E7's metrics rely on)."""
+        rng = np.random.default_rng(9)
+        tree = yule_tree(30, rng=rng)
+        mean_rf = []
+        for moves in (1, 4, 10):
+            values = [
+                robinson_foulds(tree, perturb(tree, moves, rng))
+                for _ in range(5)
+            ]
+            mean_rf.append(np.mean(values))
+        assert mean_rf[0] < mean_rf[-1]
+
+    def test_perturbed_trees_remain_valid(self, rng):
+        tree = yule_tree(15, rng=rng)
+        moved = perturb(tree, 5, rng)
+        validate_tree(moved, require_leaf_names=False)
+        assert moved.n_leaves() == 15

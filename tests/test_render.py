@@ -1,0 +1,82 @@
+"""Unit tests for terminal rendering and the Walrus export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli.render import render_ascii, render_phylogram
+from repro.cli.walrus import to_walrus_json
+from repro.trees.build import caterpillar
+from repro.trees.newick import parse_newick
+
+
+class TestAsciiRender:
+    def test_all_names_present(self, fig1):
+        output = render_ascii(fig1)
+        for name in ("R", "Syn", "A", "x", "Lla", "Spy", "Bha", "Bsu"):
+            assert name in output
+
+    def test_lengths_shown(self, fig1):
+        assert ":2.5" in render_ascii(fig1)
+
+    def test_lengths_hidden(self, fig1):
+        assert ":" not in render_ascii(fig1, show_lengths=False)
+
+    def test_box_drawing_structure(self, fig1):
+        output = render_ascii(fig1)
+        assert "├──" in output
+        assert "└──" in output
+
+    def test_line_count_matches_nodes(self, fig1):
+        assert len(render_ascii(fig1).splitlines()) == fig1.size()
+
+    def test_truncation(self):
+        tree = caterpillar(500)
+        output = render_ascii(tree, max_nodes=50)
+        assert "truncated" in output
+        assert len(output.splitlines()) == 51
+
+    def test_anonymous_nodes_rendered_as_star(self):
+        tree = parse_newick("((a:1,b:1):1,c:1);")
+        assert "*" in render_ascii(tree)
+
+
+class TestPhylogram:
+    def test_rows_per_leaf(self, fig1):
+        assert len(render_phylogram(fig1).splitlines()) == fig1.n_leaves()
+
+    def test_distances_annotated(self, fig1):
+        output = render_phylogram(fig1)
+        assert "2.5" in output
+        assert "2.25" in output
+
+    def test_bar_lengths_ordered(self, fig1):
+        output = render_phylogram(fig1)
+        rows = {line.split()[0]: line.count("-") for line in output.splitlines()}
+        assert rows["Syn"] > rows["Bsu"]
+
+
+class TestWalrusExport:
+    def test_valid_json(self, fig1):
+        document = json.loads(to_walrus_json(fig1))
+        assert document["format"] == "walrus-json"
+        assert document["n_nodes"] == fig1.size()
+        assert document["n_links"] == fig1.size() - 1
+
+    def test_links_form_tree(self, fig1):
+        document = json.loads(to_walrus_json(fig1))
+        destinations = [link["destination"] for link in document["links"]]
+        assert len(destinations) == len(set(destinations))
+        assert 0 not in destinations  # root has no incoming link
+
+    def test_lengths_preserved(self, fig1):
+        document = json.loads(to_walrus_json(fig1))
+        lengths = sorted(link["length"] for link in document["links"])
+        assert lengths == sorted(
+            node.length for node in fig1.preorder() if node.parent is not None
+        )
+
+    def test_leaf_flags(self, fig1):
+        document = json.loads(to_walrus_json(fig1))
+        leaves = [node for node in document["nodes"] if node["leaf"]]
+        assert len(leaves) == fig1.n_leaves()

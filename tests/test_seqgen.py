@@ -1,0 +1,120 @@
+"""Unit tests for sequence evolution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.reconstruction.distances import p_distance
+from repro.simulation.models import jc69, k80
+from repro.simulation.rates import SiteRates
+from repro.simulation.seqgen import evolve_sequences
+from repro.trees.build import caterpillar, sample_tree
+from repro.trees.newick import parse_newick
+
+
+class TestBasics:
+    def test_all_leaves_covered(self, fig1, rng):
+        sequences = evolve_sequences(fig1, jc69(), 100, rng=rng)
+        assert set(sequences) == set(fig1.leaf_names())
+
+    def test_lengths_match(self, fig1, rng):
+        sequences = evolve_sequences(fig1, jc69(), 123, rng=rng)
+        assert all(len(seq) == 123 for seq in sequences.values())
+
+    def test_alphabet_is_dna(self, fig1, rng):
+        sequences = evolve_sequences(fig1, jc69(), 200, rng=rng)
+        assert set("".join(sequences.values())) <= set("ACGT")
+
+    def test_include_interior(self, fig1, rng):
+        sequences = evolve_sequences(
+            fig1, jc69(), 50, rng=rng, include_interior=True
+        )
+        assert "x" in sequences and "A" in sequences and "R" in sequences
+
+    def test_reproducible(self, fig1):
+        first = evolve_sequences(fig1, jc69(), 60, rng=np.random.default_rng(9))
+        second = evolve_sequences(fig1, jc69(), 60, rng=np.random.default_rng(9))
+        assert first == second
+
+    def test_invalid_args(self, fig1, rng):
+        with pytest.raises(SimulationError):
+            evolve_sequences(fig1, jc69(), 0, rng=rng)
+        with pytest.raises(SimulationError):
+            evolve_sequences(fig1, jc69(), 10, rng=rng, scale=0.0)
+
+    def test_unnamed_leaf_rejected(self, rng):
+        tree = parse_newick("((a:1,:1):1,b:1);")
+        with pytest.raises(SimulationError):
+            evolve_sequences(tree, jc69(), 10, rng=rng)
+
+    def test_zero_length_edges_copy_parent(self, rng):
+        tree = parse_newick("(a:0,b:0);")
+        sequences = evolve_sequences(tree, jc69(), 300, rng=rng)
+        assert sequences["a"] == sequences["b"]
+
+
+class TestDivergenceStatistics:
+    def test_divergence_tracks_branch_length(self, rng):
+        """Observed p-distance on a two-leaf tree approximates the JC
+        expectation 3/4 (1 - e^{-4d/3})."""
+        for branch in (0.05, 0.2, 0.6):
+            tree = parse_newick(f"(a:{branch},b:{branch});")
+            sequences = evolve_sequences(tree, jc69(), 30000, rng=rng)
+            observed = p_distance(sequences["a"], sequences["b"])
+            expected = 0.75 * (1.0 - np.exp(-4.0 * (2 * branch) / 3.0))
+            assert observed == pytest.approx(expected, abs=0.02)
+
+    def test_scale_multiplies_divergence(self, rng):
+        tree = parse_newick("(a:0.1,b:0.1);")
+        close = evolve_sequences(tree, jc69(), 20000, rng=rng, scale=0.1)
+        far = evolve_sequences(tree, jc69(), 20000, rng=rng, scale=3.0)
+        assert p_distance(close["a"], close["b"]) < p_distance(
+            far["a"], far["b"]
+        )
+
+    def test_siblings_more_similar_than_distant_taxa(self, rng):
+        tree = sample_tree()
+        sequences = evolve_sequences(tree, k80(2.0), 20000, rng=rng, scale=0.2)
+        sibling_distance = p_distance(sequences["Lla"], sequences["Spy"])
+        distant_distance = p_distance(sequences["Lla"], sequences["Bsu"])
+        assert sibling_distance < distant_distance
+
+
+class TestRateHeterogeneity:
+    def test_invariant_sites_never_change(self, rng):
+        tree = parse_newick("(a:5,b:5);")  # saturating branch
+        site_rates = SiteRates(2000, rng, proportion_invariant=0.5)
+        sequences = evolve_sequences(
+            tree, jc69(), 2000, rng=rng, site_rates=site_rates
+        )
+        invariant = site_rates.rates == 0.0
+        a = np.array(list(sequences["a"]))
+        b = np.array(list(sequences["b"]))
+        assert np.all(a[invariant] == b[invariant])
+
+    def test_gamma_slow_sites_differ_less(self, rng):
+        tree = parse_newick("(a:1.0,b:1.0);")
+        site_rates = SiteRates(20000, rng, alpha=0.3)
+        sequences = evolve_sequences(
+            tree, jc69(), 20000, rng=rng, site_rates=site_rates
+        )
+        a = np.array(list(sequences["a"]))
+        b = np.array(list(sequences["b"]))
+        slow = site_rates.rates <= np.median(site_rates.rates)
+        slow_rate = (a[slow] != b[slow]).mean()
+        fast_rate = (a[~slow] != b[~slow]).mean()
+        assert slow_rate < fast_rate
+
+    def test_rates_length_mismatch_raises(self, fig1, rng):
+        site_rates = SiteRates(50, rng)
+        with pytest.raises(SimulationError):
+            evolve_sequences(fig1, jc69(), 60, rng=rng, site_rates=site_rates)
+
+
+class TestDeepTree:
+    def test_deep_chain_evolves_iteratively(self, rng):
+        tree = caterpillar(3000, edge_length=0.001)
+        sequences = evolve_sequences(tree, jc69(), 30, rng=rng)
+        assert len(sequences) == 3000

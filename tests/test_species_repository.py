@@ -1,0 +1,106 @@
+"""Unit tests for the Species Repository."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError, StorageError
+from repro.storage.species_repository import SpeciesRepository
+from repro.storage.tree_repository import TreeRepository
+
+
+@pytest.fixture
+def setup(db, fig1):
+    trees = TreeRepository(db)
+    species = SpeciesRepository(db)
+    stored = trees.store_tree(fig1, f=2)
+    return stored, species
+
+
+class TestAttach:
+    def test_attach_and_fetch(self, setup):
+        stored, species = setup
+        count = species.attach_sequences(stored, {"Lla": "ACGT", "Spy": "AGGT"})
+        assert count == 2
+        assert species.sequence_of(stored, "Lla") == "ACGT"
+
+    def test_attach_unknown_taxon_raises(self, setup):
+        stored, species = setup
+        with pytest.raises(QueryError):
+            species.attach_sequences(stored, {"ghost": "ACGT"})
+
+    def test_conflict_without_replace(self, setup):
+        stored, species = setup
+        species.attach_sequences(stored, {"Lla": "ACGT"})
+        with pytest.raises(StorageError):
+            species.attach_sequences(stored, {"Lla": "TTTT"})
+
+    def test_replace_overwrites(self, setup):
+        stored, species = setup
+        species.attach_sequences(stored, {"Lla": "ACGT"})
+        species.attach_sequences(stored, {"Lla": "TTTT"}, replace=True)
+        assert species.sequence_of(stored, "Lla") == "TTTT"
+
+    def test_char_type_recorded(self, setup, db):
+        stored, species = setup
+        species.attach_sequences(stored, {"Lla": "MKV"}, char_type="PROTEIN")
+        row = db.query_one("SELECT char_type FROM species")
+        assert row["char_type"] == "PROTEIN"
+
+    def test_interior_nodes_can_carry_data(self, setup):
+        # The gold standard may record ancestral sequences too.
+        stored, species = setup
+        species.attach_sequences(stored, {"x": "ACGT"})
+        assert species.sequence_of(stored, "x") == "ACGT"
+
+
+class TestFetch:
+    def test_missing_data_raises(self, setup):
+        stored, species = setup
+        with pytest.raises(QueryError):
+            species.sequence_of(stored, "Lla")
+
+    def test_unknown_taxon_raises(self, setup):
+        stored, species = setup
+        with pytest.raises(QueryError):
+            species.sequence_of(stored, "ghost")
+
+    def test_sequences_for(self, setup):
+        stored, species = setup
+        species.attach_sequences(stored, {"Lla": "AC", "Spy": "AG", "Bha": "TT"})
+        fetched = species.sequences_for(stored, ["Lla", "Bha"])
+        assert fetched == {"Lla": "AC", "Bha": "TT"}
+
+    def test_sequences_for_partial_missing_raises(self, setup):
+        stored, species = setup
+        species.attach_sequences(stored, {"Lla": "AC"})
+        with pytest.raises(QueryError):
+            species.sequences_for(stored, ["Lla", "Spy"])
+
+
+class TestCountAndDelete:
+    def test_count(self, setup):
+        stored, species = setup
+        assert species.count(stored) == 0
+        species.attach_sequences(stored, {"Lla": "AC", "Spy": "AG"})
+        assert species.count(stored) == 2
+
+    def test_delete_for_tree(self, setup):
+        stored, species = setup
+        species.attach_sequences(stored, {"Lla": "AC"})
+        assert species.delete_for_tree(stored) == 1
+        assert species.count(stored) == 0
+
+    def test_separation_between_trees(self, db, fig1):
+        """Species rows are keyed per tree: same taxon names in two trees
+        do not collide."""
+        from repro.trees.build import sample_tree
+
+        trees = TreeRepository(db)
+        species = SpeciesRepository(db)
+        first = trees.store_tree(fig1, name="first")
+        second = trees.store_tree(sample_tree(), name="second")
+        species.attach_sequences(first, {"Lla": "AAAA"})
+        species.attach_sequences(second, {"Lla": "CCCC"})
+        assert species.sequence_of(first, "Lla") == "AAAA"
+        assert species.sequence_of(second, "Lla") == "CCCC"

@@ -1,0 +1,106 @@
+"""Property-based tests over the relational store.
+
+Hypothesis generates arbitrary trees and label bounds; every stored
+tree must verify clean, answer SQL LCA identically to the in-memory
+naive walk, project identically to the in-memory algorithm, and
+round-trip bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.projection import project_tree
+from repro.storage.database import CrimsonDatabase
+from repro.storage.maintenance import verify_tree
+from repro.storage.projection import project_stored
+from repro.storage.tree_repository import TreeRepository
+from repro.trees.node import Node
+from repro.trees.traversal import naive_lca
+from repro.trees.tree import PhyloTree
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def named_trees(draw, max_nodes: int = 30):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = random.Random(seed)
+    root = Node("n0")
+    nodes = [root]
+    for index in range(1, n):
+        parent = rng.choice(nodes)
+        child = Node(f"n{index}", rng.uniform(0.0, 2.0))
+        parent.add_child(child)
+        nodes.append(child)
+    return PhyloTree(root, name="prop")
+
+
+label_bounds = st.integers(min_value=1, max_value=5)
+
+
+@SETTINGS
+@given(tree=named_trees(), f=label_bounds)
+def test_stored_tree_verifies_clean(tree, f):
+    with CrimsonDatabase() as db:
+        TreeRepository(db).store_tree(tree, f=f)
+        assert verify_tree(db, "prop").ok
+
+
+@SETTINGS
+@given(tree=named_trees(), f=label_bounds, seed=st.integers(0, 2**31))
+def test_sql_lca_equals_naive(tree, f, seed):
+    with CrimsonDatabase() as db:
+        handle = TreeRepository(db).store_tree(tree, f=f)
+        nodes = list(tree.preorder())
+        rng = random.Random(seed)
+        for _ in range(8):
+            a = rng.choice(nodes)
+            b = rng.choice(nodes)
+            assert handle.lca(a.name, b.name).name == naive_lca(a, b).name
+
+
+@SETTINGS
+@given(tree=named_trees(), f=label_bounds, seed=st.integers(0, 2**31))
+def test_sql_projection_equals_in_memory(tree, f, seed):
+    leaves = [leaf.name for leaf in tree.root.leaves()]
+    rng = random.Random(seed)
+    sample = rng.sample(leaves, rng.randint(1, len(leaves)))
+    with CrimsonDatabase() as db:
+        handle = TreeRepository(db).store_tree(tree, f=f)
+        via_sql = project_stored(handle, sample)
+        in_memory = project_tree(tree, sample)
+        assert via_sql.equals(in_memory, tolerance=1e-9)
+
+
+@SETTINGS
+@given(tree=named_trees(), f=label_bounds)
+def test_store_roundtrip(tree, f):
+    with CrimsonDatabase() as db:
+        handle = TreeRepository(db).store_tree(tree, f=f)
+        fetched = handle.fetch_tree()
+        assert fetched.equals(tree, tolerance=0.0)
+
+
+@SETTINGS
+@given(tree=named_trees(), f=label_bounds, time=st.floats(0.0, 5.0))
+def test_sql_frontier_is_minimal_cut(tree, f, time):
+    with CrimsonDatabase() as db:
+        handle = TreeRepository(db).store_tree(tree, f=f)
+        frontier = handle.time_frontier(time)
+        distances = tree.distances_from_root()
+        names = {row.name for row in frontier}
+        for node in tree.preorder():
+            past = distances[id(node)] > time
+            parent_within = (
+                node.parent is None or distances[id(node.parent)] <= time
+            )
+            assert (node.name in names) == (past and parent_within)

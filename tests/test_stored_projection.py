@@ -1,0 +1,77 @@
+"""Unit tests for SQL-backed projection."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.projection import project_tree
+from repro.errors import QueryError
+from repro.simulation.birth_death import yule_tree
+from repro.storage.projection import project_stored
+from repro.storage.tree_repository import TreeRepository
+
+
+@pytest.fixture
+def stored(db, fig1):
+    return TreeRepository(db).store_tree(fig1, f=2)
+
+
+class TestPaperExample:
+    def test_figure2_via_sql(self, stored):
+        projection = project_stored(stored, ["Bha", "Lla", "Syn"])
+        lengths = sorted(
+            node.length
+            for node in projection.preorder()
+            if node.parent is not None
+        )
+        assert lengths == pytest.approx([0.75, 1.5, 1.5, 2.5])
+        assert projection.find("Lla").length == pytest.approx(1.5)
+
+    def test_single_leaf(self, stored):
+        projection = project_stored(stored, ["Bha"])
+        assert projection.size() == 1
+        assert projection.root.length == 0.0
+
+    def test_keep_root_edge(self, stored):
+        projection = project_stored(stored, ["Lla", "Spy"], keep_root_edge=True)
+        assert projection.root.name == "x"
+        assert projection.root.length == pytest.approx(1.25)
+
+    def test_duplicates_collapsed(self, stored):
+        projection = project_stored(stored, ["Lla", "Lla", "Spy"])
+        assert sorted(projection.leaf_names()) == ["Lla", "Spy"]
+
+
+class TestErrors:
+    def test_empty(self, stored):
+        with pytest.raises(QueryError):
+            project_stored(stored, [])
+
+    def test_unknown(self, stored):
+        with pytest.raises(QueryError):
+            project_stored(stored, ["ghost"])
+
+    def test_interior(self, stored):
+        with pytest.raises(QueryError):
+            project_stored(stored, ["x", "Lla"])
+
+
+class TestAgainstInMemory:
+    def test_random_samples_agree(self, db):
+        rng = np.random.default_rng(31)
+        tree = yule_tree(120, rng=rng)
+        handle = TreeRepository(db).store_tree(tree, name="gold", f=4)
+        names = tree.leaf_names()
+        draw = random.Random(8)
+        for _ in range(15):
+            sample = draw.sample(names, draw.randint(1, 25))
+            via_sql = project_stored(handle, sample)
+            in_memory = project_tree(tree, sample)
+            assert via_sql.equals(in_memory, tolerance=1e-9)
+
+    def test_interior_names_preserved(self, stored, fig1):
+        via_sql = project_stored(stored, ["Lla", "Bha"])
+        assert via_sql.root.name == "A"

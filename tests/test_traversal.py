@@ -1,0 +1,99 @@
+"""Unit tests for traversal utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees.build import caterpillar
+from repro.trees.traversal import (
+    depth_table,
+    iter_edges,
+    naive_lca,
+    path_to_root,
+    preorder_intervals,
+    preorder_table,
+    root_distance_table,
+)
+
+
+class TestPreorderTables:
+    def test_ranks_are_dense(self, fig1):
+        ranks = preorder_table(fig1)
+        assert sorted(ranks.values()) == list(range(fig1.size()))
+
+    def test_intervals_nest(self, fig1):
+        intervals = preorder_intervals(fig1)
+        for node in fig1.preorder():
+            low, high = intervals[id(node)]
+            for descendant in node.preorder():
+                d_low, d_high = intervals[id(descendant)]
+                assert low <= d_low <= d_high <= high
+
+    def test_leaf_interval_is_point(self, fig1):
+        intervals = preorder_intervals(fig1)
+        leaf = fig1.find("Lla")
+        low, high = intervals[id(leaf)]
+        assert low == high
+
+    def test_root_interval_spans_tree(self, fig1):
+        intervals = preorder_intervals(fig1)
+        assert intervals[id(fig1.root)] == (0, fig1.size() - 1)
+
+    def test_interval_contains_exactly_subtree(self, fig1):
+        intervals = preorder_intervals(fig1)
+        ranks = preorder_table(fig1)
+        x = fig1.find("x")
+        low, high = intervals[id(x)]
+        inside = {
+            node.name
+            for node in fig1.preorder()
+            if low <= ranks[id(node)] <= high
+        }
+        assert inside == {"x", "Lla", "Spy"}
+
+
+class TestDepthAndDistance:
+    def test_depth_table(self, fig1):
+        depths = depth_table(fig1)
+        assert depths[id(fig1.find("Spy"))] == 3
+
+    def test_distance_table(self, fig1):
+        distances = root_distance_table(fig1)
+        assert distances[id(fig1.find("Bha"))] == pytest.approx(2.25)
+
+    def test_deep_tree_single_pass(self):
+        tree = caterpillar(5000)
+        depths = depth_table(tree)
+        assert max(depths.values()) == tree.max_depth()
+
+
+class TestEdgesAndPaths:
+    def test_iter_edges_count(self, fig1):
+        assert sum(1 for _ in iter_edges(fig1)) == fig1.size() - 1
+
+    def test_edges_are_parent_child(self, fig1):
+        for parent, child in iter_edges(fig1):
+            assert child.parent is parent
+
+    def test_path_to_root(self, fig1):
+        path = [node.name for node in path_to_root(fig1.find("Lla"))]
+        assert path == ["Lla", "x", "A", "R"]
+
+
+class TestNaiveLca:
+    def test_basic(self, fig1):
+        assert naive_lca(fig1.find("Lla"), fig1.find("Spy")) is fig1.find("x")
+
+    def test_self_lca(self, fig1):
+        node = fig1.find("Syn")
+        assert naive_lca(node, node) is node
+
+    def test_ancestor_descendant(self, fig1):
+        assert naive_lca(fig1.find("A"), fig1.find("Lla")) is fig1.find("A")
+
+    def test_disjoint_trees_raise(self, fig1):
+        from repro.trees.build import sample_tree
+
+        other = sample_tree()
+        with pytest.raises(ValueError):
+            naive_lca(fig1.find("Lla"), other.find("Spy"))

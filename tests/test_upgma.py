@@ -1,0 +1,100 @@
+"""Unit tests for UPGMA/WPGMA clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmark.metrics import robinson_foulds
+from repro.errors import ReconstructionError
+from repro.reconstruction.distances import DistanceMatrix, tree_distance_matrix
+from repro.reconstruction.upgma import upgma, wpgma
+from repro.simulation.birth_death import coalescent_tree, yule_tree
+from repro.trees.newick import parse_newick
+from repro.trees.tree import validate_tree
+
+
+class TestSmallCases:
+    def test_two_taxa(self):
+        matrix = DistanceMatrix(["a", "b"], np.array([[0.0, 4.0], [4.0, 0.0]]))
+        tree = upgma(matrix)
+        assert tree.find("a").length == pytest.approx(2.0)
+        assert tree.find("b").length == pytest.approx(2.0)
+
+    def test_textbook_example(self):
+        """Durbin et al. style example: closest pair merges first."""
+        names = ["a", "b", "c", "d"]
+        values = np.array(
+            [
+                [0.0, 2.0, 6.0, 6.0],
+                [2.0, 0.0, 6.0, 6.0],
+                [6.0, 6.0, 0.0, 4.0],
+                [6.0, 6.0, 4.0, 0.0],
+            ]
+        )
+        tree = upgma(DistanceMatrix(names, values))
+        # (a,b) and (c,d) are cherries, heights 1 and 2, root at 3.
+        assert robinson_foulds(
+            tree, parse_newick("((a:1,b:1):2,(c:2,d:2):1);")
+        ) == 0
+        assert tree.find("a").length == pytest.approx(1.0)
+        assert tree.find("c").length == pytest.approx(2.0)
+
+    def test_single_taxon_raises(self):
+        with pytest.raises(ReconstructionError):
+            upgma(DistanceMatrix(["a"], np.zeros((1, 1))))
+
+    def test_structure_valid(self, rng):
+        matrix = tree_distance_matrix(coalescent_tree(8, rng=rng))
+        validate_tree(upgma(matrix), require_leaf_names=False)
+
+
+class TestUltrametricRecovery:
+    @pytest.mark.parametrize("n_leaves", [4, 8, 15, 24])
+    def test_recovers_clock_trees(self, n_leaves):
+        rng = np.random.default_rng(n_leaves)
+        truth = coalescent_tree(n_leaves, rng=rng)
+        estimate = upgma(tree_distance_matrix(truth))
+        assert robinson_foulds(truth, estimate) == 0
+
+    def test_result_is_ultrametric(self, rng):
+        estimate = upgma(tree_distance_matrix(yule_tree(12, rng=rng)))
+        distances = estimate.distances_from_root()
+        leaf_distances = [
+            distances[id(leaf)] for leaf in estimate.root.leaves()
+        ]
+        assert max(leaf_distances) - min(leaf_distances) < 1e-9
+
+    def test_fails_without_clock(self):
+        """The classical UPGMA failure: the long-branch taxon b is pulled
+        away from its true sister a (rooted clusters disagree).  This is
+        the behaviour that makes NJ beat UPGMA in E7."""
+        from repro.benchmark.metrics import clusters
+        from repro.reconstruction.nj import neighbor_joining
+
+        truth = parse_newick("((a:0.1,b:3.0):0.1,(c:0.1,d:0.1):0.1);")
+        matrix = tree_distance_matrix(truth)
+        estimate = upgma(matrix)
+        assert clusters(estimate) != clusters(truth)
+        # ... while NJ, clock-free, still recovers the unrooted topology.
+        assert robinson_foulds(truth, neighbor_joining(matrix)) == 0
+
+
+class TestWpgma:
+    def test_agrees_with_upgma_on_balanced_sizes(self):
+        names = ["a", "b", "c", "d"]
+        values = np.array(
+            [
+                [0.0, 2.0, 8.0, 8.0],
+                [2.0, 0.0, 8.0, 8.0],
+                [8.0, 8.0, 0.0, 2.0],
+                [8.0, 8.0, 2.0, 0.0],
+            ]
+        )
+        matrix = DistanceMatrix(names, values)
+        assert robinson_foulds(upgma(matrix), wpgma(matrix)) == 0
+
+    def test_recovers_clock_trees(self, rng):
+        truth = coalescent_tree(10, rng=rng)
+        estimate = wpgma(tree_distance_matrix(truth))
+        assert robinson_foulds(truth, estimate) == 0
