@@ -60,6 +60,16 @@ from repro.trees.newick import parse_newick, write_newick
 from repro.trees.nexus import NexusDocument, write_nexus
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the full argument parser (exposed for the test suite)."""
     parser = argparse.ArgumentParser(
@@ -74,6 +84,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="random seed for sampling"
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=_positive_int,
+        default=None,
+        help="row-cache entries per cache for stored-tree query handles "
+        "(default: engine default; see repro.storage.engine)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -126,6 +143,20 @@ def build_parser() -> argparse.ArgumentParser:
     lca = commands.add_parser("lca", help="least common ancestor of species")
     lca.add_argument("tree")
     lca.add_argument("taxa", nargs="+", help="two or more species names")
+
+    lca_batch = commands.add_parser(
+        "lca-batch",
+        help="batched LCA over many species pairs (one engine round trip)",
+    )
+    lca_batch.add_argument("tree")
+    lca_batch.add_argument(
+        "pairs", nargs="+", help="species pairs in the form NAME1,NAME2"
+    )
+    lca_batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print the query engine's row-cache statistics",
+    )
 
     clade = commands.add_parser(
         "clade", help="minimal spanning clade of a species set"
@@ -243,7 +274,7 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
-    trees = TreeRepository(db)
+    trees = TreeRepository(db, cache_size=getattr(args, "cache_size", None))
     species = SpeciesRepository(db)
     history = QueryRepository(db)
     loader = DataLoader(db, report=print)
@@ -320,6 +351,37 @@ def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
         )
         print(f"LCA: node {row.node_id} name={row.name!r} depth={row.depth} "
               f"dist={row.dist_from_root:g}")
+        return 0
+
+    if args.command == "lca-batch":
+        stored = trees.open(args.tree)
+        pairs: list[tuple[str, str]] = []
+        for text in args.pairs:
+            parts = [part for part in text.split(",") if part]
+            if len(parts) != 2:
+                raise CrimsonError(
+                    f"pair {text!r} must be two comma-separated species names"
+                )
+            pairs.append((parts[0], parts[1]))
+        results = stored.lca_batch(pairs)
+        history.record(
+            "lca-batch",
+            {"pairs": [list(pair) for pair in pairs]},
+            tree_name=args.tree,
+            result_summary=f"{len(results)} pairs",
+        )
+        for (a, b), row in zip(pairs, results):
+            print(
+                f"LCA({a}, {b}): node {row.node_id} name={row.name!r} "
+                f"depth={row.depth} dist={row.dist_from_root:g}"
+            )
+        if args.stats:
+            for name, stats in stored.cache_stats().items():
+                print(
+                    f"cache {name:<10} hits={stats.hits:<6} "
+                    f"misses={stats.misses:<6} evictions={stats.evictions:<4} "
+                    f"size={stats.size}/{stats.maxsize}"
+                )
         return 0
 
     if args.command == "clade":
@@ -523,6 +585,12 @@ def _replay_arguments(entry) -> list[str] | None:
     params = entry.params
     if entry.operation == "lca" and tree:
         return ["lca", tree, *params["taxa"]]
+    if entry.operation == "lca-batch" and tree:
+        return [
+            "lca-batch",
+            tree,
+            *[",".join(pair) for pair in params["pairs"]],
+        ]
     if entry.operation == "clade" and tree:
         return ["clade", tree, *params["taxa"]]
     if entry.operation == "frontier" and tree:

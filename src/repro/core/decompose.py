@@ -131,16 +131,22 @@ def decompose(tree: PhyloTree, f: int) -> Decomposition:
 
     top = Block(block_id=0, root=tree.root)
     blocks.append(top)
-    block_of[id(tree.root)] = 0
-    label_of[id(tree.root)] = ()
     top.members.append((tree.root, ()))
 
-    # Work items: (node, block_id, local_label). The node's children are
-    # placed either in the same block (label grows) or, when the node sits
-    # at local depth f, in a fresh block rooted at the node's copy.
+    # Work items: (node, block_id, local_label), popped in true pre-order
+    # (children are pushed reversed onto the LIFO stack).  A node's
+    # canonical position is recorded when *it* is visited, so every
+    # block's ``members`` list honours the dataclass's "in pre-order"
+    # contract.  Children are placed either in the node's own block
+    # (label grows) or, when the node sits at local depth f, in a fresh
+    # block rooted at the node's copy.
     stack: list[tuple[Node, int, DeweyLabel]] = [(tree.root, 0, ())]
     while stack:
         node, block_id, label = stack.pop()
+        block_of[id(node)] = block_id
+        label_of[id(node)] = label
+        if node is not tree.root:
+            blocks[block_id].members.append((node, label))
         if not node.children:
             continue
         if len(label) == f:
@@ -154,12 +160,8 @@ def decompose(tree: PhyloTree, f: int) -> Decomposition:
             blocks.append(child_block)
             block_id = child_block.block_id
             label = ()
-        for order, child in enumerate(node.children, start=1):
-            child_label = label + (order,)
-            block_of[id(child)] = block_id
-            label_of[id(child)] = child_label
-            blocks[block_id].members.append((child, child_label))
-            stack.append((child, block_id, child_label))
+        for order, child in reversed(list(enumerate(node.children, start=1))):
+            stack.append((child, block_id, label + (order,)))
 
     return Decomposition(tree=tree, f=f, blocks=blocks, block_of=block_of, label_of=label_of)
 

@@ -98,12 +98,14 @@ class DeweyIndex:
         self.tree = tree
         self._label_of: dict[int, DeweyLabel] = {}
         self._node_at: dict[DeweyLabel, Node] = {}
+        # Children are pushed reversed so the LIFO pop order — and hence
+        # the dicts' insertion order — is the tree's true pre-order.
         stack: list[tuple[Node, DeweyLabel]] = [(tree.root, ())]
         while stack:
             node, label = stack.pop()
             self._label_of[id(node)] = label
             self._node_at[label] = node
-            for order, child in enumerate(node.children, start=1):
+            for order, child in reversed(list(enumerate(node.children, start=1))):
                 stack.append((child, label + (order,)))
 
     def label(self, node: Node) -> DeweyLabel:
@@ -137,7 +139,19 @@ class DeweyIndex:
         return self.node_at(common_prefix(self.label(a), self.label(b)))
 
     def lca_many(self, nodes: Iterable[Node]) -> Node:
-        """LCA of any non-empty set of nodes."""
+        """LCA of any non-empty set of nodes.
+
+        The lazy generator plus :func:`common_prefix_all`'s empty-prefix
+        break give the same root early-exit as the layered and stored
+        ``lca_many``: once the running prefix is empty the root is the
+        answer, so the remaining nodes are never even label-looked-up
+        (regression-tested in ``tests/test_dewey.py``).
+
+        Raises
+        ------
+        QueryError
+            If ``nodes`` is empty.
+        """
         return self.node_at(
             common_prefix_all(self.label(node) for node in nodes)
         )

@@ -2,6 +2,9 @@
 
 * :mod:`repro.storage.database` — sqlite connection management,
 * :mod:`repro.storage.schema` — DDL (see DESIGN.md §6),
+* :mod:`repro.storage.engine` — the stored-query engine: bounded LRU row
+  caches and batched ``IN (...)`` fetches behind every query handle,
+* :mod:`repro.storage.cache` — the LRU cache primitive and its stats,
 * :mod:`repro.storage.tree_repository` — tree rows + layered index rows,
   with SQL-backed LCA/clade/frontier queries,
 * :mod:`repro.storage.species_repository` — sequence data,
@@ -9,7 +12,9 @@
 * :mod:`repro.storage.loader` — NEXUS/Newick ingestion.
 """
 
-from repro.storage.database import CrimsonDatabase
+from repro.storage.cache import CacheStats, LRUCache
+from repro.storage.database import CrimsonDatabase, StatementCounter
+from repro.storage.engine import DEFAULT_CACHE_SIZE, StoredQueryEngine
 from repro.storage.schema import SCHEMA_VERSION, create_schema
 from repro.storage.tree_repository import (
     NodeRow,
@@ -24,6 +29,11 @@ from repro.storage.projection import project_stored
 from repro.storage.maintenance import IntegrityReport, verify_store, verify_tree
 
 __all__ = [
+    "CacheStats",
+    "DEFAULT_CACHE_SIZE",
+    "LRUCache",
+    "StatementCounter",
+    "StoredQueryEngine",
     "project_stored",
     "IntegrityReport",
     "verify_store",

@@ -1,0 +1,150 @@
+"""Bounded LRU row caches for the stored-query engine.
+
+Upper-layer index rows (``blocks``, ``inodes``) are tiny — ``O(n/f)``
+rows for an ``n``-node tree — and immutable once a tree is stored, so a
+small in-process cache turns the per-hop point ``SELECT``s of the
+layered LCA algorithm into dictionary lookups on the warm path.
+:class:`LRUCache` is deliberately minimal: a bounded mapping with
+least-recently-used eviction and hit/miss/eviction counters that
+:meth:`repro.storage.engine.StoredQueryEngine.cache_stats` aggregates
+for the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one cache (or an aggregate over several).
+
+    Attributes
+    ----------
+    hits / misses:
+        Lookup outcomes since creation (or the last ``reset_stats``).
+    evictions:
+        Entries dropped to respect the size bound.
+    size / maxsize:
+        Current and maximum number of entries.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    maxsize: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            size=self.size + other.size,
+            maxsize=self.maxsize + other.maxsize,
+        )
+
+    def as_dict(self) -> dict[str, int | float]:
+        """JSON-friendly rendering (used by the CLI and benchmarks)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of entries; must be at least 1.
+
+    Notes
+    -----
+    ``get`` counts a hit or a miss; ``put`` never counts a lookup, so
+    pre-warming (batch fills) does not inflate the hit rate.
+    """
+
+    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache size must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test; does not count as a lookup or refresh recency."""
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Fetch ``key``, refreshing its recency; counts a hit or miss."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``, evicting the LRU entry when full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._data[key] = value
+            return
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; see ``reset_stats``)."""
+        self._data.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._data),
+            maxsize=self.maxsize,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(size={len(self._data)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -39,7 +39,17 @@ class CrimsonDatabase:
 
     def __init__(self, path: str | Path = ":memory:") -> None:
         self.path = str(path)
-        self._connection: sqlite3.Connection | None = sqlite3.connect(self.path)
+        #: Number of SQL statements issued through the convenience
+        #: helpers (``execute`` / ``query_one`` / ``query_all``).  The
+        #: stored-LCA benchmark reads deltas of this counter to prove
+        #: the warm cache path touches the database zero times.
+        self.statements_executed = 0
+        # ``cached_statements`` keeps the compiled form of the engine's
+        # parameterized point/batch queries resident, so the hot path
+        # re-binds rather than re-prepares.
+        self._connection: sqlite3.Connection | None = sqlite3.connect(
+            self.path, cached_statements=256
+        )
         self._connection.row_factory = sqlite3.Row
         self._connection.execute("PRAGMA foreign_keys = ON")
         if self.path != ":memory:":
@@ -98,16 +108,58 @@ class CrimsonDatabase:
 
     def execute(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
         """Run one statement on the live connection."""
+        self.statements_executed += 1
         return self.connection.execute(sql, parameters)
 
     def query_one(self, sql: str, parameters: tuple = ()) -> sqlite3.Row | None:
         """Run a statement and return the first row (or ``None``)."""
+        self.statements_executed += 1
         return self.connection.execute(sql, parameters).fetchone()
 
     def query_all(self, sql: str, parameters: tuple = ()) -> list[sqlite3.Row]:
         """Run a statement and return all rows."""
+        self.statements_executed += 1
         return self.connection.execute(sql, parameters).fetchall()
+
+    @contextmanager
+    def count_statements(self) -> Iterator["StatementCounter"]:
+        """Count statements issued through the helpers inside the scope.
+
+        The counting cursor of the benchmarks::
+
+            with db.count_statements() as counter:
+                stored.lca("Lla", "Syn")
+            print(counter.count)
+        """
+        counter = StatementCounter(self)
+        try:
+            yield counter
+        finally:
+            counter.stop()
 
     def __repr__(self) -> str:
         state = "closed" if self.is_closed else "open"
         return f"CrimsonDatabase({self.path!r}, {state})"
+
+
+class StatementCounter:
+    """Delta view over :attr:`CrimsonDatabase.statements_executed`."""
+
+    def __init__(self, db: CrimsonDatabase) -> None:
+        self._db = db
+        self._start = db.statements_executed
+        self._stopped_at: int | None = None
+
+    def stop(self) -> None:
+        if self._stopped_at is None:
+            self._stopped_at = self._db.statements_executed
+
+    @property
+    def count(self) -> int:
+        """Statements executed since the counter started (live until stop)."""
+        end = (
+            self._stopped_at
+            if self._stopped_at is not None
+            else self._db.statements_executed
+        )
+        return end - self._start

@@ -8,6 +8,14 @@ rightmost-path insertion as :func:`repro.core.projection.project_tree`,
 but every ancestor test is a SQL layered-LCA query and only the sampled
 rows (plus the LCA rows) are ever fetched — the gold-standard tree is
 never materialized in memory.
+
+The access pattern is batched through the stored-query engine: all
+sampled leaf rows arrive in one ``IN (...)`` fetch
+(:meth:`StoredTree.nodes_by_name`), and because the rightmost-path
+algorithm only ever needs the LCA of *consecutive* pre-order leaves,
+those LCAs are answered in one :meth:`StoredTree.lca_batch` call (which
+resolves every per-leaf canonical inode in a single ``IN (...)`` query)
+before the in-memory stack replay begins.
 """
 
 from __future__ import annotations
@@ -51,12 +59,10 @@ def project_stored(
     if not names:
         raise QueryError("cannot project over an empty leaf set")
 
-    rows: list[NodeRow] = []
-    for name in names:
-        row = stored.node_by_name(name)
+    rows = stored.nodes_by_name(names)
+    for name, row in zip(names, rows):
         if not row.is_leaf:
             raise QueryError(f"{name!r} is an interior node, not a leaf")
-        rows.append(row)
 
     # node_id is the pre-order rank, so sorting by it is the paper's
     # "sort the input leaf set according to the pre-order of tree T".
@@ -68,9 +74,17 @@ def project_stored(
         clone.length = rows[0].dist_from_root if keep_root_edge else 0.0
         return PhyloTree(clone)
 
+    # The stack top at each step is the previously appended leaf, so the
+    # per-step LCA is always LCA(rows[i], rows[i+1]) — one batch call.
+    branches = stored.lca_batch(
+        [
+            (left.node_id, right.node_id)
+            for left, right in zip(rows, rows[1:])
+        ]
+    )
+
     stack: list[NodeRow] = [rows[0]]
-    for leaf in rows[1:]:
-        branch = stored.lca(stack[-1].node_id, leaf.node_id)
+    for leaf, branch in zip(rows[1:], branches):
         while len(stack) >= 2 and stack[-2].depth >= branch.depth:
             builder.add_edge(stack[-2], stack[-1])
             stack.pop()

@@ -10,6 +10,11 @@ Queries against a stored tree run through :class:`StoredTree`, which
 answers LCA with the paper's layered algorithm *directly over SQL row
 fetches* — no in-memory index is rebuilt — demonstrating the paper's
 point that single queries touch only a small portion of a huge tree.
+Row access is mediated by a per-handle
+:class:`~repro.storage.engine.StoredQueryEngine`, which LRU-caches the
+immutable block/inode/node rows and batches multi-key fetches, so the
+warm path executes zero SQL statements and ``lca_batch`` resolves whole
+workloads with a handful of ``IN (...)`` queries.
 """
 
 from __future__ import annotations
@@ -27,7 +32,9 @@ from repro.core.dewey import (
 from repro.core.hindex import HierarchicalIndex
 from repro.core.lca import DEFAULT_LABEL_BOUND
 from repro.errors import QueryError, StorageError
+from repro.storage.cache import CacheStats
 from repro.storage.database import CrimsonDatabase
+from repro.storage.engine import DEFAULT_CACHE_SIZE, StoredQueryEngine
 from repro.trees.node import Node
 from repro.trees.traversal import preorder_intervals
 from repro.trees.tree import PhyloTree
@@ -52,6 +59,10 @@ class NodeRow:
         """Pre-order interval ``[node_id, pre_order_end]`` of the clade."""
         return (self.node_id, self.pre_order_end)
 
+    def contains(self, node_id: int) -> bool:
+        """Ancestor-or-self test: is ``node_id`` inside this clade?"""
+        return self.node_id <= node_id <= self.pre_order_end
+
 
 @dataclass(frozen=True)
 class TreeInfo:
@@ -70,10 +81,25 @@ class TreeInfo:
 
 
 class TreeRepository:
-    """Stores and serves phylogenetic trees from a :class:`CrimsonDatabase`."""
+    """Stores and serves phylogenetic trees from a :class:`CrimsonDatabase`.
 
-    def __init__(self, db: CrimsonDatabase) -> None:
+    Parameters
+    ----------
+    db:
+        The open database.
+    cache_size:
+        Per-cache row bound applied to every :class:`StoredTree` handle
+        this repository creates (see :mod:`repro.storage.engine` for
+        sizing guidance).  ``None`` uses the engine default.
+    """
+
+    def __init__(
+        self, db: CrimsonDatabase, cache_size: int | None = None
+    ) -> None:
         self.db = db
+        self.cache_size = (
+            cache_size if cache_size is not None else DEFAULT_CACHE_SIZE
+        )
 
     # ------------------------------------------------------------------
     # Loading
@@ -220,7 +246,7 @@ class TreeRepository:
                 block_rows,
             )
 
-        return StoredTree(self.db, self.info(key))
+        return StoredTree(self.db, self.info(key), cache_size=self.cache_size)
 
     # ------------------------------------------------------------------
     # Catalogue
@@ -250,9 +276,13 @@ class TreeRepository:
             description=row["description"],
         )
 
-    def open(self, name: str) -> "StoredTree":
-        """Open a query handle on a stored tree."""
-        return StoredTree(self.db, self.info(name))
+    def open(self, name: str, cache_size: int | None = None) -> "StoredTree":
+        """Open a query handle on a stored tree.
+
+        ``cache_size`` overrides the repository default for this handle.
+        """
+        size = cache_size if cache_size is not None else self.cache_size
+        return StoredTree(self.db, self.info(name), cache_size=size)
 
     def list_trees(self) -> list[TreeInfo]:
         """All catalogue entries, ordered by name."""
@@ -284,12 +314,26 @@ class TreeRepository:
 
 
 class StoredTree:
-    """Query handle over one stored tree; all reads go through SQL."""
+    """Query handle over one stored tree; all reads go through SQL.
 
-    def __init__(self, db: CrimsonDatabase, info: TreeInfo) -> None:
+    Point lookups are served by a per-handle
+    :class:`~repro.storage.engine.StoredQueryEngine`: stored rows are
+    immutable, so the engine's LRU caches make repeated block/inode hops
+    free, and its ``IN (...)`` batch fills back :meth:`lca_batch` and
+    :meth:`nodes_by_name`.  ``cache_size`` bounds each row cache;
+    :meth:`cache_stats` exposes the counters.
+    """
+
+    def __init__(
+        self,
+        db: CrimsonDatabase,
+        info: TreeInfo,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
         self.db = db
         self.info = info
         self._tree_id = info.tree_id
+        self.engine = StoredQueryEngine(db, info.tree_id, cache_size)
 
     # ------------------------------------------------------------------
     # Row access
@@ -316,10 +360,7 @@ class StoredTree:
         QueryError
             If the id does not exist in this tree.
         """
-        row = self.db.query_one(
-            "SELECT * FROM nodes WHERE tree_id = ? AND node_id = ?",
-            (self._tree_id, node_id),
-        )
+        row = self.engine.node_row(node_id)
         if row is None:
             raise QueryError(f"no node {node_id} in tree {self.info.name!r}")
         return self._node_row(row)
@@ -332,13 +373,22 @@ class StoredTree:
         QueryError
             If the name is absent.
         """
-        row = self.db.query_one(
-            "SELECT * FROM nodes WHERE tree_id = ? AND name = ?",
-            (self._tree_id, name),
-        )
+        row = self.engine.node_row_by_name(name)
         if row is None:
             raise QueryError(f"no node named {name!r} in tree {self.info.name!r}")
         return self._node_row(row)
+
+    def nodes_by_name(self, names: Sequence[str]) -> list[NodeRow]:
+        """Fetch many nodes by name in one batched ``IN (...)`` query.
+
+        Returns rows in input order (duplicates allowed).
+
+        Raises
+        ------
+        QueryError
+            If any name is absent.
+        """
+        return self._resolve_rows(list(names))
 
     def root(self) -> NodeRow:
         """The root row (pre-order id 0)."""
@@ -376,11 +426,7 @@ class StoredTree:
     # ------------------------------------------------------------------
 
     def _canonical_inode(self, node_id: int):
-        row = self.db.query_one(
-            "SELECT * FROM inodes WHERE tree_id = ? AND orig_node_id = ? "
-            "AND is_canonical = 1",
-            (self._tree_id, node_id),
-        )
+        row = self.engine.canonical_inode(node_id)
         if row is None:
             raise StorageError(
                 f"index corrupt: no canonical inode for node {node_id}"
@@ -388,20 +434,13 @@ class StoredTree:
         return row
 
     def _inode(self, inode_id: int):
-        row = self.db.query_one(
-            "SELECT * FROM inodes WHERE tree_id = ? AND inode_id = ?",
-            (self._tree_id, inode_id),
-        )
+        row = self.engine.inode(inode_id)
         if row is None:
             raise StorageError(f"index corrupt: missing inode {inode_id}")
         return row
 
     def _inode_at(self, block_id: int, label: DeweyLabel):
-        row = self.db.query_one(
-            "SELECT * FROM inodes WHERE tree_id = ? AND block_id = ? "
-            "AND local_label = ?",
-            (self._tree_id, block_id, label_to_string(label)),
-        )
+        row = self.engine.inode_at(block_id, label_to_string(label))
         if row is None:
             raise StorageError(
                 f"index corrupt: no inode at block {block_id} "
@@ -410,10 +449,7 @@ class StoredTree:
         return row
 
     def _block(self, block_id: int):
-        row = self.db.query_one(
-            "SELECT * FROM blocks WHERE tree_id = ? AND block_id = ?",
-            (self._tree_id, block_id),
-        )
+        row = self.engine.block(block_id)
         if row is None:
             raise StorageError(f"index corrupt: missing block {block_id}")
         return row
@@ -421,12 +457,25 @@ class StoredTree:
     def lca(self, a: int | str, b: int | str) -> NodeRow:
         """LCA of two nodes given by id or name, via the layered index.
 
-        Every step is an indexed point query; the number of steps is
-        bounded by the number of layers plus the block-chain hops, never
-        by the raw tree depth.
+        Every step is an indexed point query (served from the row cache
+        when warm); the number of steps is bounded by the number of
+        layers plus the block-chain hops, never by the raw tree depth.
         """
         row_a = self.node_by_name(a) if isinstance(a, str) else self.node(a)
         row_b = self.node_by_name(b) if isinstance(b, str) else self.node(b)
+        return self._lca_rows(row_a, row_b)
+
+    def _lca_rows(self, row_a: NodeRow, row_b: NodeRow) -> NodeRow:
+        """LCA given both node rows (no argument re-fetching).
+
+        When one argument is an ancestor-or-self of the other, the
+        stored clade interval answers immediately; otherwise the
+        layered algorithm runs over (cached) index rows.
+        """
+        if row_a.contains(row_b.node_id):
+            return row_a
+        if row_b.contains(row_a.node_id):
+            return row_b
         inode_a = self._canonical_inode(row_a.node_id)
         inode_b = self._canonical_inode(row_b.node_id)
         result = self._lca_inode(inode_a, inode_b)
@@ -468,26 +517,117 @@ class StoredTree:
             inode = self._inode(source)
         return inode
 
+    def _resolve_rows(self, items: Sequence[int | str]) -> list[NodeRow]:
+        """Resolve a mixed id/name sequence to rows with batched fetches."""
+        names = [item for item in items if isinstance(item, str)]
+        ids = [item for item in items if not isinstance(item, str)]
+        by_name = self.engine.node_rows_by_names(names) if names else {}
+        by_id = self.engine.node_rows_many(ids) if ids else {}
+        rows: list[NodeRow] = []
+        for item in items:
+            row = by_name.get(item) if isinstance(item, str) else by_id.get(item)
+            if row is None:
+                kind = "node named" if isinstance(item, str) else "node"
+                raise QueryError(
+                    f"no {kind} {item!r} in tree {self.info.name!r}"
+                )
+            rows.append(self._node_row(row))
+        return rows
+
     def lca_many(self, names_or_ids: Sequence[int | str]) -> NodeRow:
         """LCA of a non-empty collection of nodes.
+
+        Argument rows arrive in one batched fetch and are folded with
+        :meth:`_lca_rows` — no per-iteration re-fetch of the running
+        result.  Like the in-memory ``lca_many`` implementations, the
+        fold exits as soon as it reaches the root: items after that
+        point are never inspected (an unknown name there does not
+        raise).
 
         Raises
         ------
         QueryError
-            If the collection is empty.
+            If the collection is empty, or an unknown item is reached
+            before the fold hits the root.
         """
         if not names_or_ids:
             raise QueryError("cannot take the LCA of zero nodes")
         items = list(names_or_ids)
-        current: int | str = items[0]
-        result = (
-            self.node_by_name(current) if isinstance(current, str) else self.node(current)
-        )
+        names = [item for item in items if isinstance(item, str)]
+        ids = [item for item in items if not isinstance(item, str)]
+        by_name = self.engine.node_rows_by_names(names) if names else {}
+        by_id = self.engine.node_rows_many(ids) if ids else {}
+
+        def row_of(item: int | str) -> NodeRow:
+            raw = by_name.get(item) if isinstance(item, str) else by_id.get(item)
+            if raw is None:
+                kind = "node named" if isinstance(item, str) else "node"
+                raise QueryError(
+                    f"no {kind} {item!r} in tree {self.info.name!r}"
+                )
+            return self._node_row(raw)
+
+        # Warm the canonical inodes the fold can actually need.  If a
+        # consecutive pair is ancestor-related, the running result (an
+        # ancestor of the left element) is ancestor-related to the right
+        # element too, so that step short-circuits on the interval and
+        # needs no index rows.  Unresolved items are skipped here — they
+        # only matter (and raise) if the fold reaches them.
+        resolved = [
+            self._node_row(raw)
+            for raw in (
+                by_name.get(item) if isinstance(item, str) else by_id.get(item)
+                for item in items
+            )
+            if raw is not None
+        ]
+        need_index = {
+            row.node_id
+            for left, right in zip(resolved, resolved[1:])
+            if not left.contains(right.node_id)
+            and not right.contains(left.node_id)
+            for row in (left, right)
+        }
+        if need_index:
+            self.engine.canonical_inodes_many(sorted(need_index))
+
+        result = row_of(items[0])
         for item in items[1:]:
-            result = self.lca(result.node_id, item)
+            result = self._lca_rows(result, row_of(item))
             if result.node_id == 0:
                 break
         return result
+
+    def lca_batch(
+        self, pairs: Sequence[tuple[int | str, int | str]]
+    ) -> list[NodeRow]:
+        """LCA of many pairs at once (one result row per input pair).
+
+        The batch path is what makes stored queries serve traffic: all
+        argument node rows are resolved with chunked ``IN (...)``
+        queries, all per-argument canonical inodes with one more, and
+        the per-pair layered walks then run almost entirely against the
+        warm row cache — measurably fewer SQL statements than issuing
+        :meth:`lca` once per pair (see ``benchmarks/bench_stored_lca.py``).
+        """
+        pair_list = list(pairs)
+        flat: list[int | str] = [item for pair in pair_list for item in pair]
+        rows = self._resolve_rows(flat)
+        resolved = [
+            (rows[2 * i], rows[2 * i + 1]) for i in range(len(pair_list))
+        ]
+        # One IN (...) query warms every canonical inode the layered
+        # walks will start from; ancestor pairs short-circuit anyway.
+        need_index = {
+            row.node_id
+            for row_a, row_b in resolved
+            for row in (row_a, row_b)
+            if not row_a.contains(row_b.node_id)
+            and not row_b.contains(row_a.node_id)
+        }
+        if need_index:
+            self.engine.canonical_inodes_many(sorted(need_index))
+        return [self._lca_rows(row_a, row_b) for row_a, row_b in resolved]
 
     def is_ancestor_or_self(self, ancestor: int | str, descendant: int | str) -> bool:
         """Ancestor test via the clade interval (O(1) after two lookups)."""
@@ -501,8 +641,23 @@ class StoredTree:
             if isinstance(descendant, str)
             else self.node(descendant)
         )
-        low, high = row_a.subtree_interval
-        return low <= row_d.node_id <= high
+        return row_a.contains(row_d.node_id)
+
+    # ------------------------------------------------------------------
+    # Cache introspection
+    # ------------------------------------------------------------------
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Row-cache counters (per cache plus ``"total"``)."""
+        return self.engine.cache_stats()
+
+    def clear_cache(self) -> None:
+        """Drop all cached rows — subsequent queries start cold."""
+        self.engine.clear_cache()
+
+    def reset_cache_stats(self) -> None:
+        """Zero the hit/miss/eviction counters (entries are kept)."""
+        self.engine.reset_cache_stats()
 
     # ------------------------------------------------------------------
     # Clades and frontiers

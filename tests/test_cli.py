@@ -97,6 +97,29 @@ class TestQueries:
         assert run(loaded, "lca", "demo", "a", "b") == 0
         assert "LCA:" in capsys.readouterr().out
 
+    def test_lca_batch(self, loaded, capsys):
+        assert run(loaded, "lca-batch", "demo", "a,b", "c,d") == 0
+        output = capsys.readouterr().out
+        assert "LCA(a, b):" in output
+        assert "LCA(c, d):" in output
+
+    def test_lca_batch_stats(self, loaded, capsys):
+        assert run(loaded, "lca-batch", "demo", "a,b", "a,b", "--stats") == 0
+        output = capsys.readouterr().out
+        assert "cache" in output
+        assert "hits=" in output
+
+    def test_lca_batch_malformed_pair(self, loaded, capsys):
+        assert run(loaded, "lca-batch", "demo", "a") == 1
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_cache_size_flag(self, loaded, capsys):
+        assert (
+            main(["--db", loaded, "--cache-size", "2", "lca", "demo", "a", "b"])
+            == 0
+        )
+        assert "LCA:" in capsys.readouterr().out
+
     def test_clade(self, loaded, capsys):
         assert run(loaded, "clade", "demo", "a", "b") == 0
         output = capsys.readouterr().out

@@ -96,6 +96,43 @@ class TestBoundarySemantics:
         assert len(decomposition.blocks) == 1
 
 
+class TestPreOrderContract:
+    """Regression: ``Block.members`` promised pre-order but the original
+    LIFO traversal pushed children forwards, yielding reversed-DFS."""
+
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_members_are_preorder_restriction(self, f):
+        tree = balanced(4, arity=3)  # branching, depth 4
+        decomposition = decompose(tree, f)
+        preorder = list(tree.preorder())
+        for block in decomposition.blocks:
+            members = [node for node, _label in block.members]
+            in_block = {id(node) for node in members}
+            expected = [node for node in preorder if id(node) in in_block]
+            assert members == expected
+
+    def test_members_preorder_on_fig1(self, fig1):
+        decomposition = decompose(fig1, 2)
+        top_members = [node.name for node, _ in decomposition.blocks[0].members]
+        assert top_members == ["R", "Syn", "A", "x", "Bha", "Bsu"]
+        split_members = [
+            node.name for node, _ in decomposition.blocks[1].members
+        ]
+        assert split_members == ["Lla", "Spy"]
+
+    def test_labels_monotone_with_member_order(self):
+        # Within a block, pre-order means a member's label is emitted
+        # after its (in-block) parent's label.
+        tree = balanced(5)
+        decomposition = decompose(tree, 2)
+        for block in decomposition.blocks:
+            seen: set[tuple[int, ...]] = {()}
+            for _node, label in block.members:
+                if label:
+                    assert label[:-1] in seen
+                seen.add(label)
+
+
 class TestBlockChains:
     def test_chain_ends_at_top(self):
         tree = caterpillar(30)

@@ -133,3 +133,25 @@ class TestDeweyIndex:
         assert index.label(tree.root) == ()
         assert index.max_label_length() == 0
         assert index.lca(tree.root, tree.root) is tree.root
+
+    def test_insertion_order_is_preorder(self, fig1, random_tree_factory):
+        """Regression: the build traversal used to visit reversed-DFS,
+        so the index dicts' insertion order violated pre-order."""
+        for tree in (fig1, random_tree_factory(60, seed=9)):
+            index = DeweyIndex(tree)
+            expected = [id(node) for node in tree.preorder()]
+            assert list(index._label_of) == expected
+            assert [id(node) for node in index._node_at.values()] == expected
+
+    def test_lca_many_early_exit_at_root(self, fig1):
+        """Once the running prefix reaches the root, remaining nodes are
+        skipped — a foreign node after that point is never inspected."""
+        index = DeweyIndex(fig1)
+        foreign = Node("alien")
+        result = index.lca_many(
+            [fig1.find("Lla"), fig1.find("Syn"), foreign]
+        )
+        assert result is fig1.root
+        # Before the root is reached, the foreign node must still raise.
+        with pytest.raises(QueryError):
+            index.lca_many([fig1.find("Lla"), foreign])

@@ -1,0 +1,276 @@
+"""Stored-query engine: LRU row caches, batch APIs, statement accounting.
+
+Covers the cache primitive, the warm-path guarantee (a repeated stored
+LCA executes **zero** SQL statements), the batched LCA/projection paths,
+and a differential property check pinning all five LCA implementations
+(naive walk, plain Dewey, layered in-memory, stored-SQL single, stored
+batch) to the same answers on random trees across several ``f`` values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lca import LcaService
+from repro.errors import QueryError
+from repro.storage.cache import CacheStats, LRUCache
+from repro.storage.projection import project_stored
+from repro.storage.tree_repository import TreeRepository
+from repro.trees.build import balanced, caterpillar, sample_tree
+from repro.trees.traversal import naive_lca
+
+
+@pytest.fixture
+def repo(db):
+    return TreeRepository(db)
+
+
+@pytest.fixture
+def stored(repo, fig1):
+    return repo.store_tree(fig1, name="fig1", f=2)
+
+
+class TestLRUCache:
+    def test_roundtrip_and_counters(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_put_refresh_does_not_evict(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not a new entry
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_clear_keeps_counters_reset_zeroes_them(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        cache.reset_stats()
+        assert cache.stats.hits == 0
+
+    def test_stats_aggregate(self):
+        total = CacheStats(hits=1, misses=1) + CacheStats(hits=2, misses=0)
+        assert total.hits == 3
+        assert total.lookups == 4
+        assert total.hit_rate == pytest.approx(0.75)
+        assert CacheStats().hit_rate == 0.0
+
+
+class TestWarmPath:
+    def test_warm_repeat_lca_executes_zero_sql(self, db, stored):
+        assert stored.lca("Lla", "Spy").name == "x"
+        with db.count_statements() as counter:
+            assert stored.lca("Lla", "Spy").name == "x"
+        assert counter.count == 0
+
+    def test_warm_lca_many_executes_zero_sql(self, db, stored):
+        stored.lca_many(["Lla", "Spy", "Bha"])
+        with db.count_statements() as counter:
+            assert stored.lca_many(["Lla", "Spy", "Bha"]).name == "A"
+        assert counter.count == 0
+
+    def test_cold_query_counts_statements(self, db, stored):
+        with db.count_statements() as counter:
+            stored.lca("Lla", "Syn")
+        assert counter.count > 0
+
+    def test_cache_stats_track_hits(self, stored):
+        stored.lca("Lla", "Spy")
+        first = stored.cache_stats()["total"]
+        stored.lca("Lla", "Spy")
+        second = stored.cache_stats()["total"]
+        assert second.hits > first.hits
+        assert second.misses == first.misses
+
+    def test_clear_cache_restores_cold_path(self, db, stored):
+        stored.lca("Lla", "Spy")
+        stored.clear_cache()
+        with db.count_statements() as counter:
+            stored.lca("Lla", "Spy")
+        assert counter.count > 0
+
+    def test_reset_cache_stats(self, stored):
+        stored.lca("Lla", "Spy")
+        stored.reset_cache_stats()
+        total = stored.cache_stats()["total"]
+        assert total.hits == 0 and total.misses == 0
+
+    def test_tiny_cache_still_correct_and_evicts(self, db, fig1):
+        handle = TreeRepository(db, cache_size=2).store_tree(
+            fig1, name="tiny", f=2
+        )
+        for _ in range(3):
+            assert handle.lca("Lla", "Syn").name == "R"
+            assert handle.lca("Lla", "Spy").name == "x"
+        assert handle.cache_stats()["total"].evictions > 0
+
+    def test_statement_counter_stops(self, db, stored):
+        with db.count_statements() as counter:
+            pass
+        stored.clear_cache()
+        stored.lca("Lla", "Syn")
+        assert counter.count == 0  # frozen at scope exit
+
+
+class TestBatchApis:
+    def test_nodes_by_name_preserves_input_order(self, stored):
+        rows = stored.nodes_by_name(["Spy", "Lla", "Bha"])
+        assert [row.name for row in rows] == ["Spy", "Lla", "Bha"]
+
+    def test_nodes_by_name_unknown_raises(self, stored):
+        with pytest.raises(QueryError, match="alien"):
+            stored.nodes_by_name(["Lla", "alien"])
+
+    def test_lca_batch_matches_single_calls(self, db, repo):
+        tree = balanced(4)
+        handle = repo.store_tree(tree, name="bal", f=2)
+        leaves = handle.leaves()
+        pairs = [
+            (leaves[i].node_id, leaves[-(i + 1)].node_id)
+            for i in range(len(leaves) // 2)
+        ]
+        batch = handle.lca_batch(pairs)
+        singles = [handle.lca(a, b) for a, b in pairs]
+        assert [row.node_id for row in batch] == [
+            row.node_id for row in singles
+        ]
+
+    def test_lca_batch_empty_is_empty(self, stored):
+        assert stored.lca_batch([]) == []
+
+    def test_lca_batch_unknown_name_raises(self, stored):
+        with pytest.raises(QueryError):
+            stored.lca_batch([("Lla", "alien")])
+
+    def test_lca_batch_mixed_ids_and_names(self, stored):
+        lla = stored.node_by_name("Lla")
+        (row,) = stored.lca_batch([(lla.node_id, "Syn")])
+        assert row.name == "R"
+
+    def test_lca_batch_fewer_statements_than_singles(self, db, repo):
+        tree = caterpillar(120)
+        repo.store_tree(tree, name="deep", f=4)
+        pairs = [(f"t{i + 1}", f"t{120 - i}") for i in range(40)]
+
+        single_handle = repo.open("deep")
+        with db.count_statements() as single_counter:
+            for a, b in pairs:
+                single_handle.lca(a, b)
+
+        batch_handle = repo.open("deep")
+        with db.count_statements() as batch_counter:
+            batch_handle.lca_batch(pairs)
+
+        assert batch_counter.count < single_counter.count
+
+    def test_lca_many_early_exit_matches_in_memory_semantics(self, stored):
+        # Once the fold reaches the root, remaining items are never
+        # inspected — same contract as DeweyIndex/HierarchicalIndex.
+        assert stored.lca_many(["Lla", "Syn", "alien"]).name == "R"
+        with pytest.raises(QueryError):
+            stored.lca_many(["Lla", "alien"])
+
+    def test_lca_many_threads_rows_without_refetch(self, db, stored):
+        # The fold must not re-fetch the running result's row: after a
+        # first warming pass the entire fold is cache-served.
+        stored.lca_many(["Lla", "Spy", "Bsu", "Bha"])
+        with db.count_statements() as counter:
+            stored.lca_many(["Lla", "Spy", "Bsu", "Bha"])
+        assert counter.count == 0
+
+
+def _preorder_rank(tree):
+    return {id(node): rank for rank, node in enumerate(tree.preorder())}
+
+
+class TestDifferentialProperty:
+    @pytest.mark.parametrize("f", [1, 2, 3, 8])
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_all_strategies_agree_on_random_trees(
+        self, db, f, seed, random_tree_factory
+    ):
+        tree = random_tree_factory(70, seed=seed)
+        rank = _preorder_rank(tree)
+        handle = TreeRepository(db).store_tree(tree, name=f"r{f}-{seed}", f=f)
+        naive = LcaService(tree, "naive")
+        dewey = LcaService(tree, "dewey")
+        layered = LcaService(tree, "layered", f=f)
+
+        nodes = list(tree.preorder())
+        pairs = [
+            (nodes[i % len(nodes)], nodes[(i * 7 + 3) % len(nodes)])
+            for i in range(25)
+        ]
+        batch = handle.lca_batch(
+            [(rank[id(a)], rank[id(b)]) for a, b in pairs]
+        )
+        for (a, b), batch_row in zip(pairs, batch):
+            expected = naive_lca(a, b)
+            assert naive.lca(a, b) is expected
+            assert dewey.lca(a, b) is expected
+            assert layered.lca(a, b) is expected
+            stored_row = handle.lca(rank[id(a)], rank[id(b)])
+            assert stored_row.node_id == rank[id(expected)]
+            assert batch_row.node_id == rank[id(expected)]
+
+    def test_figure1_tree_all_strategies(self, db):
+        tree = sample_tree()
+        rank = _preorder_rank(tree)
+        handle = TreeRepository(db).store_tree(tree, name="fig1", f=2)
+        dewey = LcaService(tree, "dewey")
+        layered = LcaService(tree, "layered", f=2)
+        leaves = list(tree.root.leaves())
+        for a in leaves:
+            for b in leaves:
+                expected = naive_lca(a, b)
+                assert dewey.lca(a, b) is expected
+                assert layered.lca(a, b) is expected
+                assert handle.lca(rank[id(a)], rank[id(b)]).node_id == rank[
+                    id(expected)
+                ]
+
+
+class TestBatchedProjection:
+    def test_projection_unchanged_by_batching(self, db, random_tree_factory):
+        from repro.benchmark.metrics import robinson_foulds
+        from repro.core.projection import project_tree
+
+        tree = random_tree_factory(80, seed=5)
+        handle = TreeRepository(db).store_tree(tree, name="proj", f=3)
+        names = [leaf.name for leaf in tree.root.leaves()][::2]
+        via_sql = project_stored(handle, names)
+        in_memory = project_tree(tree, names)
+        assert sorted(via_sql.leaf_names()) == sorted(in_memory.leaf_names())
+        assert robinson_foulds(via_sql, in_memory) == 0
+
+    def test_warm_projection_executes_zero_sql(self, db, stored):
+        names = ["Lla", "Spy", "Bha", "Syn"]
+        project_stored(stored, names)
+        with db.count_statements() as counter:
+            project_stored(stored, names)
+        assert counter.count == 0
