@@ -22,8 +22,7 @@ import json
 import sys
 import time
 
-from repro.storage.database import CrimsonDatabase
-from repro.storage.tree_repository import TreeRepository
+from repro.storage.store import CrimsonStore
 from repro.trees.build import caterpillar
 
 DEPTH = 800
@@ -44,8 +43,9 @@ def run_experiment(
     cache_size: int = 4096,
 ) -> dict:
     """Measure statements and wall time for the four access patterns."""
-    db = CrimsonDatabase()
-    repo = TreeRepository(db, cache_size=cache_size)
+    store = CrimsonStore.open(cache_size=cache_size)
+    db = store.db
+    repo = store.trees
     repo.store_tree(caterpillar(depth), name="deep", f=f)
     pairs = _pairs(depth, n_pairs)
 
@@ -82,7 +82,7 @@ def run_experiment(
         name: value.as_dict()
         for name, value in cold_handle.cache_stats().items()
     }
-    db.close()
+    store.close()
     return {
         "experiment": "stored-lca-engine",
         "tree": {"shape": "caterpillar", "depth": depth, "f": f},
@@ -111,10 +111,8 @@ def test_stored_lca_engine(benchmark, report):
     results = run_experiment()
     statements = results["sql_statements"]
 
-    handle_db = CrimsonDatabase()
-    handle = TreeRepository(handle_db).store_tree(
-        caterpillar(DEPTH), name="deep", f=F
-    )
+    handle_store = CrimsonStore.open()
+    handle = handle_store.trees.store_tree(caterpillar(DEPTH), name="deep", f=F)
     pairs = _pairs(DEPTH, N_PAIRS)
     handle.lca_batch(pairs)  # warm
 
@@ -122,7 +120,7 @@ def test_stored_lca_engine(benchmark, report):
         handle.lca_batch(pairs)
 
     benchmark(warm_batch)
-    handle_db.close()
+    handle_store.close()
 
     report("")
     report("E4+ — stored LCA through the query engine "

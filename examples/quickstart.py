@@ -19,8 +19,7 @@ from repro.cli.render import render_ascii
 from repro.core.dewey import DeweyIndex, label_to_string
 from repro.core.pattern import match_pattern
 from repro.core.projection import project_tree
-from repro.storage.database import CrimsonDatabase
-from repro.storage.tree_repository import TreeRepository
+from repro.storage.store import CrimsonStore
 from repro.trees.build import sample_tree
 from repro.trees.newick import parse_newick
 
@@ -37,9 +36,9 @@ def main() -> None:
         print(f"  {name}: ({label})")
 
     print("\n-- Store in the relational repository with f=2 (Figure 4) --")
-    db = CrimsonDatabase()  # in-memory; pass a path to persist
-    repo = TreeRepository(db)
-    handle = repo.store_tree(tree, f=2)
+    # In-memory; pass a path to persist, readers=N to pool connections.
+    store = CrimsonStore.open()
+    handle = store.trees.store_tree(tree, f=2)
     info = handle.info
     print(
         f"  stored {info.name!r}: {info.n_nodes} nodes, "
@@ -70,7 +69,7 @@ def main() -> None:
     result = match_pattern(tree, swapped, compare_lengths=True)
     print(f"  ... with Bha and Lla exchanged:    {result.matched}")
 
-    db.close()
+    store.close()
 
 
 if __name__ == "__main__":

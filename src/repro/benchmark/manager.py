@@ -41,7 +41,11 @@ from repro.reconstruction.nj import neighbor_joining
 from repro.reconstruction.random_tree import random_topology
 from repro.reconstruction.upgma import upgma
 from repro.reconstruction.parsimony import parsimony_greedy
-from repro.storage.database import CrimsonDatabase
+from repro.storage.database import (
+    DatabaseFacade,
+    reuse_namespace,
+    unwrap_database,
+)
 from repro.storage.projection import project_stored
 from repro.storage.query_repository import QueryRepository
 from repro.storage.species_repository import SpeciesRepository
@@ -156,18 +160,28 @@ def evaluate_sample(
 
 
 class BenchmarkManager:
-    """Evaluates reconstruction algorithms against a stored gold standard."""
+    """Evaluates reconstruction algorithms against a stored gold standard.
+
+    ``owner`` is a :class:`~repro.storage.store.CrimsonStore` (whose
+    repository namespaces are reused) or a raw
+    :class:`~repro.storage.database.CrimsonDatabase`.
+    """
 
     def __init__(
         self,
-        db: CrimsonDatabase,
+        owner,
         algorithms: Mapping[str, Algorithm] | None = None,
         record_history: bool = True,
     ) -> None:
-        self.db = db
-        self.trees = TreeRepository(db)
-        self.species = SpeciesRepository(db)
-        self.history = QueryRepository(db)
+        self.db = unwrap_database(owner, "BenchmarkManager", warn=False)
+        facade = DatabaseFacade(self.db)
+        self.trees = reuse_namespace(owner, "trees", TreeRepository, facade)
+        self.species = reuse_namespace(
+            owner, "species", SpeciesRepository, facade
+        )
+        self.history = reuse_namespace(
+            owner, "history", QueryRepository, facade
+        )
         self.algorithms = dict(algorithms or DEFAULT_ALGORITHMS)
         self.record_history = record_history
 

@@ -14,7 +14,7 @@ Examples
     crimson --db crimson.db simulate --model yule --leaves 500 --name gold \\
         --seq-length 400
     crimson --db crimson.db list
-    crimson --db crimson.db lca gold Lla Syn
+    crimson --db crimson.db --readers 4 lca gold Lla Syn
     crimson --db crimson.db sample gold --method time --time 1.0 -k 8
     crimson --db crimson.db project gold --taxa Bha Lla Syn --format ascii
     crimson --db crimson.db benchmark gold -k 16 --trials 3
@@ -41,8 +41,6 @@ from repro.benchmark.sampling import (
 )
 from repro.cli.render import render_ascii, render_phylogram
 from repro.cli.walrus import to_walrus_json
-from repro.core.pattern import match_pattern
-from repro.core.projection import project_tree
 from repro.errors import CrimsonError
 from repro.simulation.birth_death import (
     birth_death_tree,
@@ -51,12 +49,9 @@ from repro.simulation.birth_death import (
 )
 from repro.simulation.models import hky85, jc69, k80
 from repro.simulation.seqgen import evolve_sequences
-from repro.storage.database import CrimsonDatabase
-from repro.storage.loader import DataLoader
-from repro.storage.query_repository import QueryRepository
-from repro.storage.species_repository import SpeciesRepository
-from repro.storage.tree_repository import TreeRepository
-from repro.trees.newick import parse_newick, write_newick
+from repro.storage.api import QueryRequest
+from repro.storage.store import CrimsonStore
+from repro.trees.newick import write_newick
 from repro.trees.nexus import NexusDocument, write_nexus
 
 
@@ -67,6 +62,16 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
     if value < 1:
         raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be at least 0")
     return value
 
 
@@ -91,6 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="row-cache entries per cache for stored-tree query handles "
         "(default: engine default; see repro.storage.engine)",
+    )
+    parser.add_argument(
+        "--readers",
+        type=_nonnegative_int,
+        default=0,
+        help="size of the read-only connection pool behind query "
+        "commands (default: 0 — reads share the writer connection; "
+        "in-memory databases cannot pool)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -261,38 +274,52 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes are uniform across subcommands: ``0`` on success, ``1``
+    on any :class:`CrimsonError` or I/O failure (message on stderr, no
+    traceback), ``2`` on argument errors (argparse), ``130`` on
+    interrupt.  ``match`` and ``verify`` additionally exit ``1`` when
+    the answer itself is negative.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     rng = np.random.default_rng(args.seed)
     try:
-        with CrimsonDatabase(args.db) as db:
-            return _dispatch(args, db, rng)
-    except CrimsonError as error:
+        with CrimsonStore.open(
+            args.db,
+            readers=args.readers,
+            cache_size=getattr(args, "cache_size", None),
+            report=print,
+        ) as store:
+            return _dispatch(args, store, rng)
+    except (CrimsonError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
-def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
-    trees = TreeRepository(db, cache_size=getattr(args, "cache_size", None))
-    species = SpeciesRepository(db)
-    history = QueryRepository(db)
-    loader = DataLoader(db, report=print)
+def _dispatch(args: argparse.Namespace, store: CrimsonStore, rng) -> int:
+    trees = store.trees
+    species = store.species
+    history = store.history
 
     if args.command == "load":
         if args.format == "nexus":
-            loader.load_nexus_file(
+            store.load_nexus_file(
                 args.path,
                 name=args.name,
                 f=args.label_bound,
                 structure_only=args.structure_only,
             )
         else:
-            loader.load_newick_file(args.path, name=args.name, f=args.label_bound)
+            store.load_newick_file(args.path, name=args.name, f=args.label_bound)
         return 0
 
     if args.command == "append-species":
-        loader.append_species_nexus(
+        store.append_species_nexus(
             args.tree, Path(args.path).read_text(), replace=args.replace
         )
         return 0
@@ -312,7 +339,7 @@ def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
 
     if args.command == "info":
         info = trees.info(args.tree)
-        stored = trees.open(args.tree)
+        stored = store.open_tree(args.tree)
         print(f"name:        {info.name}")
         print(f"created:     {info.created_at}")
         print(f"nodes:       {info.n_nodes}")
@@ -332,29 +359,26 @@ def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
         return 0
 
     if args.command == "view":
-        tree = trees.open(args.tree).fetch_tree()
+        tree = store.open_tree(args.tree).fetch_tree()
         print(_render(tree, args.format, max_nodes=args.max_nodes))
         return 0
 
     if args.command == "export":
-        tree = trees.open(args.tree).fetch_tree()
+        tree = store.open_tree(args.tree).fetch_tree()
         Path(args.path).write_text(_render(tree, args.format) + "\n")
         print(f"wrote {args.path}")
         return 0
 
     if args.command == "lca":
-        stored = trees.open(args.tree)
-        row = stored.lca_many(list(args.taxa))
-        history.record(
-            "lca", {"taxa": list(args.taxa)}, tree_name=args.tree,
-            result_summary=str(row.name or row.node_id),
+        result = store.query(
+            QueryRequest.lca(args.tree, *args.taxa), record=True
         )
+        row = result.node
         print(f"LCA: node {row.node_id} name={row.name!r} depth={row.depth} "
               f"dist={row.dist_from_root:g}")
         return 0
 
     if args.command == "lca-batch":
-        stored = trees.open(args.tree)
         pairs: list[tuple[str, str]] = []
         for text in args.pairs:
             parts = [part for part in text.split(",") if part]
@@ -363,20 +387,16 @@ def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
                     f"pair {text!r} must be two comma-separated species names"
                 )
             pairs.append((parts[0], parts[1]))
-        results = stored.lca_batch(pairs)
-        history.record(
-            "lca-batch",
-            {"pairs": [list(pair) for pair in pairs]},
-            tree_name=args.tree,
-            result_summary=f"{len(results)} pairs",
+        result = store.query(
+            QueryRequest.lca_batch(args.tree, pairs), record=True
         )
-        for (a, b), row in zip(pairs, results):
+        for (a, b), row in zip(pairs, result.nodes):
             print(
                 f"LCA({a}, {b}): node {row.node_id} name={row.name!r} "
                 f"depth={row.depth} dist={row.dist_from_root:g}"
             )
         if args.stats:
-            for name, stats in stored.cache_stats().items():
+            for name, stats in store.open_tree(args.tree).cache_stats().items():
                 print(
                     f"cache {name:<10} hits={stats.hits:<6} "
                     f"misses={stats.misses:<6} evictions={stats.evictions:<4} "
@@ -385,12 +405,17 @@ def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
         return 0
 
     if args.command == "clade":
-        stored = trees.open(args.tree)
-        rows = stored.clade(list(args.taxa))
+        result = store.query(QueryRequest.clade(args.tree, *args.taxa))
+        rows = list(result.nodes)
         if args.leaves_only:
             rows = [row for row in rows if row.is_leaf]
+        # Recorded by hand so the history reflects the filtered count
+        # the user actually saw.
         history.record(
-            "clade", {"taxa": list(args.taxa)}, tree_name=args.tree,
+            "clade",
+            {"taxa": list(args.taxa)},
+            tree_name=args.tree,
+            duration_ms=result.duration_ms,
             result_summary=f"{len(rows)} nodes",
         )
         for row in rows:
@@ -399,7 +424,7 @@ def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
         return 0
 
     if args.command == "frontier":
-        stored = trees.open(args.tree)
+        stored = store.open_tree(args.tree)
         rows = stored.time_frontier(args.time)
         history.record(
             "frontier", {"time": args.time}, tree_name=args.tree,
@@ -411,7 +436,7 @@ def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
         return 0
 
     if args.command == "sample":
-        stored = trees.open(args.tree)
+        stored = store.open_tree(args.tree)
         names = _draw_sample(stored, args, rng)
         history.record(
             "sample",
@@ -424,32 +449,22 @@ def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
         return 0
 
     if args.command == "project":
-        stored = trees.open(args.tree)
         if args.taxa:
             names = list(args.taxa)
         else:
-            names = _draw_sample(stored, args, rng)
-        gold = stored.fetch_tree()
-        projection = project_tree(gold, names)
-        history.record(
-            "project",
-            {"taxa": names},
-            tree_name=args.tree,
-            result_summary=f"{projection.size()} nodes",
+            names = _draw_sample(store.open_tree(args.tree), args, rng)
+        result = store.query(
+            QueryRequest.project(args.tree, *names), record=True
         )
-        print(_render(projection, args.format))
+        print(_render(result.projection, args.format))
         return 0
 
     if args.command == "match":
-        stored = trees.open(args.tree)
-        pattern = parse_newick(args.pattern)
-        gold = stored.fetch_tree()
-        result = match_pattern(gold, pattern, ordered=not args.unordered)
-        history.record(
-            "match",
-            {"pattern": args.pattern, "ordered": not args.unordered},
-            tree_name=args.tree,
-            result_summary=f"matched={result.matched}",
+        result = store.query(
+            QueryRequest.match(
+                args.tree, args.pattern, ordered=not args.unordered
+            ),
+            record=True,
         )
         print(f"matched:    {result.matched}")
         print(f"similarity: {result.similarity:.3f}")
@@ -462,7 +477,7 @@ def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
             if args.algorithms
             else None
         )
-        manager = BenchmarkManager(db, algorithms=selected)
+        manager = BenchmarkManager(store, algorithms=selected)
         rows = manager.run_sweep(
             args.tree,
             sample_sizes=args.k,
@@ -491,11 +506,7 @@ def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
         return 0
 
     if args.command == "verify":
-        from repro.storage.maintenance import verify_store, verify_tree
-
-        reports = (
-            [verify_tree(db, args.tree)] if args.tree else verify_store(db)
-        )
+        reports = store.verify(args.tree)
         if not reports:
             print("(no trees stored)")
             return 0
@@ -509,7 +520,7 @@ def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
         from repro.benchmark.sampling import random_sample_stored
         from repro.storage.projection import project_stored
 
-        stored = trees.open(args.tree)
+        stored = store.open_tree(args.tree)
         sample = random_sample_stored(stored, args.k, rng)
         truth = project_stored(stored, sample)
         sequences = species.sequences_for(stored, sample)
@@ -556,7 +567,7 @@ def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
             raise CrimsonError(
                 f"operation {entry.operation!r} cannot be re-run from history"
             )
-        return _dispatch(build_parser().parse_args(replay), db, rng)
+        return _dispatch(build_parser().parse_args(replay), store, rng)
 
     if args.command == "simulate":
         if args.model == "yule":
@@ -571,7 +582,7 @@ def _dispatch(args: argparse.Namespace, db: CrimsonDatabase, rng) -> int:
             sequences = evolve_sequences(
                 tree, model, args.seq_length, rng=rng, scale=args.scale
             )
-        loader.load_tree(
+        store.load_tree(
             tree, name=args.name, f=args.label_bound, sequences=sequences
         )
         return 0
@@ -585,7 +596,7 @@ def _replay_arguments(entry) -> list[str] | None:
     params = entry.params
     if entry.operation == "lca" and tree:
         return ["lca", tree, *params["taxa"]]
-    if entry.operation == "lca-batch" and tree:
+    if entry.operation in ("lca-batch", "lca_batch") and tree:
         return [
             "lca-batch",
             tree,

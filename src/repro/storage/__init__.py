@@ -1,5 +1,12 @@
 """Repository Manager: relational storage for trees, species, and queries.
 
+:class:`~repro.storage.store.CrimsonStore` is the one public entry
+point — it owns the writer connection, the read-only reader pool, and
+the repositories as namespaces.  The layers underneath:
+
+* :mod:`repro.storage.store` — the store façade and typed query dispatch,
+* :mod:`repro.storage.api` — ``QueryRequest`` / ``QueryResult``,
+* :mod:`repro.storage.pool` — pooled read-only WAL connections,
 * :mod:`repro.storage.database` — sqlite connection management,
 * :mod:`repro.storage.schema` — DDL (see DESIGN.md §6),
 * :mod:`repro.storage.engine` — the stored-query engine: bounded LRU row
@@ -10,6 +17,9 @@
 * :mod:`repro.storage.species_repository` — sequence data,
 * :mod:`repro.storage.query_repository` — query history with recall/re-run,
 * :mod:`repro.storage.loader` — NEXUS/Newick ingestion.
+
+Constructing repositories from a raw :class:`CrimsonDatabase` still
+works but is deprecated; open a store and use its namespaces.
 """
 
 from repro.storage.cache import CacheStats, LRUCache
@@ -27,11 +37,20 @@ from repro.storage.query_repository import HistoryEntry, QueryRepository
 from repro.storage.loader import DataLoader
 from repro.storage.projection import project_stored
 from repro.storage.maintenance import IntegrityReport, verify_store, verify_tree
+from repro.storage.api import OPERATIONS, QueryRequest, QueryResult
+from repro.storage.pool import DEFAULT_POOL_SIZE, ReaderPool
+from repro.storage.store import CrimsonStore
 
 __all__ = [
     "CacheStats",
+    "CrimsonStore",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_POOL_SIZE",
     "LRUCache",
+    "OPERATIONS",
+    "QueryRequest",
+    "QueryResult",
+    "ReaderPool",
     "StatementCounter",
     "StoredQueryEngine",
     "project_stored",

@@ -1,0 +1,174 @@
+"""The typed query surface of the Crimson store.
+
+Callers — the CLI, the benchmarks, a future RPC front-end — describe a
+query as a :class:`QueryRequest` and get a :class:`QueryResult` back from
+:meth:`repro.storage.store.CrimsonStore.query`.  The request is a plain
+frozen dataclass, so it can be built programmatically, serialized into
+the Query Repository's history, and validated once at construction
+instead of at every dispatch site.
+
+Supported operations
+--------------------
+``lca``
+    LCA of two or more taxa (``taxa``); one result row.
+``lca_batch``
+    LCA of many pairs (``pairs``); one result row per pair.
+``clade``
+    Minimal spanning clade of a taxon set (``taxa``); the clade rows in
+    pre-order.
+``project``
+    Projection of the stored tree over a leaf sample (``taxa``,
+    names only); computed entirely over SQL (:func:`project_stored`).
+``match``
+    Structural pattern match of a Newick ``pattern`` against the stored
+    tree; ``ordered`` picks ordered or unordered child matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import QueryError
+from repro.storage.tree_repository import NodeRow
+from repro.trees.tree import PhyloTree
+
+OPERATIONS: tuple[str, ...] = ("lca", "lca_batch", "clade", "project", "match")
+"""Operations the store's query dispatcher understands."""
+
+TaxonRef = int | str
+"""A node referenced by taxon name or pre-order id."""
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One typed query against a stored tree.
+
+    Build requests with the per-operation constructors (:meth:`lca`,
+    :meth:`lca_batch`, :meth:`clade`, :meth:`project`, :meth:`match`);
+    the bare constructor validates the field combination and raises
+    :class:`~repro.errors.QueryError` on a malformed request.
+    """
+
+    operation: str
+    tree: str
+    taxa: tuple[TaxonRef, ...] = ()
+    pairs: tuple[tuple[TaxonRef, TaxonRef], ...] = ()
+    pattern: str | None = None
+    ordered: bool = True
+
+    def __post_init__(self) -> None:
+        if self.operation not in OPERATIONS:
+            raise QueryError(
+                f"unknown operation {self.operation!r}; "
+                f"expected one of {', '.join(OPERATIONS)}"
+            )
+        if not self.tree:
+            raise QueryError("a query request needs a tree name")
+        object.__setattr__(self, "taxa", tuple(self.taxa))
+        object.__setattr__(
+            self, "pairs", tuple((a, b) for a, b in self.pairs)
+        )
+        if self.operation in ("lca", "clade", "project") and not self.taxa:
+            raise QueryError(f"{self.operation!r} needs at least one taxon")
+        if self.operation == "lca_batch" and not self.pairs:
+            raise QueryError("'lca_batch' needs at least one pair")
+        if self.operation == "project" and any(
+            not isinstance(taxon, str) for taxon in self.taxa
+        ):
+            raise QueryError("'project' taxa must be leaf names")
+        if self.operation == "match" and not self.pattern:
+            raise QueryError("'match' needs a Newick pattern")
+
+    # ------------------------------------------------------------------
+    # Per-operation constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def lca(cls, tree: str, *taxa: TaxonRef) -> "QueryRequest":
+        """LCA of two or more taxa (names or pre-order ids)."""
+        return cls(operation="lca", tree=tree, taxa=taxa)
+
+    @classmethod
+    def lca_batch(
+        cls, tree: str, pairs: Sequence[tuple[TaxonRef, TaxonRef]]
+    ) -> "QueryRequest":
+        """LCA of many pairs in one engine round trip."""
+        return cls(operation="lca_batch", tree=tree, pairs=tuple(pairs))
+
+    @classmethod
+    def clade(cls, tree: str, *taxa: TaxonRef) -> "QueryRequest":
+        """Minimal spanning clade of a taxon set."""
+        return cls(operation="clade", tree=tree, taxa=taxa)
+
+    @classmethod
+    def project(cls, tree: str, *taxa: str) -> "QueryRequest":
+        """Projection of the stored tree over named leaves."""
+        return cls(operation="project", tree=tree, taxa=taxa)
+
+    @classmethod
+    def match(
+        cls, tree: str, pattern: str, ordered: bool = True
+    ) -> "QueryRequest":
+        """Newick pattern match against the stored tree."""
+        return cls(operation="match", tree=tree, pattern=pattern, ordered=ordered)
+
+    def params(self) -> dict[str, Any]:
+        """JSON-friendly parameter dict (the Query Repository's record)."""
+        if self.operation == "lca_batch":
+            return {"pairs": [list(pair) for pair in self.pairs]}
+        if self.operation == "match":
+            return {"pattern": self.pattern, "ordered": self.ordered}
+        return {"taxa": list(self.taxa)}
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The answer to one :class:`QueryRequest`, with its timing.
+
+    Which fields are populated depends on the operation:
+
+    * ``lca`` / ``lca_batch`` / ``clade`` fill :attr:`nodes`,
+    * ``project`` fills :attr:`projection`,
+    * ``match`` fills :attr:`projection`, :attr:`matched`, and
+      :attr:`similarity`.
+    """
+
+    request: QueryRequest
+    duration_ms: float
+    nodes: tuple[NodeRow, ...] = ()
+    projection: PhyloTree | None = None
+    matched: bool | None = None
+    similarity: float | None = None
+
+    @property
+    def node(self) -> NodeRow:
+        """The single result row of an ``lca`` request.
+
+        Raises
+        ------
+        QueryError
+            If the result does not carry exactly one row.
+        """
+        if len(self.nodes) != 1:
+            raise QueryError(
+                f"{self.request.operation!r} result carries "
+                f"{len(self.nodes)} rows, not one"
+            )
+        return self.nodes[0]
+
+    def summary(self) -> str:
+        """One-line result description (recorded in the query history)."""
+        operation = self.request.operation
+        if operation == "lca":
+            row = self.nodes[0]
+            return str(row.name or row.node_id)
+        if operation == "lca_batch":
+            return f"{len(self.nodes)} pairs"
+        if operation == "clade":
+            return f"{len(self.nodes)} nodes"
+        if operation == "project":
+            assert self.projection is not None
+            return f"{self.projection.size()} nodes"
+        assert operation == "match"
+        return f"matched={self.matched}"

@@ -16,6 +16,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
 
+from repro.errors import StorageError
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -77,7 +79,9 @@ class LRUCache:
     Parameters
     ----------
     maxsize:
-        Maximum number of entries; must be at least 1.
+        Maximum number of entries; must be at least 1
+        (:class:`~repro.errors.StorageError` otherwise, so callers can
+        catch configuration mistakes as :class:`~repro.errors.CrimsonError`).
 
     Notes
     -----
@@ -89,7 +93,7 @@ class LRUCache:
 
     def __init__(self, maxsize: int) -> None:
         if maxsize < 1:
-            raise ValueError(f"cache size must be >= 1, got {maxsize}")
+            raise StorageError(f"cache size must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0

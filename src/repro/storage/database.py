@@ -4,17 +4,91 @@
 bulk-loading scientific workload wants, creates the schema on first use,
 and hands out transaction scopes.  It works equally with on-disk files
 (persistent repositories) and ``":memory:"`` (tests and benchmarks).
+
+With ``read_only=True`` the connection is opened in sqlite's
+``mode=ro`` URI mode instead: no schema creation, no write pragmas, and
+:meth:`CrimsonDatabase.transaction` refuses to start.  The
+:class:`~repro.storage.pool.ReaderPool` hands these out so WAL readers
+run beside the writer without sharing its connection.
 """
 
 from __future__ import annotations
 
 import sqlite3
+import warnings
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator
+from urllib.parse import quote
 
 from repro.errors import StorageError
 from repro.storage.schema import create_schema
+
+
+def unwrap_database(owner: object, what: str, *, warn: bool = True) -> "CrimsonDatabase":
+    """Return the :class:`CrimsonDatabase` behind a façade object.
+
+    Repositories are constructed from an owner exposing a ``db``
+    attribute — normally a :class:`~repro.storage.store.CrimsonStore`.
+    Passing a raw :class:`CrimsonDatabase` still works, but (when
+    ``warn`` is set) emits a :class:`DeprecationWarning` steering callers
+    to ``CrimsonStore.open``.
+
+    Raises
+    ------
+    StorageError
+        If ``owner`` is neither a database nor an object holding one.
+    """
+    if isinstance(owner, CrimsonDatabase):
+        if warn:
+            warnings.warn(
+                f"constructing {what} from a raw CrimsonDatabase is "
+                "deprecated; open a repro.storage.store.CrimsonStore and "
+                "use its namespaces instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return owner
+    inner = getattr(owner, "db", None)
+    if isinstance(inner, CrimsonDatabase):
+        return inner
+    raise StorageError(
+        f"{what} needs a CrimsonStore or CrimsonDatabase, "
+        f"got {type(owner).__name__}"
+    )
+
+
+def reuse_namespace(owner, attribute: str, cls, fallback_owner):
+    """Reuse ``owner``'s repository namespace, or build a private one.
+
+    Composite objects (the loader, the Benchmark Manager) share the
+    owning store's repositories when given a store, and fall back to
+    constructing their own — from ``fallback_owner``, an object exposing
+    ``.db`` so the deprecation shim stays quiet — when given a raw
+    database.
+    """
+    existing = getattr(owner, attribute, None)
+    return existing if isinstance(existing, cls) else cls(fallback_owner)
+
+
+class DatabaseFacade:
+    """Minimal repository owner around a raw database.
+
+    Internal code that holds only a :class:`CrimsonDatabase` (legacy
+    call paths, maintenance functions) wraps it in this façade before
+    constructing repositories, so the raw-database deprecation shim in
+    :func:`unwrap_database` fires only for genuinely external callers.
+    """
+
+    __slots__ = ("db",)
+
+    def __init__(self, db: "CrimsonDatabase") -> None:
+        self.db = db
+
+
+def _read_only_uri(path: str) -> str:
+    """sqlite URI opening ``path`` read-only (WAL readers still allowed)."""
+    return f"file:{quote(str(Path(path).absolute()))}?mode=ro"
 
 
 class CrimsonDatabase:
@@ -25,6 +99,12 @@ class CrimsonDatabase:
     path:
         Filesystem path of the database, or ``":memory:"`` for an
         ephemeral store.
+    read_only:
+        Open an existing file database read-only (``mode=ro``).  The
+        schema is not touched and write transactions are refused.  The
+        connection is created with ``check_same_thread=False`` — sqlite
+        is built in serialized mode, so the pool may share it between
+        threads when threads outnumber readers.
 
     Notes
     -----
@@ -37,26 +117,46 @@ class CrimsonDatabase:
             ...
     """
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
+    def __init__(
+        self, path: str | Path = ":memory:", *, read_only: bool = False
+    ) -> None:
         self.path = str(path)
+        self.read_only = read_only
         #: Number of SQL statements issued through the convenience
         #: helpers (``execute`` / ``query_one`` / ``query_all``).  The
         #: stored-LCA benchmark reads deltas of this counter to prove
         #: the warm cache path touches the database zero times.
         self.statements_executed = 0
+        if read_only and self.path == ":memory:":
+            raise StorageError(
+                "an in-memory database is private to its writer connection "
+                "and cannot be opened read-only"
+            )
         # ``cached_statements`` keeps the compiled form of the engine's
         # parameterized point/batch queries resident, so the hot path
         # re-binds rather than re-prepares.
-        self._connection: sqlite3.Connection | None = sqlite3.connect(
-            self.path, cached_statements=256
-        )
+        try:
+            self._connection: sqlite3.Connection | None = sqlite3.connect(
+                _read_only_uri(self.path) if read_only else self.path,
+                cached_statements=256,
+                uri=read_only,
+                check_same_thread=not read_only,
+            )
+        except sqlite3.Error as error:
+            raise StorageError(
+                f"cannot open database {self.path!r}: {error}"
+            ) from error
         self._connection.row_factory = sqlite3.Row
         self._connection.execute("PRAGMA foreign_keys = ON")
-        if self.path != ":memory:":
+        if read_only:
+            # Belt and braces: reject writes at the connection level too.
+            self._connection.execute("PRAGMA query_only = ON")
+        elif self.path != ":memory:":
             self._connection.execute("PRAGMA journal_mode = WAL")
             self._connection.execute("PRAGMA synchronous = NORMAL")
-        create_schema(self._connection)
-        self._connection.commit()
+        if not read_only:
+            create_schema(self._connection)
+            self._connection.commit()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -97,29 +197,55 @@ class CrimsonDatabase:
 
     @contextmanager
     def transaction(self) -> Iterator[sqlite3.Connection]:
-        """Scope a write transaction; rolls back on any exception."""
+        """Scope a write transaction; rolls back on any exception.
+
+        Raises
+        ------
+        StorageError
+            If the database was opened read-only.
+        """
+        if self.read_only:
+            raise StorageError(
+                f"database {self.path!r} is open read-only; writes go "
+                "through the store's writer connection"
+            )
         connection = self.connection
         try:
             yield connection
             connection.commit()
+        except sqlite3.Error as error:
+            connection.rollback()
+            raise StorageError(
+                f"write transaction on {self.path!r} failed: {error}"
+            ) from error
         except BaseException:
             connection.rollback()
             raise
 
     def execute(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
-        """Run one statement on the live connection."""
+        """Run one statement on the live connection.
+
+        Raises
+        ------
+        StorageError
+            If the database is closed or sqlite rejects the statement,
+            so storage failures surface as :class:`CrimsonError`.
+        """
         self.statements_executed += 1
-        return self.connection.execute(sql, parameters)
+        try:
+            return self.connection.execute(sql, parameters)
+        except sqlite3.Error as error:
+            raise StorageError(
+                f"statement on {self.path!r} failed: {error}"
+            ) from error
 
     def query_one(self, sql: str, parameters: tuple = ()) -> sqlite3.Row | None:
         """Run a statement and return the first row (or ``None``)."""
-        self.statements_executed += 1
-        return self.connection.execute(sql, parameters).fetchone()
+        return self.execute(sql, parameters).fetchone()
 
     def query_all(self, sql: str, parameters: tuple = ()) -> list[sqlite3.Row]:
         """Run a statement and return all rows."""
-        self.statements_executed += 1
-        return self.connection.execute(sql, parameters).fetchall()
+        return self.execute(sql, parameters).fetchall()
 
     @contextmanager
     def count_statements(self) -> Iterator["StatementCounter"]:
@@ -139,7 +265,8 @@ class CrimsonDatabase:
 
     def __repr__(self) -> str:
         state = "closed" if self.is_closed else "open"
-        return f"CrimsonDatabase({self.path!r}, {state})"
+        mode = ", read-only" if self.read_only else ""
+        return f"CrimsonDatabase({self.path!r}, {state}{mode})"
 
 
 class StatementCounter:

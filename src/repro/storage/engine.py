@@ -34,6 +34,13 @@ workloads.  ``cache_stats()`` exposes per-cache ``hits`` / ``misses`` /
 ``evictions`` so the benchmarks (``benchmarks/bench_stored_lca.py``) can
 verify the warm path, and ``clear_cache()`` restores cold-start
 behaviour for measurements.
+
+Concurrency
+-----------
+An engine (like the handle that owns it) is **not** shared between
+threads: ``CrimsonStore.open_tree`` hands every thread its own handle
+bound to that thread's pooled read-only connection, so the caches need
+no locking and hit/miss counters stay exact per thread.
 """
 
 from __future__ import annotations

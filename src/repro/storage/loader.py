@@ -21,7 +21,7 @@ from typing import Callable, Mapping
 
 from repro.core.lca import DEFAULT_LABEL_BOUND
 from repro.errors import ParseError, StorageError
-from repro.storage.database import CrimsonDatabase
+from repro.storage.database import reuse_namespace, unwrap_database
 from repro.storage.species_repository import SpeciesRepository
 from repro.storage.tree_repository import StoredTree, TreeRepository
 from repro.trees.nexus import parse_nexus
@@ -35,13 +35,36 @@ def _silent(_message: str) -> None:
     return None
 
 
-class DataLoader:
-    """Loads NEXUS/Newick content into the Tree and Species Repositories."""
+def _read_text(path: str | Path) -> str:
+    """Read an input file, folding I/O failures into the error hierarchy.
 
-    def __init__(self, db: CrimsonDatabase, report: Reporter = _silent) -> None:
-        self.db = db
-        self.trees = TreeRepository(db)
-        self.species = SpeciesRepository(db)
+    Raises
+    ------
+    StorageError
+        If the file cannot be read.
+    """
+    try:
+        return Path(path).read_text()
+    except OSError as error:
+        raise StorageError(f"cannot read {str(path)!r}: {error}") from error
+
+
+class DataLoader:
+    """Loads NEXUS/Newick content into the Tree and Species Repositories.
+
+    Reach it through the store's ``load_*`` methods; constructing one
+    from a raw :class:`~repro.storage.database.CrimsonDatabase` is
+    deprecated.  When constructed from a store, the store's repository
+    namespaces are reused (same cache configuration); the deprecated
+    path builds private ones.
+    """
+
+    def __init__(self, owner, report: Reporter = _silent) -> None:
+        self.db = unwrap_database(owner, "DataLoader")
+        self.trees = reuse_namespace(owner, "trees", TreeRepository, self)
+        self.species = reuse_namespace(
+            owner, "species", SpeciesRepository, self
+        )
         self.report = report
 
     # ------------------------------------------------------------------
@@ -112,7 +135,7 @@ class DataLoader:
         structure_only: bool = False,
     ) -> list[StoredTree]:
         """Load a NEXUS file (see :meth:`load_nexus_text`)."""
-        content = Path(path).read_text()
+        content = _read_text(path)
         return self.load_nexus_text(
             content, name=name or Path(path).stem, f=f, structure_only=structure_only
         )
@@ -138,7 +161,7 @@ class DataLoader:
         self, path: str | Path, name: str | None = None, f: int = DEFAULT_LABEL_BOUND
     ) -> StoredTree:
         """Load a Newick file as a structure-only tree."""
-        content = Path(path).read_text()
+        content = _read_text(path)
         return self.load_newick_text(content, name or Path(path).stem, f=f)
 
     def load_tree(

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.storage.database import CrimsonDatabase
+from repro.storage.database import DatabaseFacade, unwrap_database
 from repro.storage.tree_repository import TreeRepository
 
 
@@ -44,15 +44,21 @@ class IntegrityReport:
         return f"{self.tree_name}: {len(self.problems)} problem(s)\n  {listed}"
 
 
-def verify_store(db: CrimsonDatabase) -> list[IntegrityReport]:
-    """Verify every tree in the store; one report per tree."""
-    repo = TreeRepository(db)
+def verify_store(owner) -> list[IntegrityReport]:
+    """Verify every tree in the store; one report per tree.
+
+    ``owner`` is a :class:`~repro.storage.store.CrimsonStore` (or,
+    equivalently, a raw database).
+    """
+    db = unwrap_database(owner, "verify_store", warn=False)
+    repo = TreeRepository(DatabaseFacade(db))
     return [verify_tree(db, info.name) for info in repo.list_trees()]
 
 
-def verify_tree(db: CrimsonDatabase, name: str) -> IntegrityReport:
+def verify_tree(owner, name: str) -> IntegrityReport:
     """Run all integrity checks on one stored tree."""
-    info = TreeRepository(db).info(name)
+    db = unwrap_database(owner, "verify_tree", warn=False)
+    info = TreeRepository(DatabaseFacade(db)).info(name)
     report = IntegrityReport(tree_name=name)
     tree_id = info.tree_id
 

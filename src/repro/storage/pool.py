@@ -1,0 +1,141 @@
+"""Pooled read-only WAL connections for concurrent query traffic.
+
+The store's writer owns one connection; in WAL mode any number of
+read-only connections can run beside it without blocking it (or each
+other).  :class:`ReaderPool` manages those readers: a fixed set of
+``mode=ro`` :class:`~repro.storage.database.CrimsonDatabase` connections,
+opened lazily and handed out per thread.
+
+Checkout is thread-sticky: the first :meth:`ReaderPool.checkout` a
+thread makes assigns it a reader round-robin, and every later checkout
+from that thread returns the same connection, so a thread's
+:class:`~repro.storage.tree_repository.StoredTree` handles and their row
+caches stay glued to one connection for the thread's lifetime.  When
+threads outnumber readers, threads share connections — safe because
+CPython's sqlite3 is built in serialized mode (``sqlite3.threadsafety ==
+3``) and the readers are opened with ``check_same_thread=False`` —
+they merely contend for the shared handle.
+
+Readers never see a partially loaded tree: the writer commits a stored
+tree in one transaction, and each read-only statement runs in its own
+snapshot of the committed WAL state.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import StorageError
+from repro.storage.database import CrimsonDatabase
+
+DEFAULT_POOL_SIZE = 4
+"""Pool size used when a caller asks for readers without a count."""
+
+
+class ReaderPool:
+    """A bounded set of read-only connections to one database file.
+
+    Parameters
+    ----------
+    path:
+        Filesystem path of the database (``":memory:"`` is rejected —
+        a private in-memory database cannot be opened twice).
+    size:
+        Number of reader connections (at least 1).  Connections are
+        opened on first checkout, not eagerly, so constructing a pool
+        is free until query traffic arrives.
+
+    Raises
+    ------
+    StorageError
+        On a non-positive size or an in-memory path.
+    """
+
+    def __init__(self, path: str, size: int = DEFAULT_POOL_SIZE) -> None:
+        if size < 1:
+            raise StorageError(f"reader pool size must be >= 1, got {size}")
+        if str(path) == ":memory:":
+            raise StorageError(
+                "an in-memory database cannot back a reader pool; reads "
+                "fall back to the writer connection"
+            )
+        self.path = str(path)
+        self.size = size
+        self._lock = threading.Lock()
+        self._readers: list[CrimsonDatabase | None] = [None] * size
+        self._local = threading.local()
+        self._next_slot = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Checkout
+    # ------------------------------------------------------------------
+
+    def checkout(self) -> CrimsonDatabase:
+        """The calling thread's read-only connection (opened on demand).
+
+        Raises
+        ------
+        StorageError
+            If the pool has been closed, or the database file cannot be
+            opened read-only.
+        """
+        reader = getattr(self._local, "reader", None)
+        if reader is not None and not reader.is_closed:
+            return reader
+        with self._lock:
+            if self._closed:
+                raise StorageError(f"reader pool over {self.path!r} is closed")
+            slot = self._next_slot % self.size
+            self._next_slot += 1
+            reader = self._readers[slot]
+            if reader is None or reader.is_closed:
+                reader = CrimsonDatabase(self.path, read_only=True)
+                self._readers[slot] = reader
+        self._local.reader = reader
+        return reader
+
+    # ------------------------------------------------------------------
+    # Lifecycle and introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def open_readers(self) -> int:
+        """Connections opened so far (lazily grows toward ``size``)."""
+        with self._lock:
+            return sum(
+                1
+                for reader in self._readers
+                if reader is not None and not reader.is_closed
+            )
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def statements_executed(self) -> int:
+        """Total statements issued across all readers (diagnostics)."""
+        with self._lock:
+            return sum(
+                reader.statements_executed
+                for reader in self._readers
+                if reader is not None
+            )
+
+    def close(self) -> None:
+        """Close every reader (idempotent); later checkouts raise."""
+        with self._lock:
+            self._closed = True
+            for reader in self._readers:
+                if reader is not None:
+                    reader.close()
+
+    def __enter__(self) -> "ReaderPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{self.open_readers}/{self.size} open"
+        return f"ReaderPool({self.path!r}, {state})"

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import QueryError, StorageError
-from repro.storage.database import CrimsonDatabase
+from repro.storage.database import unwrap_database
 
 
 @dataclass(frozen=True)
@@ -33,10 +33,14 @@ class HistoryEntry:
 
 
 class QueryRepository:
-    """Records, lists, and re-runs queries."""
+    """Records, lists, and re-runs queries.
 
-    def __init__(self, db: CrimsonDatabase) -> None:
-        self.db = db
+    Reach it as ``store.history``; constructing one from a raw
+    :class:`~repro.storage.database.CrimsonDatabase` is deprecated.
+    """
+
+    def __init__(self, owner) -> None:
+        self.db = unwrap_database(owner, "QueryRepository")
         self._operations: dict[str, Callable[..., Any]] = {}
 
     # ------------------------------------------------------------------

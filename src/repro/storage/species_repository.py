@@ -11,17 +11,21 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.errors import QueryError, StorageError
-from repro.storage.database import CrimsonDatabase
+from repro.storage.database import unwrap_database
 from repro.storage.tree_repository import StoredTree
 
 _BATCH = 5000
 
 
 class SpeciesRepository:
-    """Stores and serves per-species character data."""
+    """Stores and serves per-species character data.
 
-    def __init__(self, db: CrimsonDatabase) -> None:
-        self.db = db
+    Reach it as ``store.species``; constructing one from a raw
+    :class:`~repro.storage.database.CrimsonDatabase` is deprecated.
+    """
+
+    def __init__(self, owner) -> None:
+        self.db = unwrap_database(owner, "SpeciesRepository")
 
     def attach_sequences(
         self,

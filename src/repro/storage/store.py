@@ -1,0 +1,332 @@
+"""`CrimsonStore`: the one public entry point of the storage layer.
+
+The paper's Crimson is a *service*: one handle that loads gold
+standards, answers structure queries, records history, and verifies
+itself.  This module is that handle.  A store owns
+
+* a single **writer** :class:`~repro.storage.database.CrimsonDatabase`
+  (loads, deletes, history rows),
+* an optional :class:`~repro.storage.pool.ReaderPool` of read-only WAL
+  connections, so query traffic from many threads never serializes on —
+  or blocks — the writer,
+* the repositories as cohesive namespaces: :attr:`CrimsonStore.trees`,
+  :attr:`CrimsonStore.species`, :attr:`CrimsonStore.history`, plus the
+  loader's ``load_*`` methods and :meth:`CrimsonStore.verify`,
+* a typed query surface: :meth:`CrimsonStore.query` takes a
+  :class:`~repro.storage.api.QueryRequest` and returns a
+  :class:`~repro.storage.api.QueryResult`.
+
+Example
+-------
+::
+
+    with CrimsonStore.open("crimson.db", readers=4) as store:
+        store.load_newick_file("gold.nwk", name="gold")
+        result = store.query(QueryRequest.lca("gold", "Lla", "Syn"))
+        print(result.node.name, result.duration_ms)
+
+Threads and connections
+-----------------------
+:meth:`CrimsonStore.open_tree` returns a per-thread
+:class:`~repro.storage.tree_repository.StoredTree` handle bound to the
+calling thread's pooled reader (or to the writer when the store has no
+pool — in-memory stores, or ``readers=0``).  Handles and their row
+caches are cached per thread, so repeated queries from a worker thread
+hit warm caches without any cross-thread sharing.  All writes — loading,
+deleting, history recording — go through the single writer connection;
+:meth:`query` serializes its optional history recording behind a lock so
+concurrent readers may record safely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.errors import StorageError
+from repro.storage.api import QueryRequest, QueryResult
+from repro.storage.database import CrimsonDatabase, DatabaseFacade
+from repro.storage.engine import DEFAULT_CACHE_SIZE
+from repro.storage.loader import DataLoader, Reporter, _silent
+from repro.storage.pool import ReaderPool
+from repro.storage.query_repository import QueryRepository
+from repro.storage.species_repository import SpeciesRepository
+from repro.storage.tree_repository import StoredTree, TreeRepository
+
+
+class CrimsonStore:
+    """One Crimson data service over one database file.
+
+    Parameters
+    ----------
+    path:
+        Database file, or ``":memory:"`` for an ephemeral store.
+    readers:
+        Size of the read-only connection pool.  ``0`` (the default)
+        serves reads on the writer connection — the right choice for
+        single-threaded scripts.  In-memory stores cannot pool (the
+        database is private to its writer connection) and silently fall
+        back to ``0``.
+    cache_size:
+        Per-cache row bound for every query handle the store creates
+        (see :mod:`repro.storage.engine` for sizing guidance).
+    report:
+        Callback receiving the loader's progress messages.
+    """
+
+    def __init__(
+        self,
+        path: str | Path = ":memory:",
+        *,
+        readers: int = 0,
+        cache_size: int | None = None,
+        report: Reporter = _silent,
+    ) -> None:
+        if readers < 0:
+            raise StorageError(f"readers must be >= 0, got {readers}")
+        self.db = CrimsonDatabase(path)
+        self.cache_size = (
+            cache_size if cache_size is not None else DEFAULT_CACHE_SIZE
+        )
+        self.pool: ReaderPool | None = (
+            ReaderPool(self.db.path, readers)
+            if readers and self.db.path != ":memory:"
+            else None
+        )
+        #: The Tree Repository namespace (catalogue, store/open/delete).
+        self.trees = TreeRepository(self, cache_size=self.cache_size)
+        #: The Species Repository namespace (sequence data).
+        self.species = SpeciesRepository(self)
+        #: The Query Repository namespace (history, recall, re-run).
+        self.history = QueryRepository(self)
+        self._loader = DataLoader(self, report=report)
+        self._local = threading.local()
+        self._record_lock = threading.Lock()
+        # Bumped by TreeRepository.delete_tree (via the hook below) so
+        # every thread's cached handles revalidate after a catalogue
+        # mutation — a deleted-and-restored name gets a fresh tree_id.
+        self._catalogue_epoch = 0
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path = ":memory:",
+        *,
+        readers: int = 0,
+        cache_size: int | None = None,
+        report: Reporter = _silent,
+    ) -> "CrimsonStore":
+        """Open (creating if needed) the store at ``path``."""
+        return cls(path, readers=readers, cache_size=cache_size, report=report)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the reader pool and the writer connection (idempotent)."""
+        if self.pool is not None:
+            self.pool.close()
+        self.db.close()
+
+    @property
+    def is_closed(self) -> bool:
+        return self.db.is_closed
+
+    def __enter__(self) -> "CrimsonStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Loading (the Data Loader namespace)
+    # ------------------------------------------------------------------
+
+    @property
+    def loader(self) -> DataLoader:
+        """The underlying Data Loader (all ``load_*`` methods delegate)."""
+        return self._loader
+
+    def load_nexus_file(self, path, **kwargs) -> list[StoredTree]:
+        """See :meth:`repro.storage.loader.DataLoader.load_nexus_file`."""
+        return self._loader.load_nexus_file(path, **kwargs)
+
+    def load_nexus_text(self, text: str, **kwargs) -> list[StoredTree]:
+        """See :meth:`repro.storage.loader.DataLoader.load_nexus_text`."""
+        return self._loader.load_nexus_text(text, **kwargs)
+
+    def load_newick_file(self, path, **kwargs) -> StoredTree:
+        """See :meth:`repro.storage.loader.DataLoader.load_newick_file`."""
+        return self._loader.load_newick_file(path, **kwargs)
+
+    def load_newick_text(self, text: str, name: str, **kwargs) -> StoredTree:
+        """See :meth:`repro.storage.loader.DataLoader.load_newick_text`."""
+        return self._loader.load_newick_text(text, name, **kwargs)
+
+    def load_tree(self, tree, **kwargs) -> StoredTree:
+        """See :meth:`repro.storage.loader.DataLoader.load_tree`."""
+        return self._loader.load_tree(tree, **kwargs)
+
+    def append_species_nexus(self, tree_name: str, text: str, **kwargs) -> int:
+        """See :meth:`repro.storage.loader.DataLoader.append_species_nexus`."""
+        return self._loader.append_species_nexus(tree_name, text, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def verify(self, tree: str | None = None):
+        """Integrity reports for one tree, or for every stored tree.
+
+        Returns a list of
+        :class:`~repro.storage.maintenance.IntegrityReport`.
+        """
+        from repro.storage.maintenance import verify_store, verify_tree
+
+        if tree is not None:
+            return [verify_tree(self, tree)]
+        return verify_store(self)
+
+    # ------------------------------------------------------------------
+    # Query handles and the typed query surface
+    # ------------------------------------------------------------------
+
+    def reader_database(self) -> CrimsonDatabase:
+        """The connection serving this thread's reads.
+
+        A pooled read-only connection when the store has a pool, the
+        writer connection otherwise.
+        """
+        if self.pool is not None:
+            return self.pool.checkout()
+        return self.db
+
+    def _bump_catalogue_epoch(self) -> None:
+        """Invalidate every thread's cached handles (catalogue changed)."""
+        self._catalogue_epoch += 1
+
+    def _resolve_info(self, reader: CrimsonDatabase, name: str):
+        # The catalogue lookup must run on this thread's connection too:
+        # the writer is confined to its opening thread.
+        return TreeRepository(DatabaseFacade(reader)).info(name)
+
+    def open_tree(
+        self, name: str, cache_size: int | None = None
+    ) -> StoredTree:
+        """A query handle on a stored tree, bound to this thread's reader.
+
+        Handles (and their warm row caches) are cached per thread and
+        per tree, and revalidated after any ``delete_tree`` through this
+        store (a re-stored name gets a fresh ``tree_id``).  Mutations
+        made through *another* store or process are not observed; pass
+        an explicit ``cache_size`` to get a fresh, uncached handle.
+
+        Raises
+        ------
+        StorageError
+            If no tree of that name is stored.
+        """
+        reader = self.reader_database()
+        if cache_size is not None:
+            return StoredTree(reader, self._resolve_info(reader, name), cache_size)
+        handles: dict[str, tuple[int, StoredTree]] | None = getattr(
+            self._local, "handles", None
+        )
+        if handles is None:
+            handles = self._local.handles = {}
+        epoch = self._catalogue_epoch
+        entry = handles.get(name)
+        if entry is not None:
+            cached_epoch, handle = entry
+            if cached_epoch == epoch and not handle.db.is_closed:
+                return handle
+        handle = StoredTree(
+            reader, self._resolve_info(reader, name), self.cache_size
+        )
+        handles[name] = (epoch, handle)
+        return handle
+
+    def query(
+        self, request: QueryRequest, *, record: bool = False
+    ) -> QueryResult:
+        """Execute a typed query on this thread's reader connection.
+
+        Parameters
+        ----------
+        request:
+            The validated query description.
+        record:
+            Also record the query (with its timing and a result
+            summary) in the Query Repository.  Recording writes through
+            the writer connection behind a lock, so it is safe — if
+            serialized — under concurrent readers.
+
+        Raises
+        ------
+        QueryError
+            On unknown taxa, interior-node projections, and the other
+            per-operation argument errors.
+        StorageError
+            If the tree is unknown or the store is closed.
+        """
+        handle = self.open_tree(request.tree)
+        start = time.perf_counter()
+        result = self._execute(handle, request)
+        duration_ms = (time.perf_counter() - start) * 1000.0
+        result = dataclasses.replace(result, duration_ms=duration_ms)
+        if record:
+            with self._record_lock:
+                self.history.record(
+                    request.operation,
+                    request.params(),
+                    tree_name=request.tree,
+                    duration_ms=duration_ms,
+                    result_summary=result.summary(),
+                )
+        return result
+
+    def _execute(self, handle: StoredTree, request: QueryRequest) -> QueryResult:
+        """Dispatch one operation; timing and recording happen above."""
+        from repro.core.pattern import match_pattern
+        from repro.storage.projection import project_stored
+        from repro.trees.newick import parse_newick
+
+        if request.operation == "lca":
+            row = handle.lca_many(list(request.taxa))
+            return QueryResult(request=request, duration_ms=0.0, nodes=(row,))
+        if request.operation == "lca_batch":
+            rows = handle.lca_batch(list(request.pairs))
+            return QueryResult(
+                request=request, duration_ms=0.0, nodes=tuple(rows)
+            )
+        if request.operation == "clade":
+            rows = handle.clade(list(request.taxa))
+            return QueryResult(
+                request=request, duration_ms=0.0, nodes=tuple(rows)
+            )
+        if request.operation == "project":
+            projection = project_stored(handle, list(request.taxa))
+            return QueryResult(
+                request=request, duration_ms=0.0, projection=projection
+            )
+        assert request.operation == "match"
+        pattern = parse_newick(request.pattern)
+        outcome = match_pattern(
+            handle.fetch_tree(), pattern, ordered=request.ordered
+        )
+        return QueryResult(
+            request=request,
+            duration_ms=0.0,
+            projection=outcome.projection,
+            matched=outcome.matched,
+            similarity=outcome.similarity,
+        )
+
+    def __repr__(self) -> str:
+        pool = f", readers={self.pool.size}" if self.pool is not None else ""
+        state = "closed" if self.is_closed else "open"
+        return f"CrimsonStore({self.db.path!r}, {state}{pool})"

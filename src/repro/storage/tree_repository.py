@@ -33,7 +33,7 @@ from repro.core.hindex import HierarchicalIndex
 from repro.core.lca import DEFAULT_LABEL_BOUND
 from repro.errors import QueryError, StorageError
 from repro.storage.cache import CacheStats
-from repro.storage.database import CrimsonDatabase
+from repro.storage.database import CrimsonDatabase, unwrap_database
 from repro.storage.engine import DEFAULT_CACHE_SIZE, StoredQueryEngine
 from repro.trees.node import Node
 from repro.trees.traversal import preorder_intervals
@@ -81,24 +81,29 @@ class TreeInfo:
 
 
 class TreeRepository:
-    """Stores and serves phylogenetic trees from a :class:`CrimsonDatabase`.
+    """Stores and serves phylogenetic trees of one Crimson store.
 
     Parameters
     ----------
-    db:
-        The open database.
+    owner:
+        The owning :class:`~repro.storage.store.CrimsonStore` (reach it
+        as ``store.trees`` rather than constructing one).  Passing a raw
+        :class:`CrimsonDatabase` is deprecated but still works.
     cache_size:
         Per-cache row bound applied to every :class:`StoredTree` handle
         this repository creates (see :mod:`repro.storage.engine` for
         sizing guidance).  ``None`` uses the engine default.
     """
 
-    def __init__(
-        self, db: CrimsonDatabase, cache_size: int | None = None
-    ) -> None:
-        self.db = db
+    def __init__(self, owner, cache_size: int | None = None) -> None:
+        self.db = unwrap_database(owner, "TreeRepository")
         self.cache_size = (
             cache_size if cache_size is not None else DEFAULT_CACHE_SIZE
+        )
+        # A store owner gets told when the catalogue mutates, so its
+        # per-thread cached handles revalidate (see CrimsonStore.open_tree).
+        self._notify_catalogue_change = getattr(
+            owner, "_bump_catalogue_epoch", None
         )
 
     # ------------------------------------------------------------------
@@ -308,6 +313,8 @@ class TreeRepository:
             connection.execute(
                 "DELETE FROM trees WHERE tree_id = ?", (info.tree_id,)
             )
+        if self._notify_catalogue_change is not None:
+            self._notify_catalogue_change()
 
     def __repr__(self) -> str:
         return f"TreeRepository({self.db!r})"

@@ -120,6 +120,28 @@ class TestQueries:
         )
         assert "LCA:" in capsys.readouterr().out
 
+    def test_readers_flag(self, loaded, capsys):
+        assert (
+            main(["--db", loaded, "--readers", "2", "lca", "demo", "a", "b"])
+            == 0
+        )
+        assert "LCA:" in capsys.readouterr().out
+
+    def test_readers_flag_rejects_negative(self, loaded):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--db", loaded, "--readers", "-1", "list"])
+        assert excinfo.value.code == 2
+
+    def test_load_missing_file_exits_one(self, dbpath, capsys):
+        assert run(dbpath, "load", "/no/such/file.nex") == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_unknown_taxon_exits_one(self, loaded, capsys):
+        assert run(loaded, "lca", "demo", "a", "ghost") == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_clade(self, loaded, capsys):
         assert run(loaded, "clade", "demo", "a", "b") == 0
         output = capsys.readouterr().out

@@ -93,12 +93,15 @@ class TestSchema:
             "n_layers, n_blocks, created_at) VALUES "
             "('t', 1, 1, 0, 8, 1, 1, 'now')"
         )
-        with pytest.raises(sqlite3.IntegrityError):
+        # Constraint violations surface as StorageError (CrimsonError),
+        # with the sqlite error preserved as the cause.
+        with pytest.raises(StorageError) as excinfo:
             db.execute(
                 "INSERT INTO trees (name, n_nodes, n_leaves, max_depth, f, "
                 "n_layers, n_blocks, created_at) VALUES "
                 "('t', 1, 1, 0, 8, 1, 1, 'now')"
             )
+        assert isinstance(excinfo.value.__cause__, sqlite3.IntegrityError)
 
     def test_expected_indexes_exist(self, db):
         rows = db.query_all(

@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.lca import LcaService
-from repro.errors import QueryError
+from repro.errors import QueryError, StorageError
 from repro.storage.cache import CacheStats, LRUCache
 from repro.storage.projection import project_stored
 from repro.storage.tree_repository import TreeRepository
@@ -60,7 +60,7 @@ class TestLRUCache:
         assert cache.get("a") == 10
 
     def test_invalid_size_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(StorageError):
             LRUCache(0)
 
     def test_clear_keeps_counters_reset_zeroes_them(self):

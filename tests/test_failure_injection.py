@@ -127,7 +127,8 @@ class TestTransactionalAtomicity:
 class TestBadInputFiles:
     def test_loader_on_missing_file(self, db, tmp_path):
         loader = DataLoader(db)
-        with pytest.raises(OSError):
+        # I/O failures are part of the CrimsonError hierarchy now.
+        with pytest.raises(StorageError):
             loader.load_nexus_file(tmp_path / "missing.nex")
 
     def test_loader_on_binary_garbage(self, db, tmp_path):

@@ -1,0 +1,422 @@
+"""Tests of the `CrimsonStore` façade, reader pool, and typed queries.
+
+Covers the session-API redesign: one store handle owning the writer
+connection and a pool of read-only WAL readers, the typed
+``QueryRequest``/``QueryResult`` surface, the threaded stress contract
+(no ``database is locked``, per-thread results equal to single-threaded
+ground truth), and the deprecation shims that keep raw-database
+construction alive.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+import pytest
+
+from repro.errors import CrimsonError, QueryError, StorageError
+from repro.storage.api import QueryRequest, QueryResult
+from repro.storage.cache import LRUCache
+from repro.storage.database import CrimsonDatabase
+from repro.storage.loader import DataLoader
+from repro.storage.pool import ReaderPool
+from repro.storage.query_repository import QueryRepository
+from repro.storage.species_repository import SpeciesRepository
+from repro.storage.store import CrimsonStore
+from repro.storage.tree_repository import TreeRepository
+from repro.trees.build import caterpillar, sample_tree
+from repro.trees.newick import write_newick
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "store.db")
+
+
+@pytest.fixture
+def pooled_store(store_path):
+    """A file-backed store with readers, seeded with two trees."""
+    with CrimsonStore.open(store_path, readers=4) as store:
+        store.load_tree(sample_tree(), name="fig1")
+        store.load_tree(caterpillar(60), name="deep")
+        yield store
+
+
+class TestCrimsonStoreBasics:
+    def test_open_close_context_manager(self, store_path):
+        with CrimsonStore.open(store_path, readers=2) as store:
+            assert not store.is_closed
+            assert store.pool is not None and store.pool.size == 2
+        assert store.is_closed
+        assert store.pool.is_closed
+
+    def test_memory_store_has_no_pool(self):
+        with CrimsonStore.open(readers=4) as store:
+            assert store.pool is None
+            store.load_tree(sample_tree(), name="fig1")
+            result = store.query(QueryRequest.lca("fig1", "Lla", "Syn"))
+            direct = store.open_tree("fig1").lca("Lla", "Syn")
+            assert result.node.node_id == direct.node_id
+
+    def test_negative_readers_rejected(self, store_path):
+        with pytest.raises(StorageError):
+            CrimsonStore.open(store_path, readers=-1)
+
+    def test_namespaces_share_one_writer(self, pooled_store):
+        assert pooled_store.trees.db is pooled_store.db
+        assert pooled_store.species.db is pooled_store.db
+        assert pooled_store.history.db is pooled_store.db
+        # The loader reuses the store's repositories, not private copies.
+        assert pooled_store.loader.trees is pooled_store.trees
+        assert pooled_store.loader.species is pooled_store.species
+
+    def test_load_and_catalogue_roundtrip(self, pooled_store):
+        names = [info.name for info in pooled_store.trees.list_trees()]
+        assert names == ["deep", "fig1"]
+
+    def test_open_tree_is_cached_per_thread(self, pooled_store):
+        first = pooled_store.open_tree("fig1")
+        assert pooled_store.open_tree("fig1") is first
+
+    def test_open_tree_explicit_cache_size_is_fresh(self, pooled_store):
+        cached = pooled_store.open_tree("fig1")
+        fresh = pooled_store.open_tree("fig1", cache_size=16)
+        assert fresh is not cached
+        assert fresh.engine.cache_size == 16
+
+    def test_open_tree_uses_pooled_reader(self, pooled_store):
+        handle = pooled_store.open_tree("fig1")
+        assert handle.db is not pooled_store.db
+        assert handle.db.read_only
+
+    def test_unknown_tree_raises_storage_error(self, pooled_store):
+        with pytest.raises(StorageError):
+            pooled_store.open_tree("ghost")
+
+    def test_delete_and_restore_invalidates_cached_handles(self, store_path):
+        """Regression: a re-stored name must not serve the old tree."""
+        with CrimsonStore.open(store_path, readers=2) as store:
+            store.load_newick_text("((a:1,b:1):1,c:2);", name="gold")
+            before = store.query(QueryRequest.lca("gold", "a", "b")).node
+            assert before.depth == 1  # LCA(a, b) is the inner node
+            store.trees.delete_tree("gold")
+            store.load_newick_text("(a:1,(b:1,c:1):1);", name="gold")
+            after = store.query(QueryRequest.lca("gold", "a", "b")).node
+            assert after.depth == 0  # in the new topology it is the root
+            assert after.node_id == 0
+
+    def test_verify_all_and_one(self, pooled_store):
+        reports = pooled_store.verify()
+        assert len(reports) == 2 and all(r.ok for r in reports)
+        assert pooled_store.verify("fig1")[0].ok
+
+    def test_loader_report_callback(self, store_path):
+        messages = []
+        with CrimsonStore.open(store_path, report=messages.append) as store:
+            store.load_newick_text("(a:1,b:2);", name="tiny")
+        assert any("tiny" in message for message in messages)
+
+    def test_repr(self, pooled_store):
+        text = repr(pooled_store)
+        assert "readers=4" in text and "open" in text
+
+
+class TestQueryRequestValidation:
+    def test_unknown_operation(self):
+        with pytest.raises(QueryError):
+            QueryRequest(operation="frontier", tree="t", taxa=("a",))
+
+    def test_missing_tree_name(self):
+        with pytest.raises(QueryError):
+            QueryRequest(operation="lca", tree="", taxa=("a", "b"))
+
+    def test_lca_needs_taxa(self):
+        with pytest.raises(QueryError):
+            QueryRequest.lca("t")
+
+    def test_batch_needs_pairs(self):
+        with pytest.raises(QueryError):
+            QueryRequest.lca_batch("t", [])
+
+    def test_project_rejects_node_ids(self):
+        with pytest.raises(QueryError):
+            QueryRequest.project("t", 3)  # type: ignore[arg-type]
+
+    def test_match_needs_pattern(self):
+        with pytest.raises(QueryError):
+            QueryRequest(operation="match", tree="t")
+
+    def test_sequences_normalized_to_tuples(self):
+        request = QueryRequest.lca_batch("t", [["a", "b"]])
+        assert request.pairs == (("a", "b"),)
+
+    def test_params_round_trip(self):
+        assert QueryRequest.lca("t", "a", "b").params() == {"taxa": ["a", "b"]}
+        assert QueryRequest.match("t", "(a,b);").params() == {
+            "pattern": "(a,b);",
+            "ordered": True,
+        }
+        assert QueryRequest.lca_batch("t", [("a", "b")]).params() == {
+            "pairs": [["a", "b"]]
+        }
+
+
+class TestTypedQuerySurface:
+    def test_lca_matches_handle(self, pooled_store):
+        direct = pooled_store.open_tree("fig1").lca("Lla", "Syn")
+        result = pooled_store.query(QueryRequest.lca("fig1", "Lla", "Syn"))
+        assert result.node.node_id == direct.node_id
+        assert result.duration_ms >= 0.0
+
+    def test_lca_batch(self, pooled_store):
+        pairs = [("t1", "t60"), ("t5", "t6")]
+        expected = pooled_store.open_tree("deep").lca_batch(pairs)
+        result = pooled_store.query(QueryRequest.lca_batch("deep", pairs))
+        assert [row.node_id for row in result.nodes] == [
+            row.node_id for row in expected
+        ]
+        assert result.summary() == "2 pairs"
+
+    def test_clade(self, pooled_store):
+        result = pooled_store.query(QueryRequest.clade("fig1", "Lla", "Syn"))
+        names = {row.name for row in result.nodes if row.is_leaf}
+        assert {"Lla", "Syn"} <= names
+
+    def test_project_equals_stored_projection(self, pooled_store):
+        from repro.storage.projection import project_stored
+
+        expected = project_stored(
+            pooled_store.open_tree("deep"), ["t1", "t10", "t20"]
+        )
+        result = pooled_store.query(
+            QueryRequest.project("deep", "t1", "t10", "t20")
+        )
+        assert write_newick(result.projection) == write_newick(expected)
+
+    def test_match(self, pooled_store):
+        result = pooled_store.query(
+            QueryRequest.match("fig1", "(Lla,Syn);", ordered=False)
+        )
+        assert result.matched is not None
+        assert result.similarity is not None
+        assert result.projection is not None
+
+    def test_node_accessor_rejects_multi_row_results(self, pooled_store):
+        result = pooled_store.query(QueryRequest.clade("fig1", "Lla", "Syn"))
+        with pytest.raises(QueryError):
+            result.node
+
+    def test_record_writes_history(self, pooled_store):
+        pooled_store.query(QueryRequest.lca("fig1", "Lla", "Syn"), record=True)
+        [entry] = pooled_store.history.recent(limit=1)
+        assert entry.operation == "lca"
+        assert entry.params == {"taxa": ["Lla", "Syn"]}
+        assert entry.duration_ms is not None
+
+    def test_unrecorded_by_default(self, pooled_store):
+        before = len(pooled_store.history.recent(limit=100))
+        pooled_store.query(QueryRequest.lca("fig1", "Lla", "Syn"))
+        assert len(pooled_store.history.recent(limit=100)) == before
+
+    def test_unknown_taxon_is_query_error(self, pooled_store):
+        with pytest.raises(QueryError):
+            pooled_store.query(QueryRequest.lca("fig1", "Lla", "nope"))
+
+
+class TestReaderPool:
+    def test_size_must_be_positive(self, store_path):
+        CrimsonDatabase(store_path).close()
+        with pytest.raises(StorageError):
+            ReaderPool(store_path, 0)
+
+    def test_memory_rejected(self):
+        with pytest.raises(StorageError):
+            ReaderPool(":memory:")
+
+    def test_checkout_is_thread_sticky(self, pooled_store):
+        pool = pooled_store.pool
+        assert pool.checkout() is pool.checkout()
+
+    def test_readers_open_lazily(self, store_path):
+        CrimsonDatabase(store_path).close()
+        with ReaderPool(store_path, 3) as pool:
+            assert pool.open_readers == 0
+            pool.checkout()
+            assert pool.open_readers == 1
+
+    def test_threads_get_distinct_readers_up_to_size(self, pooled_store):
+        seen = []
+
+        def grab():
+            seen.append(id(pooled_store.pool.checkout()))
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(seen)) == 4
+
+    def test_checkout_after_close_raises(self, store_path):
+        CrimsonDatabase(store_path).close()
+        pool = ReaderPool(store_path, 1)
+        pool.checkout()
+        pool.close()
+        with pytest.raises(StorageError):
+            pool.checkout()
+
+    def test_readers_are_read_only(self, pooled_store):
+        reader = pooled_store.pool.checkout()
+        assert reader.read_only
+        with pytest.raises(StorageError):
+            with reader.transaction():
+                pass
+        with pytest.raises(StorageError):
+            reader.execute("INSERT INTO meta VALUES ('x', 'y')")
+
+    def test_missing_file_raises_storage_error(self, tmp_path):
+        pool = ReaderPool(str(tmp_path / "absent.db"), 1)
+        with pytest.raises(StorageError):
+            pool.checkout()
+
+
+class TestConcurrentReaders:
+    """The acceptance stress test: mixed query traffic across threads."""
+
+    N_THREADS = 6
+
+    def _workload(self, store):
+        """Run the mixed workload; returns a comparable result signature."""
+        lca_ids = [
+            store.query(QueryRequest.lca("gold", f"L{i}", f"L{i + 37}")).node.node_id
+            for i in range(1, 20)
+        ]
+        batch = store.query(
+            QueryRequest.lca_batch(
+                "gold", [(f"L{i}", f"L{200 - i}") for i in range(1, 40)]
+            )
+        )
+        batch_ids = [row.node_id for row in batch.nodes]
+        leaves = store.open_tree("gold").leaf_names()
+        projection = store.query(
+            QueryRequest.project("gold", *leaves[::7])
+        )
+        return lca_ids, batch_ids, write_newick(projection.projection)
+
+    def test_threaded_results_match_ground_truth(
+        self, store_path, random_tree_factory
+    ):
+        tree = random_tree_factory(240, seed=77)
+        with CrimsonStore.open(store_path, readers=4) as store:
+            store.load_tree(tree, name="gold")
+            expected = self._workload(store)  # single-threaded ground truth
+
+            errors: list[BaseException] = []
+            outcomes: list = []
+
+            def run():
+                try:
+                    outcomes.append(self._workload(store))
+                except BaseException as error:  # noqa: BLE001 - recorded
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=run) for _ in range(self.N_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert not errors, f"threaded queries failed: {errors!r}"
+            assert all(outcome == expected for outcome in outcomes)
+            assert "locked" not in "".join(repr(error) for error in errors)
+
+    def test_readers_run_beside_the_loader(
+        self, store_path, random_tree_factory
+    ):
+        """WAL property: loads on the writer never block pooled readers."""
+        with CrimsonStore.open(store_path, readers=3) as store:
+            store.load_tree(random_tree_factory(150, seed=5), name="gold")
+            expected = [
+                store.query(QueryRequest.lca("gold", f"L{i}", f"L{i + 50}")).node.node_id
+                for i in range(1, 30)
+            ]
+            errors: list[BaseException] = []
+            results: list = []
+            stop = threading.Event()
+
+            def reader():
+                while not stop.is_set():
+                    try:
+                        got = [
+                            store.query(
+                                QueryRequest.lca("gold", f"L{i}", f"L{i + 50}")
+                            ).node.node_id
+                            for i in range(1, 30)
+                        ]
+                        results.append(got)
+                    except BaseException as error:  # noqa: BLE001
+                        errors.append(error)
+                        return
+
+            threads = [threading.Thread(target=reader) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            # The writer keeps loading new trees while readers query.
+            for round_ in range(5):
+                store.load_tree(
+                    random_tree_factory(80, seed=round_), name=f"extra{round_}"
+                )
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+            assert not errors, f"reader failed during writes: {errors!r}"
+            assert results and all(got == expected for got in results)
+
+
+class TestDeprecationShims:
+    def test_raw_database_construction_warns_but_works(self, db):
+        with pytest.warns(DeprecationWarning):
+            trees = TreeRepository(db)
+        with pytest.warns(DeprecationWarning):
+            species = SpeciesRepository(db)
+        with pytest.warns(DeprecationWarning):
+            history = QueryRepository(db)
+        with pytest.warns(DeprecationWarning):
+            loader = DataLoader(db)
+        handle = loader.load_newick_text("(a:1,b:2);", name="tiny")
+        assert trees.info("tiny").n_leaves == 2
+        assert handle.lca("a", "b").node_id == 0
+        history.record("lca", {"taxa": ["a", "b"]}, tree_name="tiny")
+        assert species.count(handle) == 0
+
+    def test_store_construction_does_not_warn(self, store_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with CrimsonStore.open(store_path, readers=2) as store:
+                store.load_newick_text("(a:1,b:2);", name="tiny")
+                store.query(QueryRequest.lca("tiny", "a", "b"), record=True)
+                store.verify()
+
+    def test_repository_rejects_nonsense_owner(self):
+        with pytest.raises(StorageError):
+            TreeRepository("not a database")
+
+
+class TestErrorHierarchy:
+    def test_cache_size_error_is_crimson_error(self):
+        with pytest.raises(CrimsonError):
+            LRUCache(0)
+
+    def test_memory_cannot_be_read_only(self):
+        with pytest.raises(StorageError):
+            CrimsonDatabase(read_only=True)
+
+    def test_query_result_is_frozen(self, pooled_store):
+        result = pooled_store.query(QueryRequest.lca("fig1", "Lla", "Syn"))
+        assert isinstance(result, QueryResult)
+        with pytest.raises(AttributeError):
+            result.duration_ms = 0.0  # type: ignore[misc]
