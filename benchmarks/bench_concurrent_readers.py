@@ -11,9 +11,11 @@ cold readers *while the writer loads new trees*, the WAL property the
 ROADMAP's concurrent-readers item asked for.  Figures are emitted as
 JSON (committed as ``BENCH_concurrent_readers.json``)::
 
-    PYTHONPATH=src python benchmarks/bench_concurrent_readers.py [out.json]
+    PYTHONPATH=src python benchmarks/bench_concurrent_readers.py [out.json] [--smoke]
 
-Run as a pytest bench it asserts the acceptance properties: zero lock
+``--smoke`` shrinks the tree, workload, and thread ladder to a
+seconds-long CI guard (the acceptance shape — zero lock errors, idle
+writer — holds at any size).  Run as a pytest bench it asserts the acceptance properties: zero lock
 errors, zero result mismatches, zero writer statements during pooled
 query phases, and a statement-free warm path.
 """
@@ -37,6 +39,8 @@ REPS = 3
 F = 8
 THREAD_COUNTS = (1, 2, 4, 8)
 POOL_SIZE = 8
+
+SMOKE = {"depth": 150, "n_pairs": 25, "thread_counts": (1, 4)}
 
 
 def _pairs(n_leaves: int, n_pairs: int) -> list[tuple[str, str]]:
@@ -149,7 +153,11 @@ def _loading_phase(store: CrimsonStore, pairs, expected) -> dict:
     }
 
 
-def run_experiment(depth: int = DEPTH, n_pairs: int = N_PAIRS) -> dict:
+def run_experiment(
+    depth: int = DEPTH,
+    n_pairs: int = N_PAIRS,
+    thread_counts: tuple[int, ...] = THREAD_COUNTS,
+) -> dict:
     with tempfile.TemporaryDirectory() as tmpdir:
         path = str(Path(tmpdir) / "bench.db")
         with CrimsonStore.open(path, readers=POOL_SIZE) as store:
@@ -165,11 +173,11 @@ def run_experiment(depth: int = DEPTH, n_pairs: int = N_PAIRS) -> dict:
 
             warm = {
                 f"{n}_threads": _Phase(store, pairs, expected, warm=True).run(n)
-                for n in THREAD_COUNTS
+                for n in thread_counts
             }
             cold = {
                 f"{n}_threads": _Phase(store, pairs, expected, warm=False).run(n)
-                for n in THREAD_COUNTS
+                for n in thread_counts
             }
             while_loading = _loading_phase(store, pairs, expected)
 
@@ -259,8 +267,10 @@ def test_concurrent_readers(benchmark, report):
 
 
 def main(argv: list[str]) -> int:
-    out_path = argv[1] if len(argv) > 1 else "BENCH_concurrent_readers.json"
-    results = run_experiment()
+    smoke = "--smoke" in argv
+    positional = [arg for arg in argv[1:] if not arg.startswith("--")]
+    out_path = positional[0] if positional else "BENCH_concurrent_readers.json"
+    results = run_experiment(**SMOKE) if smoke else run_experiment()
     with open(out_path, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")

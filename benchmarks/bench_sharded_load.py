@@ -1,0 +1,256 @@
+"""Sharded-load benchmark: parallel multi-shard loads vs a single file.
+
+The sharding claim: ``CrimsonStore.open(path, shards=N)`` spreads each
+tree's ``nodes``/``inodes``/``blocks`` rows over N database files, each
+with its own writer, so concurrent loader threads commit bulk rows into
+different files instead of queueing on one writer — while reader
+threads keep answering LCA queries against the already-loaded trees
+with **zero lock errors** and zero wrong answers.  This bench loads the
+same tree set through a thread pool into a single-file store and into a
+sharded store, with reader traffic running throughout, then measures
+warm query throughput against both layouts.  Figures are emitted as
+JSON (committed as ``BENCH_sharded_load.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_load.py [out.json] [--smoke]
+
+``--smoke`` shrinks the workload to a seconds-long CI guard.  Run as a
+pytest bench it asserts the acceptance properties: zero lock errors,
+zero mismatches, trees actually spread over every shard, and identical
+query answers from both layouts.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.storage.api import QueryRequest
+from repro.storage.store import CrimsonStore
+from repro.trees.build import caterpillar
+
+N_TREES = 16
+DEPTH = 400
+LOADER_THREADS = 4
+READER_THREADS = 2
+SHARDS = 4
+POOL_SIZE = 4
+F = 8
+
+SMOKE = {"n_trees": 6, "depth": 120, "loader_threads": 3}
+
+
+def _expected_lca(depth: int) -> int:
+    """Ground-truth LCA node id for the workload pair, from memory."""
+    with CrimsonStore.open() as store:
+        handle = store.load_tree(caterpillar(depth), name="probe", f=F)
+        return handle.lca("t1", f"t{depth}").node_id
+
+
+def _load_config(
+    trees,
+    shards: int,
+    depth: int,
+    loader_threads: int,
+    expected_lca: int,
+) -> dict:
+    """Load ``trees`` through a thread pool into one store layout."""
+    with tempfile.TemporaryDirectory() as tmpdir:
+        path = str(Path(tmpdir) / "bench.db")
+        with CrimsonStore.open(path, readers=POOL_SIZE, shards=shards) as store:
+            next_tree = iter(range(len(trees)))
+            iter_lock = threading.Lock()
+            loaded: list[str] = []
+            errors: list[str] = []
+            mismatches = [0]
+            stop = threading.Event()
+
+            def loader():
+                while True:
+                    with iter_lock:
+                        index = next(next_tree, None)
+                    if index is None:
+                        return
+                    try:
+                        store.load_tree(trees[index], name=f"tree{index}", f=F)
+                        with iter_lock:
+                            loaded.append(f"tree{index}")
+                    except Exception as error:  # noqa: BLE001 - recorded
+                        with iter_lock:
+                            errors.append(repr(error))
+
+            def reader():
+                while not stop.is_set():
+                    with iter_lock:
+                        name = loaded[-1] if loaded else None
+                    if name is None:
+                        time.sleep(0.001)
+                        continue
+                    try:
+                        result = store.query(
+                            QueryRequest.lca(name, "t1", f"t{depth}")
+                        )
+                        if result.node.node_id != expected_lca:
+                            with iter_lock:
+                                mismatches[0] += 1
+                    except Exception as error:  # noqa: BLE001 - recorded
+                        with iter_lock:
+                            errors.append(repr(error))
+                        return
+
+            readers = [
+                threading.Thread(target=reader) for _ in range(READER_THREADS)
+            ]
+            loaders = [
+                threading.Thread(target=loader) for _ in range(loader_threads)
+            ]
+            for thread in readers + loaders:
+                thread.start()
+            start = time.perf_counter()
+            for thread in loaders:
+                thread.join()
+            load_s = time.perf_counter() - start
+            stop.set()
+            for thread in readers:
+                thread.join()
+
+            infos = store.trees.list_trees()
+            shard_spread = sorted({info.shard for info in infos})
+            n_nodes = sum(info.n_nodes for info in infos)
+
+            # Warm query phase: every tree answered once per thread.
+            pairs = [(f"t{i + 1}", f"t{depth - i}") for i in range(40)]
+            for info in infos:  # warm this thread's handles
+                store.open_tree(info.name).lca_batch(pairs)
+            query_start = time.perf_counter()
+            answers = {
+                info.name: [
+                    row.node_id
+                    for row in store.open_tree(info.name).lca_batch(pairs)
+                ]
+                for info in infos
+            }
+            query_s = time.perf_counter() - query_start
+            queries = len(infos) * len(pairs)
+
+            return {
+                "shards": shards,
+                "shards_used": shard_spread,
+                "trees_loaded": len(infos),
+                "total_nodes": n_nodes,
+                "load_wall_s": round(load_s, 3),
+                "trees_per_sec": round(len(infos) / load_s, 2),
+                "nodes_per_sec": round(n_nodes / load_s, 1),
+                "warm_queries_per_sec": round(queries / query_s, 1),
+                "errors": errors,
+                "locked_errors": sum("locked" in e for e in errors),
+                "reader_mismatches": mismatches[0],
+                "answers": answers,
+            }
+
+
+def run_experiment(
+    n_trees: int = N_TREES,
+    depth: int = DEPTH,
+    loader_threads: int = LOADER_THREADS,
+) -> dict:
+    trees = [caterpillar(depth) for _ in range(n_trees)]
+    expected = _expected_lca(depth)
+    single = _load_config(trees, 1, depth, loader_threads, expected)
+    sharded = _load_config(trees, SHARDS, depth, loader_threads, expected)
+    answers_match = single.pop("answers") == sharded.pop("answers")
+    return {
+        "experiment": "sharded-load",
+        "tree": {"shape": "caterpillar", "depth": depth, "f": F},
+        "workload": {
+            "n_trees": n_trees,
+            "loader_threads": loader_threads,
+            "reader_threads": READER_THREADS,
+            "pool_size": POOL_SIZE,
+        },
+        "single_file": single,
+        "sharded": sharded,
+        "answers_match": answers_match,
+        "load_speedup": round(
+            single["load_wall_s"] / sharded["load_wall_s"], 3
+        ),
+    }
+
+
+def test_sharded_load(benchmark, report):
+    results = run_experiment(**SMOKE)
+    single = results["single_file"]
+    sharded = results["sharded"]
+
+    def kernel():
+        run_experiment(n_trees=4, depth=80, loader_threads=2)
+
+    benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    report("")
+    report(
+        "E6 — sharded parallel load (caterpillar depth "
+        f"{SMOKE['depth']}, {SMOKE['n_trees']} trees, "
+        f"{SMOKE['loader_threads']} loader threads)"
+    )
+    report(f"  {'layout':<14} {'load s':>8} {'trees/s':>9} {'warm qps':>10}")
+    for label, config in (("single-file", single), ("sharded", sharded)):
+        report(
+            f"  {label:<14} {config['load_wall_s']:>8.2f} "
+            f"{config['trees_per_sec']:>9.2f} "
+            f"{config['warm_queries_per_sec']:>10.0f}"
+        )
+    report(
+        "  shape: loader threads commit bulk rows into per-shard "
+        "writers; readers stay lock-free throughout and both layouts "
+        "answer identically"
+    )
+
+    # Acceptance: zero lock errors and mismatches in both layouts,
+    # trees spread over every shard, and identical answers.
+    for config in (single, sharded):
+        assert config["locked_errors"] == 0
+        assert config["errors"] == []
+        assert config["reader_mismatches"] == 0
+        assert config["trees_loaded"] == SMOKE["n_trees"]
+    assert sharded["shards_used"] == list(range(SHARDS))
+    assert single["shards_used"] == [0]
+    assert results["answers_match"]
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    positional = [arg for arg in argv[1:] if not arg.startswith("--")]
+    out_path = positional[0] if positional else "BENCH_sharded_load.json"
+    results = run_experiment(**SMOKE) if smoke else run_experiment()
+    with open(out_path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    single, sharded = results["single_file"], results["sharded"]
+    print(f"wrote {out_path}")
+    print(
+        f"single-file: {single['load_wall_s']}s load, "
+        f"{single['warm_queries_per_sec']} warm qps; "
+        f"sharded ({sharded['shards']} shards over "
+        f"{sharded['shards_used']}): {sharded['load_wall_s']}s load, "
+        f"{sharded['warm_queries_per_sec']} warm qps"
+    )
+    locked = single["locked_errors"] + sharded["locked_errors"]
+    mismatched = single["reader_mismatches"] + sharded["reader_mismatches"]
+    print(f"locked errors: {locked}, mismatches: {mismatched}, "
+          f"answers match: {results['answers_match']}")
+    ok = (
+        locked == 0
+        and mismatched == 0
+        and results["answers_match"]
+        and not single["errors"]
+        and not sharded["errors"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -8,9 +8,11 @@ queries.  This bench measures both, counting actual SQL statements via
 the database's counting cursor (``CrimsonDatabase.count_statements``),
 and emits the figures as JSON (committed as ``BENCH_stored_lca.json``)::
 
-    PYTHONPATH=src python benchmarks/bench_stored_lca.py [out.json]
+    PYTHONPATH=src python benchmarks/bench_stored_lca.py [out.json] [--smoke]
 
-Run as a pytest bench (``pytest benchmarks/bench_stored_lca.py``) it
+``--smoke`` shrinks the tree and workload to a seconds-long CI guard
+(the acceptance shape — zero warm statements, batch < single — holds at
+any size).  Run as a pytest bench (``pytest benchmarks/bench_stored_lca.py``) it
 additionally asserts the acceptance properties: a warm repeat executes
 zero statements, and the batch path issues measurably fewer statements
 than the same pairs queried one by one.
@@ -28,6 +30,8 @@ from repro.trees.build import caterpillar
 DEPTH = 800
 N_PAIRS = 100
 F = 8
+
+SMOKE = {"depth": 150, "n_pairs": 25}
 
 
 def _pairs(n_leaves: int, n_pairs: int) -> list[tuple[str, str]]:
@@ -145,8 +149,10 @@ def test_stored_lca_engine(benchmark, report):
 
 
 def main(argv: list[str]) -> int:
-    out_path = argv[1] if len(argv) > 1 else "BENCH_stored_lca.json"
-    results = run_experiment()
+    smoke = "--smoke" in argv
+    positional = [arg for arg in argv[1:] if not arg.startswith("--")]
+    out_path = positional[0] if positional else "BENCH_stored_lca.json"
+    results = run_experiment(**SMOKE) if smoke else run_experiment()
     with open(out_path, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -157,7 +163,13 @@ def main(argv: list[str]) -> int:
         f"cold batch: {statements['cold_batch']}, "
         f"warm (either): {statements['warm_single']}"
     )
-    return 0
+    # The acceptance shape guards CI's smoke run too.
+    ok = (
+        statements["warm_single"] == 0
+        and statements["warm_batch"] == 0
+        and statements["cold_batch"] < statements["cold_single"]
+    )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -102,8 +102,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=_nonnegative_int,
         default=0,
         help="size of the read-only connection pool behind query "
-        "commands (default: 0 — reads share the writer connection; "
-        "in-memory databases cannot pool)",
+        "commands, per shard (default: 0 — reads share the writer "
+        "connection; in-memory databases cannot pool)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        help="number of database files tree data spreads over; shard 0 "
+        "is the --db file, higher shards live beside it as "
+        "<stem>.shardN<suffix> (default: whatever layout the store was "
+        "created with; growing is allowed, shrinking is refused)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -289,6 +298,7 @@ def main(argv: list[str] | None = None) -> int:
         with CrimsonStore.open(
             args.db,
             readers=args.readers,
+            shards=args.shards,
             cache_size=getattr(args, "cache_size", None),
             report=print,
         ) as store:
@@ -348,6 +358,7 @@ def _dispatch(args: argparse.Namespace, store: CrimsonStore, rng) -> int:
         print(f"label bound: {info.f}")
         print(f"layers:      {info.n_layers}")
         print(f"blocks:      {info.n_blocks}")
+        print(f"shard:       {info.shard}")
         print(f"species rows:{species.count(stored):>8}")
         if info.description:
             print(f"description: {info.description}")

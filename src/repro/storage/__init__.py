@@ -1,12 +1,15 @@
 """Repository Manager: relational storage for trees, species, and queries.
 
 :class:`~repro.storage.store.CrimsonStore` is the one public entry
-point — it owns the writer connection, the read-only reader pool, and
-the repositories as namespaces.  The layers underneath:
+point — it owns the primary writer connection, the read-only reader
+pools, the shard databases tree data spreads over, and the repositories
+as namespaces.  The layers underneath:
 
-* :mod:`repro.storage.store` — the store façade and typed query dispatch,
+* :mod:`repro.storage.store` — the store façade, shard routing, and
+  typed query dispatch,
 * :mod:`repro.storage.api` — ``QueryRequest`` / ``QueryResult``,
-* :mod:`repro.storage.pool` — pooled read-only WAL connections,
+* :mod:`repro.storage.pool` — pooled read-only WAL connections and the
+  per-shard connection bundle,
 * :mod:`repro.storage.database` — sqlite connection management,
 * :mod:`repro.storage.schema` — DDL (see DESIGN.md §6),
 * :mod:`repro.storage.engine` — the stored-query engine: bounded LRU row
@@ -38,8 +41,8 @@ from repro.storage.loader import DataLoader
 from repro.storage.projection import project_stored
 from repro.storage.maintenance import IntegrityReport, verify_store, verify_tree
 from repro.storage.api import OPERATIONS, QueryRequest, QueryResult
-from repro.storage.pool import DEFAULT_POOL_SIZE, ReaderPool
-from repro.storage.store import CrimsonStore
+from repro.storage.pool import DEFAULT_POOL_SIZE, ReaderPool, Shard
+from repro.storage.store import CrimsonStore, shard_path
 
 __all__ = [
     "CacheStats",
@@ -51,6 +54,8 @@ __all__ = [
     "QueryRequest",
     "QueryResult",
     "ReaderPool",
+    "Shard",
+    "shard_path",
     "StatementCounter",
     "StoredQueryEngine",
     "project_stored",

@@ -15,6 +15,7 @@ run beside the writer without sharing its connection.
 from __future__ import annotations
 
 import sqlite3
+import threading
 import warnings
 from contextlib import contextmanager
 from pathlib import Path
@@ -101,27 +102,41 @@ class CrimsonDatabase:
         ephemeral store.
     read_only:
         Open an existing file database read-only (``mode=ro``).  The
-        schema is not touched and write transactions are refused.  The
-        connection is created with ``check_same_thread=False`` — sqlite
-        is built in serialized mode, so the pool may share it between
-        threads when threads outnumber readers.
+        schema is not touched and write transactions are refused.
+    shard_schema:
+        Create the shard-file subset of the schema (tree-data tables
+        only, no catalogue) instead of the full primary schema.  Set by
+        the store when it opens the side files of a sharded layout.
 
     Notes
     -----
     The connection is opened eagerly, with foreign keys enforced.  File
     databases run in WAL mode so benchmark readers do not block the
-    loader.  Use the object as a context manager to guarantee the
-    connection is closed::
+    loader.  Every connection is created with
+    ``check_same_thread=False`` — sqlite is built in serialized mode
+    (``sqlite3.threadsafety == 3``), readers may be shared when threads
+    outnumber the pool, and writers serialize their transactions behind
+    :meth:`transaction`'s internal lock so a multi-threaded loader can
+    target several shard writers concurrently.  Use the object as a
+    context manager to guarantee the connection is closed::
 
         with CrimsonDatabase("crimson.db") as db:
             ...
     """
 
     def __init__(
-        self, path: str | Path = ":memory:", *, read_only: bool = False
+        self,
+        path: str | Path = ":memory:",
+        *,
+        read_only: bool = False,
+        shard_schema: bool = False,
     ) -> None:
         self.path = str(path)
         self.read_only = read_only
+        self.shard_schema = shard_schema
+        # Serializes write transactions when several threads share this
+        # writer (e.g. parallel loads that all place on one shard).
+        self._transaction_lock = threading.RLock()
         #: Number of SQL statements issued through the convenience
         #: helpers (``execute`` / ``query_one`` / ``query_all``).  The
         #: stored-LCA benchmark reads deltas of this counter to prove
@@ -140,7 +155,7 @@ class CrimsonDatabase:
                 _read_only_uri(self.path) if read_only else self.path,
                 cached_statements=256,
                 uri=read_only,
-                check_same_thread=not read_only,
+                check_same_thread=False,
             )
         except sqlite3.Error as error:
             raise StorageError(
@@ -155,8 +170,39 @@ class CrimsonDatabase:
             self._connection.execute("PRAGMA journal_mode = WAL")
             self._connection.execute("PRAGMA synchronous = NORMAL")
         if not read_only:
-            create_schema(self._connection)
+            self._guard_role(shard_schema)
+            create_schema(self._connection, shard=shard_schema)
             self._connection.commit()
+
+    def _guard_role(self, shard_schema: bool) -> None:
+        """Refuse to open a file under the wrong schema role.
+
+        A shard file opened as a primary would silently grow catalogue
+        tables (and report zero trees while holding real data); a
+        primary opened as a shard would hide its catalogue.  Files
+        created before the role marker existed carry no ``role`` row
+        and open under either role.
+        """
+        try:
+            row = self._connection.execute(
+                "SELECT value FROM meta WHERE key = 'role'"
+            ).fetchone()
+        except sqlite3.Error:
+            return  # no meta table yet: a brand-new or foreign file
+        existing = row[0] if row is not None else None
+        expected = "shard" if shard_schema else "primary"
+        if existing is not None and existing != expected:
+            self._connection.close()
+            self._connection = None
+            raise StorageError(
+                f"{self.path!r} is a {existing} file of a sharded store "
+                f"and cannot be opened as a {expected}; "
+                + (
+                    "open the primary database file instead"
+                    if existing == "shard"
+                    else "point the store at this file's own shards"
+                )
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -199,6 +245,11 @@ class CrimsonDatabase:
     def transaction(self) -> Iterator[sqlite3.Connection]:
         """Scope a write transaction; rolls back on any exception.
 
+        Transactions from different threads on the same connection are
+        serialized behind an internal lock, so concurrent loaders that
+        land on the same writer queue up instead of interleaving their
+        statements inside each other's transactions.
+
         Raises
         ------
         StorageError
@@ -209,21 +260,28 @@ class CrimsonDatabase:
                 f"database {self.path!r} is open read-only; writes go "
                 "through the store's writer connection"
             )
-        connection = self.connection
-        try:
-            yield connection
-            connection.commit()
-        except sqlite3.Error as error:
-            connection.rollback()
-            raise StorageError(
-                f"write transaction on {self.path!r} failed: {error}"
-            ) from error
-        except BaseException:
-            connection.rollback()
-            raise
+        with self._transaction_lock:
+            connection = self.connection
+            try:
+                yield connection
+                connection.commit()
+            except sqlite3.Error as error:
+                connection.rollback()
+                raise StorageError(
+                    f"write transaction on {self.path!r} failed: {error}"
+                ) from error
+            except BaseException:
+                connection.rollback()
+                raise
 
     def execute(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
         """Run one statement on the live connection.
+
+        Statements take the same lock as :meth:`transaction` (reentrant,
+        so reads inside a transaction still run), which keeps a read
+        from another thread from observing the uncommitted middle of a
+        transaction on a shared connection — a multi-threaded caller on
+        a pool-less store blocks briefly instead of dirty-reading.
 
         Raises
         ------
@@ -232,20 +290,23 @@ class CrimsonDatabase:
             so storage failures surface as :class:`CrimsonError`.
         """
         self.statements_executed += 1
-        try:
-            return self.connection.execute(sql, parameters)
-        except sqlite3.Error as error:
-            raise StorageError(
-                f"statement on {self.path!r} failed: {error}"
-            ) from error
+        with self._transaction_lock:
+            try:
+                return self.connection.execute(sql, parameters)
+            except sqlite3.Error as error:
+                raise StorageError(
+                    f"statement on {self.path!r} failed: {error}"
+                ) from error
 
     def query_one(self, sql: str, parameters: tuple = ()) -> sqlite3.Row | None:
         """Run a statement and return the first row (or ``None``)."""
-        return self.execute(sql, parameters).fetchone()
+        with self._transaction_lock:  # the fetch steps the cursor too
+            return self.execute(sql, parameters).fetchone()
 
     def query_all(self, sql: str, parameters: tuple = ()) -> list[sqlite3.Row]:
         """Run a statement and return all rows."""
-        return self.execute(sql, parameters).fetchall()
+        with self._transaction_lock:
+            return self.execute(sql, parameters).fetchall()
 
     @contextmanager
     def count_statements(self) -> Iterator["StatementCounter"]:
@@ -265,7 +326,9 @@ class CrimsonDatabase:
 
     def __repr__(self) -> str:
         state = "closed" if self.is_closed else "open"
-        mode = ", read-only" if self.read_only else ""
+        mode = ", read-only" if self.read_only else (
+            ", shard" if self.shard_schema else ""
+        )
         return f"CrimsonDatabase({self.path!r}, {state}{mode})"
 
 

@@ -97,6 +97,15 @@ class DataLoader:
         structure_only:
             Skip species data even when present.
 
+        Atomicity
+        ---------
+        A multi-tree document loads all-or-nothing: every tree is
+        validated (structure and key conflicts) before the first one is
+        stored, and if storing tree *k* still fails, trees *1..k-1* —
+        their catalogue rows, shard rows, and species data — are rolled
+        back before the error propagates.  A failed load never leaves a
+        half-committed catalogue behind.
+
         Raises
         ------
         ParseError
@@ -107,24 +116,60 @@ class DataLoader:
         document = parse_nexus(text)
         if not document.trees:
             raise ParseError("NEXUS document contains no TREES block")
-        handles: list[StoredTree] = []
         multiple = len(document.trees) > 1
-        for tree_label, tree in document.trees:
-            key = self._key_for(name, tree_label, multiple)
-            self.report(f"loading tree {key!r} ({tree.size()} nodes)...")
+        planned = [
+            (self._key_for(name, tree_label, multiple), tree)
+            for tree_label, tree in document.trees
+        ]
+
+        # Validate the whole document before storing anything, so the
+        # common failure modes (bad structure on tree k, a key clash
+        # with a stored tree or within the document) abort with the
+        # catalogue untouched.
+        seen: set[str] = set()
+        for key, tree in planned:
+            if key in seen:
+                raise StorageError(
+                    f"NEXUS document stores two trees under the key {key!r}"
+                )
+            seen.add(key)
             validate_tree(tree, require_leaf_names=True)
-            handle = self.trees.store_tree(tree, name=key, f=f)
-            self.report(
-                f"stored {key!r}: {handle.info.n_nodes} nodes, "
-                f"{handle.info.n_leaves} leaves, depth {handle.info.max_depth}, "
-                f"{handle.info.n_blocks} index blocks over "
-                f"{handle.info.n_layers} layers"
-            )
-            handles.append(handle)
-            if document.characters is not None and not structure_only:
-                attached = self._attach_matching(handle, document.characters.rows,
-                                                 document.characters.datatype)
-                self.report(f"attached species data for {attached} taxa to {key!r}")
+            if self.db.query_one("SELECT 1 FROM trees WHERE name = ?", (key,)):
+                raise StorageError(f"a tree named {key!r} is already stored")
+
+        handles: list[StoredTree] = []
+        stored_keys: list[str] = []
+        try:
+            for key, tree in planned:
+                self.report(f"loading tree {key!r} ({tree.size()} nodes)...")
+                handle = self.trees.store_tree(tree, name=key, f=f)
+                stored_keys.append(key)
+                self.report(
+                    f"stored {key!r}: {handle.info.n_nodes} nodes, "
+                    f"{handle.info.n_leaves} leaves, depth {handle.info.max_depth}, "
+                    f"{handle.info.n_blocks} index blocks over "
+                    f"{handle.info.n_layers} layers"
+                )
+                handles.append(handle)
+                if document.characters is not None and not structure_only:
+                    attached = self._attach_matching(handle, document.characters.rows,
+                                                     document.characters.datatype)
+                    self.report(f"attached species data for {attached} taxa to {key!r}")
+        except BaseException:
+            # Roll back the trees this document already committed (the
+            # compensation path for failures validation cannot foresee,
+            # e.g. disk errors mid-load).
+            for key in reversed(stored_keys):
+                try:
+                    self.trees.delete_tree(key)
+                except StorageError:
+                    pass  # leave whatever cannot be removed for verify
+            if stored_keys:
+                self.report(
+                    f"load failed; rolled back {len(stored_keys)} "
+                    "already-stored tree(s)"
+                )
+            raise
         return handles
 
     def load_nexus_file(

@@ -5,6 +5,16 @@ decomposition and labeling promise.  It is the guard a long-lived
 repository needs between loads — precisely the class of tooling a
 "gold standard" archive (curated once, queried for years) depends on.
 
+Given a :class:`~repro.storage.store.CrimsonStore`, verification runs
+entirely on **pooled read-only connections**: the catalogue is read on
+the calling thread's primary reader and each tree's rows on its shard's
+reader, so an integrity sweep never contends with — or blocks — the
+writers a concurrent load is using.  It also sweeps every shard for
+**orphan rows** (tree data whose catalogue row is gone, the residue a
+crash between the two commits of a cross-file delete can leave) and
+reports them per shard.  Raw databases keep the historical single-file
+behaviour.
+
 Checked invariants, per tree:
 
 1. catalogue counts match the stored rows (nodes, leaves, blocks);
@@ -22,8 +32,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.storage.database import DatabaseFacade, unwrap_database
-from repro.storage.tree_repository import TreeRepository
+from repro.storage.database import (
+    CrimsonDatabase,
+    DatabaseFacade,
+    unwrap_database,
+)
+from repro.storage.tree_repository import TreeInfo, TreeRepository
 
 
 @dataclass
@@ -44,22 +58,89 @@ class IntegrityReport:
         return f"{self.tree_name}: {len(self.problems)} problem(s)\n  {listed}"
 
 
+def _is_store(owner) -> bool:
+    """Is ``owner`` a store with pooled readers and shard routing?"""
+    return callable(getattr(owner, "reader_database", None)) and callable(
+        getattr(owner, "shard_reader", None)
+    )
+
+
 def verify_store(owner) -> list[IntegrityReport]:
     """Verify every tree in the store; one report per tree.
 
     ``owner`` is a :class:`~repro.storage.store.CrimsonStore` (or,
-    equivalently, a raw database).
+    equivalently, a raw database).  Given a store, all verification
+    traffic runs on read-only pooled connections — catalogue reads on
+    the primary reader, row checks on each tree's shard reader — and a
+    per-shard orphan sweep appends one extra report for any shard
+    carrying rows of uncatalogued trees.
     """
+    if _is_store(owner):
+        catalogue = owner.reader_database()
+        repo = TreeRepository(DatabaseFacade(catalogue))
+        reports = [
+            _verify_tree_rows(owner.shard_reader(info.shard), info)
+            for info in repo.list_trees()
+        ]
+        reports.extend(_orphan_reports(owner, catalogue))
+        return reports
     db = unwrap_database(owner, "verify_store", warn=False)
     repo = TreeRepository(DatabaseFacade(db))
-    return [verify_tree(db, info.name) for info in repo.list_trees()]
+    return [
+        _verify_tree_rows(db, info) for info in repo.list_trees()
+    ]
+
+
+def _orphan_reports(store, catalogue: CrimsonDatabase) -> list[IntegrityReport]:
+    """One report per shard holding rows of trees the catalogue lost."""
+    known = {
+        row["tree_id"]
+        for row in catalogue.query_all("SELECT tree_id FROM trees")
+    }
+    reports: list[IntegrityReport] = []
+    for shard_id in range(store.shards):
+        data_db = store.shard_reader(shard_id)
+        orphans = sorted(
+            {
+                row["tree_id"]
+                for table in ("nodes", "inodes", "blocks")
+                for row in data_db.query_all(
+                    f"SELECT DISTINCT tree_id FROM {table}"
+                )
+            }
+            - known
+        )
+        if orphans:
+            reports.append(
+                IntegrityReport(
+                    tree_name=f"<shard {shard_id}>",
+                    problems=[
+                        f"orphan rows for uncatalogued tree ids {orphans}"
+                    ],
+                )
+            )
+    return reports
 
 
 def verify_tree(owner, name: str) -> IntegrityReport:
-    """Run all integrity checks on one stored tree."""
+    """Run all integrity checks on one stored tree.
+
+    Given a store, the checks run on pooled read-only connections (the
+    tree's shard reader); a raw database is checked directly.
+    """
+    if _is_store(owner):
+        info = TreeRepository(
+            DatabaseFacade(owner.reader_database())
+        ).info(name)
+        return _verify_tree_rows(owner.shard_reader(info.shard), info)
     db = unwrap_database(owner, "verify_tree", warn=False)
     info = TreeRepository(DatabaseFacade(db)).info(name)
-    report = IntegrityReport(tree_name=name)
+    return _verify_tree_rows(db, info)
+
+
+def _verify_tree_rows(db: CrimsonDatabase, info: TreeInfo) -> IntegrityReport:
+    """Check one tree's rows on the connection that can see them."""
+    report = IntegrityReport(tree_name=info.name)
     tree_id = info.tree_id
 
     def one(sql: str, *params) -> int:

@@ -19,6 +19,11 @@ they merely contend for the shared handle.
 Readers never see a partially loaded tree: the writer commits a stored
 tree in one transaction, and each read-only statement runs in its own
 snapshot of the committed WAL state.
+
+:class:`Shard` bundles the connection topology of one shard file —
+its writer :class:`~repro.storage.database.CrimsonDatabase` plus its
+:class:`ReaderPool` — so the store can hold a uniform list of shards
+where entry 0 wraps the primary file's existing connections.
 """
 
 from __future__ import annotations
@@ -139,3 +144,63 @@ class ReaderPool:
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"{self.open_readers}/{self.size} open"
         return f"ReaderPool({self.path!r}, {state})"
+
+
+class Shard:
+    """One shard file's connections: a writer plus an optional pool.
+
+    Parameters
+    ----------
+    shard_id:
+        Position of this shard in the store's layout; ``0`` is the
+        primary file.
+    path:
+        Filesystem path of the shard database (``":memory:"`` shards
+        carry private writers and never pool).
+    readers:
+        Pool size for this shard's read-only connections; ``0`` (or an
+        in-memory path) serves reads from the shard's writer.
+    db / pool:
+        Pre-existing connections to adopt instead of opening new ones —
+        the store passes its primary writer and pool here so shard 0
+        shares them rather than double-opening the primary file.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        path: str,
+        readers: int = 0,
+        *,
+        db: CrimsonDatabase | None = None,
+        pool: "ReaderPool | None" = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.path = str(path)
+        self.db = db if db is not None else CrimsonDatabase(
+            self.path, shard_schema=True
+        )
+        if pool is not None:
+            self.pool: ReaderPool | None = pool
+        else:
+            self.pool = (
+                ReaderPool(self.path, readers)
+                if readers and self.path != ":memory:"
+                else None
+            )
+
+    def reader(self) -> CrimsonDatabase:
+        """This thread's read connection (pooled, or the shard writer)."""
+        if self.pool is not None:
+            return self.pool.checkout()
+        return self.db
+
+    def close(self) -> None:
+        """Close the pool and writer (idempotent)."""
+        if self.pool is not None:
+            self.pool.close()
+        self.db.close()
+
+    def __repr__(self) -> str:
+        pool = f", pool={self.pool.size}" if self.pool is not None else ""
+        return f"Shard({self.shard_id}, {self.path!r}{pool})"

@@ -7,6 +7,20 @@ The schema mirrors the paper's architecture: the **Tree Repository**
 separated — the paper's queries are structure-based, so structural scans
 must not drag sequence payloads through the buffer pool.
 
+Sharding
+--------
+Since schema version 2 the catalogue can span several database files:
+the **primary** file keeps ``trees`` (now carrying a ``shard`` column),
+``species``, ``query_history``, and ``meta``; each tree's
+``nodes``/``inodes``/``blocks`` rows live in the shard file its
+catalogue row names (shard ``0`` is the primary file itself, so
+single-file stores are just the degenerate one-shard layout).  Shard
+files get the tree-data subset of the schema via
+``create_schema(connection, shard=True)`` — identical tables and
+indexes, minus the foreign keys into ``trees`` (the catalogue lives in
+another file).  Opening a pre-version-2 primary file migrates it in
+place by adding the ``shard`` column with default ``0``.
+
 Conventions
 -----------
 * ``node_id`` is the node's pre-order rank, so the minimal spanning clade
@@ -20,15 +34,16 @@ Conventions
 
 from __future__ import annotations
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-DDL_STATEMENTS: tuple[str, ...] = (
-    """
+_META_DDL = """
     CREATE TABLE IF NOT EXISTS meta (
         key   TEXT PRIMARY KEY,
         value TEXT NOT NULL
     )
-    """,
+    """
+
+_CATALOGUE_DDL: tuple[str, ...] = (
     """
     CREATE TABLE IF NOT EXISTS trees (
         tree_id     INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -40,48 +55,9 @@ DDL_STATEMENTS: tuple[str, ...] = (
         n_layers    INTEGER NOT NULL,
         n_blocks    INTEGER NOT NULL,
         created_at  TEXT NOT NULL,
-        description TEXT NOT NULL DEFAULT ''
+        description TEXT NOT NULL DEFAULT '',
+        shard       INTEGER NOT NULL DEFAULT 0
     )
-    """,
-    """
-    CREATE TABLE IF NOT EXISTS nodes (
-        tree_id        INTEGER NOT NULL REFERENCES trees(tree_id) ON DELETE CASCADE,
-        node_id        INTEGER NOT NULL,
-        parent_id      INTEGER,
-        child_order    INTEGER NOT NULL,
-        name           TEXT,
-        edge_length    REAL NOT NULL,
-        depth          INTEGER NOT NULL,
-        dist_from_root REAL NOT NULL,
-        pre_order_end  INTEGER NOT NULL,
-        is_leaf        INTEGER NOT NULL,
-        PRIMARY KEY (tree_id, node_id)
-    ) WITHOUT ROWID
-    """,
-    """
-    CREATE TABLE IF NOT EXISTS blocks (
-        tree_id         INTEGER NOT NULL REFERENCES trees(tree_id) ON DELETE CASCADE,
-        block_id        INTEGER NOT NULL,
-        layer           INTEGER NOT NULL,
-        root_inode_id   INTEGER NOT NULL,
-        source_inode_id INTEGER,
-        rep_inode_id    INTEGER,
-        PRIMARY KEY (tree_id, block_id)
-    ) WITHOUT ROWID
-    """,
-    """
-    CREATE TABLE IF NOT EXISTS inodes (
-        tree_id             INTEGER NOT NULL REFERENCES trees(tree_id) ON DELETE CASCADE,
-        inode_id            INTEGER NOT NULL,
-        layer               INTEGER NOT NULL,
-        block_id            INTEGER NOT NULL,
-        local_label         TEXT NOT NULL,
-        label_depth         INTEGER NOT NULL,
-        orig_node_id        INTEGER,
-        represents_block_id INTEGER,
-        is_canonical        INTEGER NOT NULL,
-        PRIMARY KEY (tree_id, inode_id)
-    ) WITHOUT ROWID
     """,
     """
     CREATE TABLE IF NOT EXISTS species (
@@ -103,26 +79,116 @@ DDL_STATEMENTS: tuple[str, ...] = (
         result_summary TEXT NOT NULL DEFAULT ''
     )
     """,
-    # Access-path indexes for the hot queries (DESIGN.md §6).
-    "CREATE INDEX IF NOT EXISTS idx_nodes_name ON nodes(tree_id, name)",
-    "CREATE INDEX IF NOT EXISTS idx_nodes_dist ON nodes(tree_id, dist_from_root)",
-    "CREATE INDEX IF NOT EXISTS idx_nodes_parent ON nodes(tree_id, parent_id)",
-    """
-    CREATE UNIQUE INDEX IF NOT EXISTS idx_inodes_label
-        ON inodes(tree_id, block_id, local_label)
-    """,
-    """
-    CREATE INDEX IF NOT EXISTS idx_inodes_orig
-        ON inodes(tree_id, orig_node_id, is_canonical)
-    """,
 )
 
 
-def create_schema(connection) -> None:
-    """Create all tables and indexes (idempotent)."""
-    for statement in DDL_STATEMENTS:
+def _tree_data_ddl(with_catalogue_fk: bool) -> tuple[str, ...]:
+    """DDL of the per-tree data tables (``nodes``/``blocks``/``inodes``).
+
+    ``with_catalogue_fk`` adds the foreign keys into ``trees`` — valid
+    only in the primary file, where the catalogue table exists.  Shard
+    files get the same tables and indexes without the references; the
+    catalogue row in the primary file is their source of truth.
+    """
+    fk = " REFERENCES trees(tree_id) ON DELETE CASCADE" if with_catalogue_fk else ""
+    return (
+        f"""
+        CREATE TABLE IF NOT EXISTS nodes (
+            tree_id        INTEGER NOT NULL{fk},
+            node_id        INTEGER NOT NULL,
+            parent_id      INTEGER,
+            child_order    INTEGER NOT NULL,
+            name           TEXT,
+            edge_length    REAL NOT NULL,
+            depth          INTEGER NOT NULL,
+            dist_from_root REAL NOT NULL,
+            pre_order_end  INTEGER NOT NULL,
+            is_leaf        INTEGER NOT NULL,
+            PRIMARY KEY (tree_id, node_id)
+        ) WITHOUT ROWID
+        """,
+        f"""
+        CREATE TABLE IF NOT EXISTS blocks (
+            tree_id         INTEGER NOT NULL{fk},
+            block_id        INTEGER NOT NULL,
+            layer           INTEGER NOT NULL,
+            root_inode_id   INTEGER NOT NULL,
+            source_inode_id INTEGER,
+            rep_inode_id    INTEGER,
+            PRIMARY KEY (tree_id, block_id)
+        ) WITHOUT ROWID
+        """,
+        f"""
+        CREATE TABLE IF NOT EXISTS inodes (
+            tree_id             INTEGER NOT NULL{fk},
+            inode_id            INTEGER NOT NULL,
+            layer               INTEGER NOT NULL,
+            block_id            INTEGER NOT NULL,
+            local_label         TEXT NOT NULL,
+            label_depth         INTEGER NOT NULL,
+            orig_node_id        INTEGER,
+            represents_block_id INTEGER,
+            is_canonical        INTEGER NOT NULL,
+            PRIMARY KEY (tree_id, inode_id)
+        ) WITHOUT ROWID
+        """,
+        # Access-path indexes for the hot queries (DESIGN.md §6).
+        "CREATE INDEX IF NOT EXISTS idx_nodes_name ON nodes(tree_id, name)",
+        "CREATE INDEX IF NOT EXISTS idx_nodes_dist ON nodes(tree_id, dist_from_root)",
+        "CREATE INDEX IF NOT EXISTS idx_nodes_parent ON nodes(tree_id, parent_id)",
+        """
+        CREATE UNIQUE INDEX IF NOT EXISTS idx_inodes_label
+            ON inodes(tree_id, block_id, local_label)
+        """,
+        """
+        CREATE INDEX IF NOT EXISTS idx_inodes_orig
+            ON inodes(tree_id, orig_node_id, is_canonical)
+        """,
+    )
+
+
+DDL_STATEMENTS: tuple[str, ...] = (
+    _META_DDL,
+    *_CATALOGUE_DDL,
+    *_tree_data_ddl(with_catalogue_fk=True),
+)
+"""The full primary-file schema (kept as the historical public name)."""
+
+SHARD_DDL_STATEMENTS: tuple[str, ...] = (
+    _META_DDL,
+    *_tree_data_ddl(with_catalogue_fk=False),
+)
+"""The tree-data-only schema of a shard file."""
+
+
+def _migrate_catalogue(connection) -> None:
+    """In-place migrations for primary files created before version 2."""
+    columns = {
+        row[1] for row in connection.execute("PRAGMA table_info(trees)")
+    }
+    if "shard" not in columns:
+        connection.execute(
+            "ALTER TABLE trees ADD COLUMN shard INTEGER NOT NULL DEFAULT 0"
+        )
+
+
+def create_schema(connection, shard: bool = False) -> None:
+    """Create all tables and indexes (idempotent).
+
+    ``shard=True`` creates the tree-data subset a shard file needs;
+    the default creates (and, for older files, migrates) the full
+    primary schema.
+    """
+    statements = SHARD_DDL_STATEMENTS if shard else DDL_STATEMENTS
+    for statement in statements:
         connection.execute(statement)
+    if not shard:
+        _migrate_catalogue(connection)
     connection.execute(
         "INSERT OR REPLACE INTO meta(key, value) VALUES ('schema_version', ?)",
         (str(SCHEMA_VERSION),),
+    )
+    connection.execute(
+        "INSERT OR REPLACE INTO meta(key, value) VALUES ('role', ?)",
+        ("shard" if shard else "primary",),
     )

@@ -4,11 +4,14 @@ The paper's Crimson is a *service*: one handle that loads gold
 standards, answers structure queries, records history, and verifies
 itself.  This module is that handle.  A store owns
 
-* a single **writer** :class:`~repro.storage.database.CrimsonDatabase`
-  (loads, deletes, history rows),
-* an optional :class:`~repro.storage.pool.ReaderPool` of read-only WAL
-  connections, so query traffic from many threads never serializes on —
-  or blocks — the writer,
+* a single **primary writer**
+  :class:`~repro.storage.database.CrimsonDatabase` (catalogue rows,
+  species data, history),
+* optional **shards**: side database files that each hold the
+  ``nodes``/``inodes``/``blocks`` rows of the trees placed on them,
+  every shard with its own writer and
+  :class:`~repro.storage.pool.ReaderPool`, so bulk loads and query
+  traffic spread across files instead of funnelling through one,
 * the repositories as cohesive namespaces: :attr:`CrimsonStore.trees`,
   :attr:`CrimsonStore.species`, :attr:`CrimsonStore.history`, plus the
   loader's ``load_*`` methods and :meth:`CrimsonStore.verify`,
@@ -20,22 +23,37 @@ Example
 -------
 ::
 
-    with CrimsonStore.open("crimson.db", readers=4) as store:
+    with CrimsonStore.open("crimson.db", readers=4, shards=4) as store:
         store.load_newick_file("gold.nwk", name="gold")
         result = store.query(QueryRequest.lca("gold", "Lla", "Syn"))
         print(result.node.name, result.duration_ms)
+
+Sharding
+--------
+``shards=N`` splits tree data over ``N`` database files: shard 0 is the
+primary file itself; shards 1..N-1 live beside it as
+``<stem>.shard<k><suffix>``.  A tree is placed on the emptiest shard
+(fewest stored nodes) when it is loaded, and its catalogue row records
+the shard, so :meth:`open_tree` resolves the right file before binding a
+handle — callers never see the layout.  The shard count is persisted in
+the primary file's ``meta`` table: reopening without ``shards`` restores
+the stored layout, growing the count adds shards, and shrinking it is
+refused (trees would become unreachable).  Single-file stores are the
+one-shard degenerate case, and files created before sharding open
+unchanged (all their trees read as shard 0).
 
 Threads and connections
 -----------------------
 :meth:`CrimsonStore.open_tree` returns a per-thread
 :class:`~repro.storage.tree_repository.StoredTree` handle bound to the
-calling thread's pooled reader (or to the writer when the store has no
-pool — in-memory stores, or ``readers=0``).  Handles and their row
-caches are cached per thread, so repeated queries from a worker thread
-hit warm caches without any cross-thread sharing.  All writes — loading,
-deleting, history recording — go through the single writer connection;
-:meth:`query` serializes its optional history recording behind a lock so
-concurrent readers may record safely.
+calling thread's pooled reader on the tree's shard (or to that shard's
+writer when the store has no pools — in-memory stores, or
+``readers=0``).  Handles and their row caches are cached per thread, so
+repeated queries from a worker thread hit warm caches without any
+cross-thread sharing.  All writes — loading, deleting, history
+recording — go through writer connections whose transactions serialize
+behind per-connection locks; :meth:`query` serializes its optional
+history recording behind a lock so concurrent readers may record safely.
 """
 
 from __future__ import annotations
@@ -51,10 +69,26 @@ from repro.storage.api import QueryRequest, QueryResult
 from repro.storage.database import CrimsonDatabase, DatabaseFacade
 from repro.storage.engine import DEFAULT_CACHE_SIZE
 from repro.storage.loader import DataLoader, Reporter, _silent
-from repro.storage.pool import ReaderPool
+from repro.storage.pool import ReaderPool, Shard
 from repro.storage.query_repository import QueryRepository
 from repro.storage.species_repository import SpeciesRepository
 from repro.storage.tree_repository import StoredTree, TreeRepository
+
+
+def shard_path(path: str | Path, shard: int) -> str:
+    """Filesystem path of shard ``shard`` of the store at ``path``.
+
+    Shard 0 is the primary file itself; higher shards are sibling files
+    named ``<stem>.shard<k><suffix>`` (``crimson.db`` →
+    ``crimson.shard1.db``).  In-memory stores shard into further private
+    in-memory databases.
+    """
+    base = str(path)
+    if shard == 0 or base == ":memory:":
+        return base
+    parent = Path(base)
+    suffix = parent.suffix or ".db"
+    return str(parent.with_name(f"{parent.stem}.shard{shard}{suffix}"))
 
 
 class CrimsonStore:
@@ -65,11 +99,17 @@ class CrimsonStore:
     path:
         Database file, or ``":memory:"`` for an ephemeral store.
     readers:
-        Size of the read-only connection pool.  ``0`` (the default)
-        serves reads on the writer connection — the right choice for
-        single-threaded scripts.  In-memory stores cannot pool (the
-        database is private to its writer connection) and silently fall
-        back to ``0``.
+        Size of the read-only connection pool behind **each** shard.
+        ``0`` (the default) serves reads on the shard's writer
+        connection — the right choice for single-threaded scripts.
+        In-memory stores cannot pool (the database is private to its
+        writer connection) and silently fall back to ``0``.
+    shards:
+        Number of database files tree data spreads over (see the module
+        docstring).  ``None`` (the default) reopens whatever layout the
+        file was created with — ``1`` for new and pre-sharding files.
+        Passing a count grows the layout; shrinking below the stored
+        count raises :class:`StorageError`.
     cache_size:
         Per-cache row bound for every query handle the store creates
         (see :mod:`repro.storage.engine` for sizing guidance).
@@ -82,20 +122,38 @@ class CrimsonStore:
         path: str | Path = ":memory:",
         *,
         readers: int = 0,
+        shards: int | None = None,
         cache_size: int | None = None,
         report: Reporter = _silent,
     ) -> None:
         if readers < 0:
             raise StorageError(f"readers must be >= 0, got {readers}")
+        if shards is not None and shards < 1:
+            raise StorageError(f"shards must be >= 1, got {shards}")
         self.db = CrimsonDatabase(path)
         self.cache_size = (
             cache_size if cache_size is not None else DEFAULT_CACHE_SIZE
         )
-        self.pool: ReaderPool | None = (
-            ReaderPool(self.db.path, readers)
-            if readers and self.db.path != ":memory:"
-            else None
-        )
+        self.pool: ReaderPool | None = None
+        self._shards: list[Shard] = []
+        try:
+            self.pool = (
+                ReaderPool(self.db.path, readers)
+                if readers and self.db.path != ":memory:"
+                else None
+            )
+            self.shards = self._resolve_shard_count(shards)
+            self._shards = [
+                Shard(0, self.db.path, db=self.db, pool=self.pool)
+            ] + [
+                Shard(k, shard_path(self.db.path, k), readers)
+                for k in range(1, self.shards)
+            ]
+        except BaseException:
+            # Don't leak the connections opened before the failure
+            # (e.g. a refused shard-count shrink).
+            self.close()
+            raise
         #: The Tree Repository namespace (catalogue, store/open/delete).
         self.trees = TreeRepository(self, cache_size=self.cache_size)
         #: The Species Repository namespace (sequence data).
@@ -105,6 +163,8 @@ class CrimsonStore:
         self._loader = DataLoader(self, report=report)
         self._local = threading.local()
         self._record_lock = threading.Lock()
+        self._placement_lock = threading.Lock()
+        self._placement_cursor = -1
         # Bumped by TreeRepository.delete_tree (via the hook below) so
         # every thread's cached handles revalidate after a catalogue
         # mutation — a deleted-and-restored name gets a fresh tree_id.
@@ -116,18 +176,53 @@ class CrimsonStore:
         path: str | Path = ":memory:",
         *,
         readers: int = 0,
+        shards: int | None = None,
         cache_size: int | None = None,
         report: Reporter = _silent,
     ) -> "CrimsonStore":
         """Open (creating if needed) the store at ``path``."""
-        return cls(path, readers=readers, cache_size=cache_size, report=report)
+        return cls(
+            path,
+            readers=readers,
+            shards=shards,
+            cache_size=cache_size,
+            report=report,
+        )
+
+    def _resolve_shard_count(self, requested: int | None) -> int:
+        """Reconcile the requested shard count with the stored layout."""
+        row = self.db.query_one("SELECT value FROM meta WHERE key = 'shards'")
+        stored = int(row["value"]) if row is not None else 1
+        if requested is None:
+            return stored
+        if requested < stored:
+            raise StorageError(
+                f"store {self.db.path!r} spreads trees over {stored} "
+                f"shard(s); opening with shards={requested} would make "
+                "some trees unreachable"
+            )
+        if requested > stored:
+            with self.db.transaction() as connection:
+                connection.execute(
+                    "INSERT OR REPLACE INTO meta(key, value) "
+                    "VALUES ('shards', ?)",
+                    (str(requested),),
+                )
+        return requested
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Close the reader pool and the writer connection (idempotent)."""
+        """Close every shard's pool and writer connection (idempotent).
+
+        Shard 0 adopts the primary writer and pool, so closing the
+        shard list covers them; the explicit primary closes only matter
+        for a store that failed before its shard list was built.
+        """
+        for shard in self._shards:
+            shard.close()
         if self.pool is not None:
             self.pool.close()
         self.db.close()
@@ -196,43 +291,98 @@ class CrimsonStore:
     # ------------------------------------------------------------------
 
     def reader_database(self) -> CrimsonDatabase:
-        """The connection serving this thread's reads.
+        """The connection serving this thread's catalogue reads.
 
-        A pooled read-only connection when the store has a pool, the
-        writer connection otherwise.
+        A pooled read-only connection on the primary file when the store
+        has a pool, the primary writer connection otherwise.
         """
         if self.pool is not None:
             return self.pool.checkout()
         return self.db
+
+    # ------------------------------------------------------------------
+    # Shard routing (used by the Tree Repository and maintenance)
+    # ------------------------------------------------------------------
+
+    def shard_database(self, shard: int) -> CrimsonDatabase:
+        """The writer connection of one shard (``0`` is the primary)."""
+        try:
+            return self._shards[shard].db
+        except IndexError:
+            raise StorageError(
+                f"catalogue names shard {shard}, but the store only has "
+                f"{self.shards} shard(s); reopen with shards={shard + 1} "
+                "or higher"
+            ) from None
+
+    def shard_reader(self, shard: int) -> CrimsonDatabase:
+        """This thread's read connection on one shard."""
+        try:
+            return self._shards[shard].reader()
+        except IndexError:
+            raise StorageError(
+                f"catalogue names shard {shard}, but the store only has "
+                f"{self.shards} shard(s); reopen with shards={shard + 1} "
+                "or higher"
+            ) from None
+
+    def place_tree(self) -> int:
+        """Pick the shard for a new tree: the one storing fewest nodes.
+
+        The count comes from the catalogue, so placement is one small
+        indexed aggregate regardless of shard sizes.  Ties rotate
+        through the tied shards via an atomic cursor rather than always
+        taking the lowest id — so a burst of concurrent loads against a
+        young catalogue (where every placement still reads the same
+        totals) fans out across the shards instead of pile-driving one.
+        """
+        if self.shards == 1:
+            return 0
+        rows = self.db.query_all(
+            "SELECT shard, COALESCE(SUM(n_nodes), 0) AS total "
+            "FROM trees GROUP BY shard"
+        )
+        totals = {row["shard"]: row["total"] for row in rows}
+        smallest = min(totals.get(s, 0) for s in range(self.shards))
+        tied = [
+            s for s in range(self.shards) if totals.get(s, 0) == smallest
+        ]
+        with self._placement_lock:
+            self._placement_cursor += 1
+            return tied[self._placement_cursor % len(tied)]
 
     def _bump_catalogue_epoch(self) -> None:
         """Invalidate every thread's cached handles (catalogue changed)."""
         self._catalogue_epoch += 1
 
     def _resolve_info(self, reader: CrimsonDatabase, name: str):
-        # The catalogue lookup must run on this thread's connection too:
-        # the writer is confined to its opening thread.
+        # The catalogue lookup must run on this thread's connection too,
+        # so pooled readers never serialize behind the writer.
         return TreeRepository(DatabaseFacade(reader)).info(name)
 
     def open_tree(
         self, name: str, cache_size: int | None = None
     ) -> StoredTree:
-        """A query handle on a stored tree, bound to this thread's reader.
+        """A query handle on a stored tree, bound to this thread's reader
+        on the tree's shard.
 
-        Handles (and their warm row caches) are cached per thread and
-        per tree, and revalidated after any ``delete_tree`` through this
-        store (a re-stored name gets a fresh ``tree_id``).  Mutations
-        made through *another* store or process are not observed; pass
-        an explicit ``cache_size`` to get a fresh, uncached handle.
+        The catalogue row (read on this thread's primary reader) names
+        the shard holding the tree's rows; the handle then binds to this
+        thread's pooled reader on that shard.  Handles (and their warm
+        row caches) are cached per thread and per tree, and revalidated
+        after any ``delete_tree`` through this store (a re-stored name
+        gets a fresh ``tree_id``).  Mutations made through *another*
+        store or process are not observed; pass an explicit
+        ``cache_size`` to get a fresh, uncached handle.
 
         Raises
         ------
         StorageError
             If no tree of that name is stored.
         """
-        reader = self.reader_database()
         if cache_size is not None:
-            return StoredTree(reader, self._resolve_info(reader, name), cache_size)
+            info = self._resolve_info(self.reader_database(), name)
+            return StoredTree(self.shard_reader(info.shard), info, cache_size)
         handles: dict[str, tuple[int, StoredTree]] | None = getattr(
             self._local, "handles", None
         )
@@ -244,8 +394,9 @@ class CrimsonStore:
             cached_epoch, handle = entry
             if cached_epoch == epoch and not handle.db.is_closed:
                 return handle
+        info = self._resolve_info(self.reader_database(), name)
         handle = StoredTree(
-            reader, self._resolve_info(reader, name), self.cache_size
+            self.shard_reader(info.shard), info, self.cache_size
         )
         handles[name] = (epoch, handle)
         return handle
@@ -328,5 +479,6 @@ class CrimsonStore:
 
     def __repr__(self) -> str:
         pool = f", readers={self.pool.size}" if self.pool is not None else ""
+        shards = f", shards={self.shards}" if self.shards > 1 else ""
         state = "closed" if self.is_closed else "open"
-        return f"CrimsonStore({self.db.path!r}, {state}{pool})"
+        return f"CrimsonStore({self.db.path!r}, {state}{pool}{shards})"

@@ -66,7 +66,12 @@ class NodeRow:
 
 @dataclass(frozen=True)
 class TreeInfo:
-    """Catalogue row of a stored tree."""
+    """Catalogue row of a stored tree.
+
+    ``shard`` names the database file holding the tree's
+    ``nodes``/``inodes``/``blocks`` rows; ``0`` is the primary file
+    (the only value single-file and pre-sharding stores ever record).
+    """
 
     tree_id: int
     name: str
@@ -78,6 +83,7 @@ class TreeInfo:
     n_blocks: int
     created_at: str
     description: str
+    shard: int = 0
 
 
 class TreeRepository:
@@ -105,6 +111,65 @@ class TreeRepository:
         self._notify_catalogue_change = getattr(
             owner, "_bump_catalogue_epoch", None
         )
+        # A store owner also routes tree data to shard databases; raw
+        # databases (and the facade) keep the single-file layout.
+        self._router = (
+            owner
+            if hasattr(owner, "shard_database") and hasattr(owner, "place_tree")
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Shard routing
+    # ------------------------------------------------------------------
+
+    def _data_database(self, shard: int) -> CrimsonDatabase:
+        """Writer connection holding a tree's data rows."""
+        if self._router is None:
+            return self.db
+        return self._router.shard_database(shard)
+
+    def _has_allocator(self) -> bool:
+        """Has this file ever allocated ids through the ``meta`` counter?
+
+        Sharded stores always have; on such a file even the deprecated
+        raw-database path must keep using the counter, because
+        AUTOINCREMENT cannot know about ids a failed cross-file load
+        burned without a catalogue row (re-issuing one would let a new
+        tree collide with orphaned shard rows).
+        """
+        return (
+            self.db.query_one(
+                "SELECT 1 FROM meta WHERE key = 'next_tree_id'"
+            )
+            is not None
+        )
+
+    def _allocate_tree_id(self) -> int:
+        """Reserve a catalogue id without inserting the catalogue row.
+
+        Cross-file placement writes a tree's data rows *before* its
+        catalogue row (so readers never see a catalogued tree whose rows
+        are still in flight), which means the id must exist before the
+        ``trees`` insert.  The counter in ``meta`` is monotonic and never
+        re-issues an id — even after the highest-numbered tree is
+        deleted — so orphaned data rows from a failed load can never
+        collide with a later tree.
+        """
+        with self.db.transaction() as connection:
+            row = connection.execute(
+                "SELECT value FROM meta WHERE key = 'next_tree_id'"
+            ).fetchone()
+            highest = connection.execute(
+                "SELECT COALESCE(MAX(tree_id), 0) FROM trees"
+            ).fetchone()[0]
+            tree_id = max(int(row[0]) if row is not None else 1, highest + 1)
+            connection.execute(
+                "INSERT OR REPLACE INTO meta(key, value) "
+                "VALUES ('next_tree_id', ?)",
+                (str(tree_id + 1),),
+            )
+        return tree_id
 
     # ------------------------------------------------------------------
     # Loading
@@ -149,109 +214,188 @@ class TreeRepository:
         order: list[Node] = list(tree.preorder())
         rank = {id(node): position for position, node in enumerate(order)}
 
-        now = _datetime.datetime.now(_datetime.timezone.utc).isoformat()
-        with self.db.transaction() as connection:
-            cursor = connection.execute(
-                """
-                INSERT INTO trees
-                    (name, n_nodes, n_leaves, max_depth, f, n_layers,
-                     n_blocks, created_at, description)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
-                """,
+        shard = self._router.place_tree() if self._router is not None else 0
+        data_db = self._data_database(shard)
+        catalogue = (
+            key,
+            len(order),
+            sum(1 for node in order if not node.children),
+            max(depths.values()),
+            f,
+            index.n_layers,
+            index.n_blocks(),
+            _datetime.datetime.now(_datetime.timezone.utc).isoformat(),
+            description,
+            shard,
+        )
+
+        def insert_rows(connection, tree_id: int) -> None:
+            self._insert_tree_rows(
+                connection, tree_id, order, rank, index, intervals,
+                depths, distances,
+            )
+
+        if self._router is None and not self._has_allocator():
+            # Legacy raw-database repositories on never-sharded files:
+            # the catalogue row and the data rows commit in one
+            # transaction, with sqlite's AUTOINCREMENT assigning the
+            # id — the pre-sharding behaviour, byte for byte.
+            with self.db.transaction() as connection:
+                cursor = connection.execute(
+                    """
+                    INSERT INTO trees
+                        (name, n_nodes, n_leaves, max_depth, f, n_layers,
+                         n_blocks, created_at, description, shard)
+                    VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                    """,
+                    catalogue,
+                )
+                tree_id = cursor.lastrowid
+                assert tree_id is not None
+                insert_rows(connection, tree_id)
+        elif data_db is self.db:
+            # Primary placement (single-file stores, shard 0, and the
+            # raw-database path on a file carrying an allocator): still
+            # one atomic transaction, but under an allocator id so this
+            # row can never collide with an id reserved by a concurrent
+            # (or crashed) load on another shard — AUTOINCREMENT only
+            # knows about ids that reached the ``trees`` table.
+            tree_id = self._allocate_tree_id()
+            with self.db.transaction() as connection:
+                connection.execute(
+                    """
+                    INSERT INTO trees
+                        (tree_id, name, n_nodes, n_leaves, max_depth, f,
+                         n_layers, n_blocks, created_at, description, shard)
+                    VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                    """,
+                    (tree_id, *catalogue),
+                )
+                insert_rows(connection, tree_id)
+        else:
+            # Cross-file placement: data rows commit into the shard
+            # first (under a pre-allocated id), the catalogue row last —
+            # a reader can never resolve a catalogue row whose shard
+            # rows are missing.  If the catalogue insert fails, the
+            # shard rows are purged (and, being uncatalogued under a
+            # never-reused id, are invisible garbage even if the purge
+            # itself fails mid-crash).
+            tree_id = self._allocate_tree_id()
+            with data_db.transaction() as connection:
+                insert_rows(connection, tree_id)
+            try:
+                with self.db.transaction() as connection:
+                    connection.execute(
+                        """
+                        INSERT INTO trees
+                            (tree_id, name, n_nodes, n_leaves, max_depth, f,
+                             n_layers, n_blocks, created_at, description,
+                             shard)
+                        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                        """,
+                        (tree_id, *catalogue),
+                    )
+            except BaseException:
+                self._purge_data_rows(data_db, tree_id)
+                raise
+
+        return StoredTree(data_db, self.info(key), cache_size=self.cache_size)
+
+    @staticmethod
+    def _insert_tree_rows(
+        connection, tree_id, order, rank, index, intervals, depths, distances
+    ) -> None:
+        """Bulk-insert one tree's ``nodes``/``inodes``/``blocks`` rows."""
+        node_rows = (
+            (
+                tree_id,
+                rank[id(node)],
+                rank[id(node.parent)] if node.parent is not None else None,
+                node.child_order,
+                node.name,
+                node.length,
+                depths[id(node)],
+                distances[id(node)],
+                intervals[id(node)][1],
+                int(not node.children),
+            )
+            for node in order
+        )
+        connection.executemany(
+            """
+            INSERT INTO nodes
+                (tree_id, node_id, parent_id, child_order, name,
+                 edge_length, depth, dist_from_root, pre_order_end, is_leaf)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+            """,
+            node_rows,
+        )
+
+        canonical = {
+            inode for inode in getattr(index, "_inode_of_node").values()
+        }
+        inode_rows = (
+            (
+                tree_id,
+                inode_id,
+                index.inode_layer[inode_id],
+                index.inode_block[inode_id],
+                label_to_string(index.inode_label[inode_id]),
+                len(index.inode_label[inode_id]),
                 (
-                    key,
-                    len(order),
-                    sum(1 for node in order if not node.children),
-                    max(depths.values()),
-                    f,
-                    index.n_layers,
-                    index.n_blocks(),
-                    now,
-                    description,
+                    rank[id(index.inode_orig[inode_id])]
+                    if index.inode_orig[inode_id] is not None
+                    else None
                 ),
+                index.inode_represents[inode_id],
+                int(inode_id in canonical),
             )
-            tree_id = cursor.lastrowid
-            assert tree_id is not None
+            for inode_id in range(index.n_inodes())
+        )
+        connection.executemany(
+            """
+            INSERT INTO inodes
+                (tree_id, inode_id, layer, block_id, local_label,
+                 label_depth, orig_node_id, represents_block_id,
+                 is_canonical)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+            """,
+            inode_rows,
+        )
 
-            node_rows = (
-                (
-                    tree_id,
-                    rank[id(node)],
-                    rank[id(node.parent)] if node.parent is not None else None,
-                    node.child_order,
-                    node.name,
-                    node.length,
-                    depths[id(node)],
-                    distances[id(node)],
-                    intervals[id(node)][1],
-                    int(not node.children),
-                )
-                for node in order
+        block_rows = (
+            (
+                tree_id,
+                block_id,
+                index.block_layer[block_id],
+                index.block_root_inode[block_id],
+                index.block_source_inode[block_id],
+                index.block_rep_inode[block_id],
             )
-            connection.executemany(
-                """
-                INSERT INTO nodes
-                    (tree_id, node_id, parent_id, child_order, name,
-                     edge_length, depth, dist_from_root, pre_order_end, is_leaf)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
-                """,
-                node_rows,
-            )
+            for block_id in range(index.n_blocks())
+        )
+        connection.executemany(
+            """
+            INSERT INTO blocks
+                (tree_id, block_id, layer, root_inode_id,
+                 source_inode_id, rep_inode_id)
+            VALUES (?, ?, ?, ?, ?, ?)
+            """,
+            block_rows,
+        )
 
-            canonical = {
-                inode for inode in getattr(index, "_inode_of_node").values()
-            }
-            inode_rows = (
-                (
-                    tree_id,
-                    inode_id,
-                    index.inode_layer[inode_id],
-                    index.inode_block[inode_id],
-                    label_to_string(index.inode_label[inode_id]),
-                    len(index.inode_label[inode_id]),
-                    (
-                        rank[id(index.inode_orig[inode_id])]
-                        if index.inode_orig[inode_id] is not None
-                        else None
-                    ),
-                    index.inode_represents[inode_id],
-                    int(inode_id in canonical),
-                )
-                for inode_id in range(index.n_inodes())
-            )
-            connection.executemany(
-                """
-                INSERT INTO inodes
-                    (tree_id, inode_id, layer, block_id, local_label,
-                     label_depth, orig_node_id, represents_block_id,
-                     is_canonical)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
-                """,
-                inode_rows,
-            )
-
-            block_rows = (
-                (
-                    tree_id,
-                    block_id,
-                    index.block_layer[block_id],
-                    index.block_root_inode[block_id],
-                    index.block_source_inode[block_id],
-                    index.block_rep_inode[block_id],
-                )
-                for block_id in range(index.n_blocks())
-            )
-            connection.executemany(
-                """
-                INSERT INTO blocks
-                    (tree_id, block_id, layer, root_inode_id,
-                     source_inode_id, rep_inode_id)
-                VALUES (?, ?, ?, ?, ?, ?)
-                """,
-                block_rows,
-            )
-
-        return StoredTree(self.db, self.info(key), cache_size=self.cache_size)
+    @staticmethod
+    def _purge_data_rows(data_db: CrimsonDatabase, tree_id: int) -> None:
+        """Best-effort removal of a tree's data rows from its shard."""
+        try:
+            with data_db.transaction() as connection:
+                for table in ("inodes", "blocks", "nodes"):
+                    connection.execute(
+                        f"DELETE FROM {table} WHERE tree_id = ?", (tree_id,)
+                    )
+        except StorageError:
+            # The id is never re-issued, so leftover rows are inert.
+            pass
 
     # ------------------------------------------------------------------
     # Catalogue
@@ -279,15 +423,22 @@ class TreeRepository:
             n_blocks=row["n_blocks"],
             created_at=row["created_at"],
             description=row["description"],
+            # Read-only snapshots of pre-migration files lack the column.
+            shard=row["shard"] if "shard" in row.keys() else 0,
         )
 
     def open(self, name: str, cache_size: int | None = None) -> "StoredTree":
         """Open a query handle on a stored tree.
 
-        ``cache_size`` overrides the repository default for this handle.
+        The handle binds to the database actually holding the tree's
+        data rows — the shard its catalogue row names when the
+        repository belongs to a sharded store, the repository's own
+        connection otherwise.  ``cache_size`` overrides the repository
+        default for this handle.
         """
         size = cache_size if cache_size is not None else self.cache_size
-        return StoredTree(self.db, self.info(name), cache_size=size)
+        info = self.info(name)
+        return StoredTree(self._data_database(info.shard), info, cache_size=size)
 
     def list_trees(self) -> list[TreeInfo]:
         """All catalogue entries, ordered by name."""
@@ -303,16 +454,35 @@ class TreeRepository:
             If no tree of that name is stored.
         """
         info = self.info(name)
-        with self.db.transaction() as connection:
-            # Explicit deletes keep the behaviour identical whether or not
-            # the connection enforces foreign keys.
-            for table in ("species", "inodes", "blocks", "nodes"):
+        data_db = self._data_database(info.shard)
+        if data_db is self.db:
+            with self.db.transaction() as connection:
+                # Explicit deletes keep the behaviour identical whether or
+                # not the connection enforces foreign keys.
+                for table in ("species", "inodes", "blocks", "nodes"):
+                    connection.execute(
+                        f"DELETE FROM {table} WHERE tree_id = ?", (info.tree_id,)
+                    )
                 connection.execute(
-                    f"DELETE FROM {table} WHERE tree_id = ?", (info.tree_id,)
+                    "DELETE FROM trees WHERE tree_id = ?", (info.tree_id,)
                 )
-            connection.execute(
-                "DELETE FROM trees WHERE tree_id = ?", (info.tree_id,)
-            )
+        else:
+            # Catalogue first: once the row is gone the tree is
+            # unreachable, so a failure before the shard purge leaves
+            # only invisible garbage (flagged by verify's orphan check),
+            # never a catalogued tree with missing rows.
+            with self.db.transaction() as connection:
+                connection.execute(
+                    "DELETE FROM species WHERE tree_id = ?", (info.tree_id,)
+                )
+                connection.execute(
+                    "DELETE FROM trees WHERE tree_id = ?", (info.tree_id,)
+                )
+            with data_db.transaction() as connection:
+                for table in ("inodes", "blocks", "nodes"):
+                    connection.execute(
+                        f"DELETE FROM {table} WHERE tree_id = ?", (info.tree_id,)
+                    )
         if self._notify_catalogue_change is not None:
             self._notify_catalogue_change()
 
@@ -342,6 +512,27 @@ class StoredTree:
         self._tree_id = info.tree_id
         self.engine = StoredQueryEngine(db, info.tree_id, cache_size)
 
+    def _raise_missing(self, message: str) -> None:
+        """Raise for a row lookup that found nothing.
+
+        Distinguishes the two reasons a row can be absent: the taxon
+        genuinely isn't in the tree (:class:`QueryError`), or the whole
+        tree was deleted out from under this handle and its row set is
+        gone (:class:`StorageError` — the delete-then-query race a
+        long-lived handle can lose).  Without the probe, a stale handle
+        would misreport every lookup as an unknown-taxon error.
+        """
+        probe = self.db.query_one(
+            "SELECT 1 FROM nodes WHERE tree_id = ? LIMIT 1", (self._tree_id,)
+        )
+        if probe is None:
+            raise StorageError(
+                f"tree {self.info.name!r} (id {self._tree_id}) is no longer "
+                "stored; this handle is stale — reopen it via "
+                "CrimsonStore.open_tree"
+            )
+        raise QueryError(message)
+
     # ------------------------------------------------------------------
     # Row access
     # ------------------------------------------------------------------
@@ -369,7 +560,9 @@ class StoredTree:
         """
         row = self.engine.node_row(node_id)
         if row is None:
-            raise QueryError(f"no node {node_id} in tree {self.info.name!r}")
+            self._raise_missing(
+                f"no node {node_id} in tree {self.info.name!r}"
+            )
         return self._node_row(row)
 
     def node_by_name(self, name: str) -> NodeRow:
@@ -382,7 +575,9 @@ class StoredTree:
         """
         row = self.engine.node_row_by_name(name)
         if row is None:
-            raise QueryError(f"no node named {name!r} in tree {self.info.name!r}")
+            self._raise_missing(
+                f"no node named {name!r} in tree {self.info.name!r}"
+            )
         return self._node_row(row)
 
     def nodes_by_name(self, names: Sequence[str]) -> list[NodeRow]:
@@ -535,7 +730,7 @@ class StoredTree:
             row = by_name.get(item) if isinstance(item, str) else by_id.get(item)
             if row is None:
                 kind = "node named" if isinstance(item, str) else "node"
-                raise QueryError(
+                self._raise_missing(
                     f"no {kind} {item!r} in tree {self.info.name!r}"
                 )
             rows.append(self._node_row(row))
@@ -569,7 +764,7 @@ class StoredTree:
             raw = by_name.get(item) if isinstance(item, str) else by_id.get(item)
             if raw is None:
                 kind = "node named" if isinstance(item, str) else "node"
-                raise QueryError(
+                self._raise_missing(
                     f"no {kind} {item!r} in tree {self.info.name!r}"
                 )
             return self._node_row(raw)

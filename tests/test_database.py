@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import sqlite3
+import threading
 
 import pytest
 
@@ -133,3 +134,39 @@ class TestTransactions:
                 raise RuntimeError("boom")
         row = db.query_one("SELECT COUNT(*) AS n FROM query_history")
         assert row["n"] == 0
+
+    def test_cross_thread_reads_wait_for_open_transactions(self, tmp_path):
+        """Regression: a read from another thread on a shared connection
+        must block until the open transaction commits, never observe
+        its uncommitted middle (connections are check_same_thread=False
+        so pool-less stores can be driven from worker threads)."""
+        db = CrimsonDatabase(tmp_path / "iso.db")
+        in_transaction = threading.Event()
+        release = threading.Event()
+        result: dict[str, object] = {}
+
+        def writer():
+            with db.transaction() as connection:
+                connection.execute(
+                    "INSERT INTO meta(key, value) VALUES ('probe', 'set')"
+                )
+                in_transaction.set()
+                release.wait(timeout=5)
+
+        def reader():
+            row = db.query_one("SELECT value FROM meta WHERE key = 'probe'")
+            result["value"] = row["value"] if row is not None else None
+            result["after_release"] = release.is_set()
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        assert in_transaction.wait(timeout=5)
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        release.set()
+        writer_thread.join()
+        reader_thread.join()
+        db.close()
+        # The read completed only after the commit (so it saw the
+        # committed row, not the transaction's uncommitted middle).
+        assert result == {"value": "set", "after_release": True}

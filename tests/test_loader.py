@@ -88,6 +88,93 @@ class TestNexusLoading:
         assert handles[0].info.name == "input"
 
 
+class TestMultiTreeAtomicity:
+    """A failing multi-tree NEXUS load must leave no partial catalogue."""
+
+    NEXUS_CORRUPT_SECOND = """#NEXUS
+BEGIN TREES;
+    TREE good = ((a:1,b:1):1,c:1);
+    TREE bad = ((,x:1):1,y:1);
+END;
+"""
+
+    NEXUS_TWO_GOOD = """#NEXUS
+BEGIN TREES;
+    TREE one = (a:1,b:1);
+    TREE two = ((a:1,b:1):1,c:1);
+END;
+"""
+
+    def _names(self, loader):
+        return [info.name for info in loader.trees.list_trees()]
+
+    def test_corrupt_second_tree_rolls_back_first(self, loader):
+        """Regression: tree 1 must not survive a failure on tree 2."""
+        with pytest.raises(TreeStructureError):
+            loader.load_nexus_text(self.NEXUS_CORRUPT_SECOND)
+        assert self._names(loader) == []
+
+    def test_key_conflict_on_second_tree_rolls_back_first(self, loader):
+        loader.load_newick_text("(p:1,q:1);", name="two")
+        with pytest.raises(StorageError):
+            loader.load_nexus_text(self.NEXUS_TWO_GOOD)
+        assert self._names(loader) == ["two"]
+
+    def test_duplicate_keys_within_document_rejected(self, loader):
+        text = self.NEXUS_TWO_GOOD.replace("TREE two", "TREE one", 1)
+        with pytest.raises(StorageError, match="two trees under"):
+            loader.load_nexus_text(text)
+        assert self._names(loader) == []
+
+    def test_storage_failure_mid_load_compensates(self, db, monkeypatch):
+        """Even a failure validation cannot foresee rolls back 1..k-1."""
+        from repro.storage.tree_repository import TreeRepository
+
+        loader = DataLoader(db)
+        original = TreeRepository.store_tree
+        calls = {"n": 0}
+
+        def failing(self, tree, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise StorageError("disk full (injected)")
+            return original(self, tree, *args, **kwargs)
+
+        monkeypatch.setattr(TreeRepository, "store_tree", failing)
+        with pytest.raises(StorageError, match="disk full"):
+            loader.load_nexus_text(self.NEXUS_TWO_GOOD)
+        assert self._names(loader) == []
+
+    def test_sharded_store_rolls_back_across_shards(self, tmp_path):
+        from repro.storage.store import CrimsonStore
+        from repro.storage.tree_repository import TreeRepository
+
+        with CrimsonStore.open(tmp_path / "s.db", shards=2) as store:
+            original = TreeRepository.store_tree
+            calls = {"n": 0}
+
+            def failing(self, tree, *args, **kwargs):
+                calls["n"] += 1
+                if calls["n"] == 2:
+                    raise StorageError("injected")
+                return original(self, tree, *args, **kwargs)
+
+            try:
+                TreeRepository.store_tree = failing
+                with pytest.raises(StorageError, match="injected"):
+                    store.load_nexus_text(self.NEXUS_TWO_GOOD)
+            finally:
+                TreeRepository.store_tree = original
+            assert store.trees.list_trees() == []
+            # No shard carries orphan rows of the rolled-back tree.
+            assert store.verify() == []
+
+    def test_successful_multi_tree_load_unchanged(self, loader):
+        handles = loader.load_nexus_text(self.NEXUS_TWO_GOOD)
+        assert self._names(loader) == ["one", "two"]
+        assert [h.info.name for h in handles] == ["one", "two"]
+
+
 class TestNewickLoading:
     def test_load_newick_text(self, loader):
         handle = loader.load_newick_text("((a:1,b:1):1,c:2);", name="nwk")

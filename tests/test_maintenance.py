@@ -104,6 +104,76 @@ class TestDetectsCorruption:
         assert "problem" in text
 
 
+class TestStoreVerification:
+    """Verification through the store: pooled readers, shard sweeps."""
+
+    def _seed(self, store):
+        from repro.trees.build import sample_tree
+
+        store.load_tree(sample_tree(), name="fig1")
+        store.load_tree(caterpillar(80), name="deep")
+        store.load_newick_text("((a:1,b:1):1,c:2);", name="tiny")
+
+    def test_verify_runs_on_pooled_readers_only(self, tmp_path):
+        """Regression: verification must not touch the writer, so an
+        integrity sweep never contends with a concurrent load."""
+        from repro.storage.store import CrimsonStore
+
+        with CrimsonStore.open(tmp_path / "v.db", readers=2) as store:
+            self._seed(store)
+            writer_before = store.db.statements_executed
+            reports = store.verify()
+            assert len(reports) == 3 and all(r.ok for r in reports)
+            assert store.db.statements_executed == writer_before
+            assert store.pool.statements_executed() > 0
+
+    def test_verify_iterates_shards(self, tmp_path):
+        from repro.storage.store import CrimsonStore
+
+        with CrimsonStore.open(tmp_path / "v.db", readers=2, shards=3) as store:
+            self._seed(store)
+            assert {i.shard for i in store.trees.list_trees()} == {0, 1, 2}
+            reports = store.verify()
+            assert len(reports) == 3 and all(r.ok for r in reports)
+            assert store.verify("deep")[0].ok
+
+    def test_verify_detects_damage_on_a_shard(self, tmp_path):
+        from repro.storage.store import CrimsonStore
+
+        with CrimsonStore.open(tmp_path / "v.db", shards=2) as store:
+            self._seed(store)
+            victim = next(i for i in store.trees.list_trees() if i.shard == 1)
+            with store.shard_database(1).transaction() as connection:
+                connection.execute(
+                    "DELETE FROM nodes WHERE tree_id = ? AND is_leaf = 1 "
+                    "AND node_id = (SELECT MAX(node_id) FROM nodes "
+                    "WHERE tree_id = ?)",
+                    (victim.tree_id, victim.tree_id),
+                )
+            report = store.verify(victim.name)[0]
+            assert not report.ok
+            assert any("nodes" in problem for problem in report.problems)
+
+    def test_verify_reports_orphan_shard_rows(self, tmp_path):
+        """Rows whose catalogue entry is gone are flagged per shard."""
+        from repro.storage.store import CrimsonStore
+
+        with CrimsonStore.open(tmp_path / "v.db", shards=2) as store:
+            self._seed(store)
+            victim = next(i for i in store.trees.list_trees() if i.shard == 1)
+            # Simulate the residue of a crash between the two commits of
+            # a cross-file delete: catalogue row gone, shard rows left.
+            with store.db.transaction() as connection:
+                connection.execute(
+                    "DELETE FROM trees WHERE tree_id = ?", (victim.tree_id,)
+                )
+            reports = store.verify()
+            orphaned = [r for r in reports if not r.ok]
+            assert len(orphaned) == 1
+            assert orphaned[0].tree_name == "<shard 1>"
+            assert str(victim.tree_id) in orphaned[0].problems[0]
+
+
 class TestCliVerify:
     def test_verify_ok(self, tmp_path, capsys):
         from repro.cli.main import main

@@ -377,6 +377,278 @@ class TestConcurrentReaders:
             assert results and all(got == expected for got in results)
 
 
+class TestShardedStore:
+    """Multi-database sharding hidden behind the store façade."""
+
+    def _load_set(self, store):
+        store.load_tree(sample_tree(), name="fig1")
+        store.load_tree(caterpillar(40), name="deep")
+        for index in range(4):
+            store.load_newick_text(
+                "((a:1,b:1):1,(c:1,d:2):1);", name=f"quad{index}"
+            )
+
+    def test_trees_distribute_over_all_shards(self, store_path):
+        with CrimsonStore.open(store_path, readers=2, shards=4) as store:
+            self._load_set(store)
+            shards_used = {info.shard for info in store.trees.list_trees()}
+            assert shards_used == {0, 1, 2, 3}
+
+    def test_shard_files_created_beside_primary(self, tmp_path):
+        path = tmp_path / "catalogue.db"
+        with CrimsonStore.open(path, shards=3) as store:
+            self._load_set(store)
+        assert (tmp_path / "catalogue.shard1.db").exists()
+        assert (tmp_path / "catalogue.shard2.db").exists()
+
+    def test_placement_picks_emptiest_shard(self, store_path):
+        with CrimsonStore.open(store_path, shards=2) as store:
+            store.load_tree(caterpillar(60), name="big")
+            store.load_newick_text("(a:1,b:1);", name="small")
+            # The big tree landed first (shard 0); the small one must
+            # avoid it, and the next one balances by node count.
+            by_name = {i.name: i.shard for i in store.trees.list_trees()}
+            assert by_name["big"] == 0
+            assert by_name["small"] == 1
+            store.load_newick_text("(x:1,y:1);", name="tiny")
+            tiny = store.trees.info("tiny")
+            assert tiny.shard == 1  # shard 1 still holds fewer nodes
+
+    def test_sharded_queries_equal_single_file(self, tmp_path):
+        requests = [
+            QueryRequest.lca("deep", "t3", "t31"),
+            QueryRequest.lca_batch("deep", [("t1", "t40"), ("t7", "t8")]),
+            QueryRequest.clade("fig1", "Lla", "Syn"),
+            QueryRequest.project("deep", "t2", "t11", "t29"),
+            QueryRequest.match("fig1", "(Lla,Syn);", ordered=False),
+        ]
+
+        def signature(store):
+            rows = []
+            for request in requests:
+                result = store.query(request)
+                rows.append(
+                    (
+                        [row.node_id for row in result.nodes],
+                        write_newick(result.projection)
+                        if result.projection is not None
+                        else None,
+                        result.matched,
+                    )
+                )
+            return rows
+
+        with CrimsonStore.open(tmp_path / "one.db", readers=2) as store:
+            self._load_set(store)
+            expected = signature(store)
+        with CrimsonStore.open(
+            tmp_path / "many.db", readers=2, shards=3
+        ) as store:
+            self._load_set(store)
+            assert {i.shard for i in store.trees.list_trees()} == {0, 1, 2}
+            assert signature(store) == expected
+
+    def test_open_tree_binds_to_shard_reader(self, store_path):
+        with CrimsonStore.open(store_path, readers=2, shards=2) as store:
+            self._load_set(store)
+            info = next(
+                i for i in store.trees.list_trees() if i.shard == 1
+            )
+            handle = store.open_tree(info.name)
+            assert handle.db.read_only
+            assert "shard1" in handle.db.path
+
+    def test_reopen_without_shards_restores_layout(self, store_path):
+        with CrimsonStore.open(store_path, shards=3) as store:
+            self._load_set(store)
+            names = {i.name for i in store.trees.list_trees()}
+        with CrimsonStore.open(store_path) as store:
+            assert store.shards == 3
+            assert {i.name for i in store.trees.list_trees()} == names
+            result = store.query(QueryRequest.lca("deep", "t1", "t9"))
+            assert result.node.node_id == store.open_tree("deep").lca(
+                "t1", "t9"
+            ).node_id
+
+    def test_growing_shard_count_is_allowed(self, store_path):
+        with CrimsonStore.open(store_path, shards=2) as store:
+            self._load_set(store)
+        with CrimsonStore.open(store_path, shards=4) as store:
+            assert store.shards == 4
+            store.load_newick_text("(p:1,q:1);", name="extra")
+            assert store.query(QueryRequest.lca("fig1", "Lla", "Syn")).node
+        with CrimsonStore.open(store_path) as store:
+            assert store.shards == 4
+
+    def test_shrinking_shard_count_is_refused(self, store_path):
+        with CrimsonStore.open(store_path, shards=3) as store:
+            self._load_set(store)
+        with pytest.raises(StorageError, match="unreachable"):
+            CrimsonStore.open(store_path, shards=2)
+
+    def test_nonpositive_shards_rejected(self, store_path):
+        with pytest.raises(StorageError):
+            CrimsonStore.open(store_path, shards=0)
+
+    def test_pre_sharding_file_migrates_in_place(self, store_path):
+        """A schema-v1 file (no ``shard`` column) opens unchanged."""
+        import sqlite3
+
+        with CrimsonStore.open(store_path) as store:
+            store.load_newick_text("((a:1,b:1):1,c:2);", name="old")
+        connection = sqlite3.connect(store_path)
+        connection.execute("ALTER TABLE trees DROP COLUMN shard")
+        connection.execute("DELETE FROM meta WHERE key IN ('shards', 'next_tree_id')")
+        connection.commit()
+        connection.close()
+        with CrimsonStore.open(store_path, readers=2) as store:
+            assert store.shards == 1
+            info = store.trees.info("old")
+            assert info.shard == 0
+            assert store.query(QueryRequest.lca("old", "a", "b")).node.depth == 1
+
+    def test_delete_tree_purges_shard_rows(self, store_path):
+        with CrimsonStore.open(store_path, shards=2) as store:
+            self._load_set(store)
+            victim = next(
+                i for i in store.trees.list_trees() if i.shard == 1
+            )
+            data_db = store.shard_database(1)
+            before = data_db.query_one(
+                "SELECT COUNT(*) AS n FROM nodes WHERE tree_id = ?",
+                (victim.tree_id,),
+            )["n"]
+            assert before > 0
+            store.trees.delete_tree(victim.name)
+            after = data_db.query_one(
+                "SELECT COUNT(*) AS n FROM nodes WHERE tree_id = ?",
+                (victim.tree_id,),
+            )["n"]
+            assert after == 0
+            assert all(report.ok for report in store.verify())
+
+    def test_parallel_loads_land_on_distinct_shards(self, store_path):
+        errors: list[BaseException] = []
+        with CrimsonStore.open(store_path, readers=2, shards=4) as store:
+
+            def load(index: int) -> None:
+                try:
+                    store.load_tree(caterpillar(30), name=f"par{index}")
+                except BaseException as error:  # noqa: BLE001 - recorded
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=load, args=(i,)) for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors, f"parallel loads failed: {errors!r}"
+            infos = store.trees.list_trees()
+            assert len(infos) == 8
+            assert len({i.tree_id for i in infos}) == 8
+            assert {i.shard for i in infos} == {0, 1, 2, 3}
+            for info in infos:
+                assert store.open_tree(info.name).lca("t1", "t30").node_id == 0
+
+    def test_repr_mentions_shards(self, store_path):
+        with CrimsonStore.open(store_path, shards=2) as store:
+            assert "shards=2" in repr(store)
+
+    def test_opening_a_shard_file_directly_is_refused(self, tmp_path):
+        """A shard file must not silently grow a catalogue schema."""
+        path = tmp_path / "cat.db"
+        with CrimsonStore.open(path, shards=2) as store:
+            self._load_set(store)
+        shard_file = tmp_path / "cat.shard1.db"
+        with pytest.raises(StorageError, match="shard file"):
+            CrimsonStore.open(shard_file)
+        with pytest.raises(StorageError, match="primary"):
+            CrimsonDatabase(shard_file)
+        # And the reverse: a primary cannot be adopted as a shard.
+        with pytest.raises(StorageError, match="primary file"):
+            CrimsonDatabase(path, shard_schema=True)
+
+    def test_raw_database_path_respects_the_id_allocator(self, tmp_path):
+        """Regression: on a file a sharded store has written, even the
+        deprecated raw-database path must allocate ids through the
+        ``meta`` counter — AUTOINCREMENT cannot know about ids a failed
+        cross-file load burned, and re-issuing one would collide with
+        orphaned shard rows."""
+        path = tmp_path / "mixed.db"
+        with CrimsonStore.open(path, shards=2) as store:
+            store.load_newick_text("(a:1,b:1);", name="one")
+            store.load_newick_text("(c:1,d:1);", name="two")
+        with CrimsonDatabase(path) as raw:
+            # Simulate the counter state after a crashed load burned ids.
+            with raw.transaction() as connection:
+                connection.execute(
+                    "UPDATE meta SET value = '10' WHERE key = 'next_tree_id'"
+                )
+            with pytest.warns(DeprecationWarning):
+                repo = TreeRepository(raw)
+            handle = repo.store_tree(sample_tree(), name="legacy")
+            assert handle.info.tree_id == 10
+
+
+class TestStaleHandles:
+    """The delete-then-query race: stale handles fail loudly (not with
+    sqlite errors or misleading unknown-taxon messages)."""
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_stale_handle_raises_storage_error(self, tmp_path, shards):
+        path = tmp_path / f"stale{shards}.db"
+        with CrimsonStore.open(path, readers=2, shards=shards) as store:
+            store.load_newick_text("((a:1,b:1):1,c:2);", name="gold")
+            handle = store.open_tree("gold")
+            assert handle.lca("a", "b").depth == 1
+            store.trees.delete_tree("gold")
+            # "c" was never fetched, so the lookup misses and the handle
+            # must report the deleted tree, not an unknown taxon.
+            with pytest.raises(StorageError, match="no longer stored"):
+                handle.lca("a", "c")
+
+    def test_stale_handle_race_under_concurrent_delete(self, store_path):
+        """A reader thread querying while the tree is deleted sees only
+        correct answers or the explicit stale-handle StorageError."""
+        with CrimsonStore.open(store_path, readers=2, shards=2) as store:
+            store.load_tree(caterpillar(60), name="gold")
+            unexpected: list[BaseException] = []
+            stale = threading.Event()
+            started = threading.Event()
+
+            def reader():
+                handle = store.open_tree("gold")
+                started.set()
+                for i in range(1, 59):
+                    try:
+                        handle.lca(f"t{i}", f"t{i + 1}")
+                    except StorageError:
+                        stale.set()
+                        return
+                    except BaseException as error:  # noqa: BLE001
+                        unexpected.append(error)
+                        return
+
+            thread = threading.Thread(target=reader)
+            thread.start()
+            started.wait()
+            store.trees.delete_tree("gold")
+            thread.join()
+            assert not unexpected, f"wrong error type: {unexpected!r}"
+
+    def test_query_after_delete_reports_unknown_tree(self, store_path):
+        with CrimsonStore.open(store_path, readers=2) as store:
+            store.load_newick_text("(a:1,b:1);", name="gone")
+            store.query(QueryRequest.lca("gone", "a", "b"))
+            store.trees.delete_tree("gone")
+            # The store-level path re-resolves the catalogue (epoch
+            # bump), so it reports the missing tree, never sqlite noise.
+            with pytest.raises(StorageError, match="no tree named"):
+                store.query(QueryRequest.lca("gone", "a", "b"))
+
+
 class TestDeprecationShims:
     def test_raw_database_construction_warns_but_works(self, db):
         with pytest.warns(DeprecationWarning):

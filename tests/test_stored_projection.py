@@ -59,6 +59,70 @@ class TestErrors:
             project_stored(stored, ["x", "Lla"])
 
 
+class TestEdgeCasesAgainstInMemory:
+    """Boundary leaf sets, checked row-for-row against the in-memory
+    algorithm (`repro.core.projection.project_tree`)."""
+
+    def _assert_matches_in_memory(self, stored, tree, sample):
+        via_sql = project_stored(stored, sample)
+        in_memory = project_tree(tree, sample)
+        assert via_sql.equals(in_memory, tolerance=1e-9)
+
+    def test_single_leaf_equals_in_memory(self, stored, fig1):
+        for name in fig1.leaf_names():
+            self._assert_matches_in_memory(stored, fig1, [name])
+
+    def test_duplicate_leaf_names_equal_in_memory(self, stored, fig1):
+        self._assert_matches_in_memory(
+            stored, fig1, ["Syn", "Lla", "Syn", "Lla", "Syn"]
+        )
+
+    def test_all_duplicates_of_one_leaf(self, stored, fig1):
+        projection = project_stored(stored, ["Bsu", "Bsu", "Bsu"])
+        assert projection.size() == 1
+        assert projection.root.name == "Bsu"
+        assert projection.equals(
+            project_tree(fig1, ["Bsu", "Bsu", "Bsu"]), tolerance=1e-9
+        )
+
+    def test_leaves_spanning_roots_first_and_last_children(self, db):
+        """The projection root must be the tree root when the sample
+        straddles the root's first and last subtrees."""
+        rng = np.random.default_rng(99)
+        tree = yule_tree(80, rng=rng)
+        handle = TreeRepository(db).store_tree(tree, name="span", f=4)
+        first_child = tree.root.children[0]
+        last_child = tree.root.children[-1]
+        first_leaf = next(
+            node.name for node in first_child.preorder() if not node.children
+        )
+        last_leaf = next(
+            node.name
+            for node in last_child.preorder()
+            if not node.children
+        )
+        sample = [first_leaf, last_leaf]
+        via_sql = project_stored(handle, sample)
+        assert via_sql.equals(project_tree(tree, sample), tolerance=1e-9)
+        # Spanning the outermost subtrees anchors the projection at the
+        # root: its two leaves hang directly off the cloned root.
+        assert sorted(via_sql.leaf_names()) == sorted(sample)
+        extra_first = [
+            node.name for node in first_child.preorder() if not node.children
+        ][-1]
+        full_span = list(dict.fromkeys([first_leaf, extra_first, last_leaf]))
+        via_sql_full = project_stored(handle, full_span)
+        assert via_sql_full.equals(
+            project_tree(tree, full_span), tolerance=1e-9
+        )
+
+    def test_every_leaf_projects_to_whole_frontier(self, stored, fig1):
+        names = fig1.leaf_names()
+        via_sql = project_stored(stored, names)
+        assert via_sql.equals(project_tree(fig1, names), tolerance=1e-9)
+        assert sorted(via_sql.leaf_names()) == sorted(names)
+
+
 class TestAgainstInMemory:
     def test_random_samples_agree(self, db):
         rng = np.random.default_rng(31)
