@@ -1,0 +1,79 @@
+"""One query interface, local or remote: the CrimsonSession protocol.
+
+Builds a gold-standard store, serves it over TCP from a background
+thread (exactly what ``crimson serve`` does in its own process), and
+runs the *same* function — written only against the session protocol —
+first on a :class:`LocalSession`, then on a :class:`RemoteSession`
+speaking JSON lines to the live server.  The answers are identical;
+only the transport differs.
+
+Run with::
+
+    python examples/remote_query_service.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.server import CrimsonServer, RemoteSession
+from repro.storage.api import CrimsonSession, QueryRequest
+from repro.storage.store import CrimsonStore
+from repro.trees.build import caterpillar
+from repro.trees.newick import write_newick
+
+DEPTH = 64
+
+
+def survey(session: CrimsonSession) -> list[str]:
+    """A client workload that cannot tell local from remote."""
+    lines = []
+    info = session.ping()
+    lines.append(
+        f"connected over {info['transport']!r} "
+        f"(protocol {info['protocol']}, {info['trees']} tree(s))"
+    )
+    for entry in session.list_trees():
+        lines.append(f"catalogue: {entry.name} — {entry.n_nodes} nodes")
+    lca = session.query(QueryRequest.lca("gold", "t1", f"t{DEPTH}"))
+    lines.append(f"LCA(t1, t{DEPTH}) = node {lca.node.node_id}")
+    batch = session.query(
+        QueryRequest.lca_batch("gold", [("t1", "t8"), ("t3", f"t{DEPTH}")])
+    )
+    lines.append(f"batched LCAs: {[row.node_id for row in batch.nodes]}")
+    projection = session.query(
+        QueryRequest.project("gold", "t1", "t8", f"t{DEPTH}")
+    )
+    lines.append(f"projection: {write_newick(projection.projection)}")
+    reports = session.verify("gold")
+    lines.append(f"verify: {'; '.join(str(report) for report in reports)}")
+    return lines
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmpdir:
+        path = str(Path(tmpdir) / "service.db")
+        with CrimsonStore.open(path, readers=4) as store:
+            store.load_tree(caterpillar(DEPTH), name="gold", f=8)
+
+            print("-- LocalSession (in-process) --")
+            local_lines = survey(store.session())
+            for line in local_lines:
+                print(f"  {line}")
+
+            # The server half of `crimson serve`, embedded on a thread.
+            with CrimsonServer(store, port=0) as server:
+                host, port = server.address
+                print(f"\n-- RemoteSession (TCP {host}:{port}) --")
+                with RemoteSession(host, port) as session:
+                    remote_lines = survey(session)
+                for line in remote_lines:
+                    print(f"  {line}")
+
+    same = local_lines[1:] == remote_lines[1:]
+    print(f"\nidentical answers across transports: {same}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,7 @@ Examples
     crimson --db crimson.db project gold --taxa Bha Lla Syn --format ascii
     crimson --db crimson.db benchmark gold -k 16 --trials 3
     crimson --db crimson.db history
+    crimson --db crimson.db --readers 4 serve --port 2006
 """
 
 from __future__ import annotations
@@ -72,6 +73,16 @@ def _nonnegative_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
     if value < 0:
         raise argparse.ArgumentTypeError("must be at least 0")
+    return value
+
+
+def _port_number(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if not 1 <= value <= 65535:
+        raise argparse.ArgumentTypeError("must be a port between 1 and 65535")
     return value
 
 
@@ -234,6 +245,22 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         choices=sorted(ALL_ALGORITHMS),
         default=None,
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve queries over TCP (JSON lines; see repro.server)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="listen address (default: 127.0.0.1; 0.0.0.0 for all)",
+    )
+    serve.add_argument(
+        "--port",
+        type=_port_number,
+        default=2006,
+        help="listen port (default: 2006)",
     )
 
     history = commands.add_parser("history", help="show recent queries")
@@ -498,6 +525,24 @@ def _dispatch(args: argparse.Namespace, store: CrimsonStore, rng) -> int:
             rng=rng,
         )
         print(format_sweep_table(rows))
+        return 0
+
+    if args.command == "serve":
+        from repro.server import CrimsonServer
+        from repro.storage.wire import PROTOCOL_VERSION
+
+        server = CrimsonServer(store, host=args.host, port=args.port)
+        host, port = server.address
+        pool = store.pool.size if store.pool is not None else 0
+        print(
+            f"serving {args.db} on {host}:{port} "
+            f"(protocol {PROTOCOL_VERSION}, {pool} pooled readers, "
+            f"{store.shards} shard(s)); Ctrl-C to stop"
+        )
+        try:
+            server.serve_forever()
+        finally:
+            server.shutdown()
         return 0
 
     if args.command == "history":

@@ -44,6 +44,17 @@ class StorageError(CrimsonError):
     """
 
 
+class ProtocolError(CrimsonError):
+    """A wire message could not be understood.
+
+    Examples: a payload missing required fields, a malformed JSON-lines
+    frame, or a message stamped with a protocol version this build does
+    not speak.  Semantic problems inside a well-formed message (unknown
+    taxa, bad operation arguments) raise :class:`QueryError` or
+    :class:`StorageError` as usual.
+    """
+
+
 class QueryError(CrimsonError):
     """A structural query was given arguments it cannot satisfy.
 

@@ -1,0 +1,204 @@
+"""`RemoteSession`: the :class:`CrimsonSession` protocol over TCP.
+
+A remote session is the client half of ``crimson serve``: the same
+query interface as :class:`~repro.storage.api.LocalSession`, but every
+verb is one JSON-line round trip to a server process.  Results decode
+back into the in-process types (:class:`QueryResult`,
+:class:`NodeRow`, :class:`PhyloTree` projections, :class:`TreeInfo`,
+:class:`IntegrityReport`), and a failure response re-raises the *same
+typed* :class:`~repro.errors.CrimsonError` subclass the store raised
+server-side — so code written against a session, including the
+differential test suites, runs unchanged against a live server::
+
+    with RemoteSession("127.0.0.1", 2006) as session:
+        result = session.query(QueryRequest.lca("gold", "Lla", "Syn"))
+        print(result.node.name, result.duration_ms)
+
+A session owns one connection and serializes its round trips behind a
+lock, so sharing one across threads is safe but won't parallelize;
+open one session per worker thread or process to fan out (the server
+gives each connection its own thread and pooled reader).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from repro.errors import ProtocolError, StorageError
+from repro.server import protocol
+from repro.server.server import DEFAULT_PORT
+from repro.storage import wire
+from repro.storage.api import QueryRequest, QueryResult
+from repro.storage.maintenance import IntegrityReport
+from repro.storage.tree_repository import TreeInfo
+
+
+class RemoteSession:
+    """A client connection to a ``crimson serve`` process.
+
+    Parameters
+    ----------
+    host, port:
+        The server's listen address.
+    timeout:
+        Socket timeout in seconds for connecting and for each round
+        trip; ``None`` (the default) waits indefinitely.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float | None = None,
+    ) -> None:
+        self.address = (host, port)
+        try:
+            self._socket = socket.create_connection((host, port), timeout)
+        except OSError as error:
+            raise StorageError(
+                f"cannot reach a Crimson server at {host}:{port}: {error}"
+            ) from None
+        # Frames are small and latency-bound; never wait for Nagle.
+        self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._stream = self._socket.makefile("rwb")
+        self._lock = threading.Lock()
+        # close() must never wait on the round-trip lock (a hung call
+        # holds it), so the closed flag has its own tiny lock.
+        self._close_lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # One round trip
+    # ------------------------------------------------------------------
+
+    def _call(self, verb: str, payload: Any = None, *, record: bool = False):
+        host, port = self.address
+        with self._lock:
+            if self._closed:
+                raise StorageError(
+                    f"session to {host}:{port} is closed"
+                )
+            self._next_id += 1
+            request_id = self._next_id
+            try:
+                protocol.write_frame(
+                    self._stream,
+                    protocol.request_envelope(
+                        verb, payload, request_id=request_id, record=record
+                    ),
+                )
+                envelope = protocol.read_frame(self._stream)
+            except ProtocolError:
+                # The stream is no longer frame-aligned; the next call
+                # would pair stale bytes with the wrong request.
+                self.close()
+                raise
+            except (OSError, ValueError) as error:
+                # ValueError: the stream was closed under a blocked
+                # read by close() from another thread.  Either way the
+                # round trip died mid-flight — a late response could
+                # still arrive and mispair with the next request, so
+                # the session is done.
+                self.close()
+                raise StorageError(
+                    f"connection to {host}:{port} lost: {error}"
+                ) from None
+        if envelope is None:
+            raise StorageError(
+                f"server at {host}:{port} closed the connection"
+            )
+        try:
+            kind, body = protocol.parse_response(envelope)
+            if envelope.get("id") != request_id:
+                raise ProtocolError(
+                    f"response names request {envelope.get('id')!r}, "
+                    f"expected {request_id}"
+                )
+        except ProtocolError:
+            # Request/response pairing can no longer be trusted.
+            self.close()
+            raise
+        if kind == "error":
+            raise wire.decode_error(body)
+        return body
+
+    # ------------------------------------------------------------------
+    # The CrimsonSession protocol
+    # ------------------------------------------------------------------
+
+    def query(
+        self, request: QueryRequest, *, record: bool = False
+    ) -> QueryResult:
+        """Execute one typed query on the server; decode its result."""
+        payload = self._call(
+            "query", wire.encode_request(request), record=record
+        )
+        return wire.decode_result(payload)
+
+    def list_trees(self) -> list[TreeInfo]:
+        """Catalogue rows of every tree the server stores."""
+        payload = self._call("list_trees")
+        if not isinstance(payload, list):
+            raise ProtocolError("a list_trees result must be a list")
+        return [wire.decode_tree_info(row) for row in payload]
+
+    def describe(self, name: str) -> TreeInfo:
+        """Catalogue row of one stored tree."""
+        return wire.decode_tree_info(self._call("describe", {"name": name}))
+
+    def verify(self, tree: str | None = None) -> list[IntegrityReport]:
+        """Run the server's integrity sweep; decode the reports."""
+        payload = self._call("verify", {"tree": tree})
+        if not isinstance(payload, list):
+            raise ProtocolError("a verify result must be a list")
+        return [wire.decode_report(row) for row in payload]
+
+    def ping(self) -> dict[str, Any]:
+        """The server's identity: protocol version, store path, shape."""
+        payload = self._call("ping")
+        if not isinstance(payload, dict):
+            raise ProtocolError("a ping result must be an object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (idempotent, safe from any thread).
+
+        Never waits on an in-flight round trip: shutting the socket
+        down unblocks a reader stuck on a hung server, which then
+        surfaces :class:`StorageError` to its caller.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._stream.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        state = "closed" if self._closed else "open"
+        return f"RemoteSession({host}:{port}, {state})"

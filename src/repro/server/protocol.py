@@ -1,0 +1,156 @@
+"""JSON-lines framing for the Crimson RPC protocol.
+
+One request, one response, each a single JSON object on its own
+``\\n``-terminated UTF-8 line.  The *content* of every payload is
+defined by :mod:`repro.storage.wire`; this module only defines the
+envelopes around them and the line framing:
+
+Request envelope::
+
+    {"protocol": 1, "id": 7, "verb": "query",
+     "payload": {...}, "record": false}
+
+Response envelope (one of)::
+
+    {"protocol": 1, "id": 7, "ok": true,  "result": ...}
+    {"protocol": 1, "id": 7, "ok": false, "error": {"kind": ..., ...}}
+
+``id`` is an opaque client-chosen integer echoed back verbatim, so a
+client can pipeline requests on one connection and still pair answers.
+Verbs mirror the :class:`~repro.storage.api.CrimsonSession` protocol:
+``query``, ``list_trees``, ``describe``, ``verify``, and ``ping``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO, Mapping
+
+from repro.errors import ProtocolError
+from repro.storage.wire import PROTOCOL_VERSION, check_protocol, stamp
+
+VERBS: tuple[str, ...] = ("query", "list_trees", "describe", "verify", "ping")
+"""Verbs the server dispatches (the session protocol, minus ``close``)."""
+
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+"""Upper bound on one frame — a guard against unframed garbage."""
+
+
+def request_envelope(
+    verb: str,
+    payload: Any = None,
+    *,
+    request_id: int = 0,
+    record: bool = False,
+) -> dict[str, Any]:
+    """Build one request envelope (stamped with the protocol version)."""
+    return stamp(
+        {"id": request_id, "verb": verb, "payload": payload, "record": record}
+    )
+
+
+def response_envelope(request_id: Any, result: Any) -> dict[str, Any]:
+    """Build one success response."""
+    return stamp({"id": request_id, "ok": True, "result": result})
+
+
+def error_envelope(request_id: Any, error: Mapping[str, Any]) -> dict[str, Any]:
+    """Build one failure response around an encoded error payload."""
+    return stamp({"id": request_id, "ok": False, "error": dict(error)})
+
+
+def parse_request(envelope: Mapping[str, Any]) -> tuple[str, Any, bool]:
+    """Validate a request envelope; return ``(verb, payload, record)``.
+
+    Raises
+    ------
+    ProtocolError
+        On a version mismatch, an unknown verb, or a malformed shape.
+    """
+    check_protocol(envelope, "a request envelope")
+    verb = envelope.get("verb")
+    if verb not in VERBS:
+        raise ProtocolError(
+            f"unknown verb {verb!r}; expected one of {', '.join(VERBS)}"
+        )
+    return verb, envelope.get("payload"), bool(envelope.get("record", False))
+
+
+def parse_response(envelope: Mapping[str, Any]) -> Any:
+    """Validate a response envelope; return its result payload.
+
+    A failure response is *returned* as ``("error", payload)`` rather
+    than raised — the client decides how to surface the decoded error.
+    """
+    check_protocol(envelope, "a response envelope")
+    if "ok" not in envelope:
+        raise ProtocolError("a response envelope needs an 'ok' field")
+    if envelope["ok"]:
+        return "result", envelope.get("result")
+    error = envelope.get("error")
+    if not isinstance(error, Mapping):
+        raise ProtocolError("a failure response needs an 'error' object")
+    return "error", error
+
+
+def write_frame(stream: BinaryIO, envelope: Mapping[str, Any]) -> None:
+    """Serialize one envelope as a JSON line and flush it.
+
+    Raises
+    ------
+    ProtocolError
+        If the serialized frame exceeds :data:`MAX_FRAME_BYTES` —
+        raised *before* anything is written, so the stream stays
+        frame-aligned and the connection remains usable.
+    """
+    line = json.dumps(envelope, ensure_ascii=False, separators=(",", ":"))
+    encoded = line.encode("utf-8")
+    if len(encoded) >= MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(encoded)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit; narrow the request "
+            "(fewer taxa or pairs per call)"
+        )
+    stream.write(encoded + b"\n")
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> dict[str, Any] | None:
+    """Read one JSON-line envelope; ``None`` on a clean EOF.
+
+    Raises
+    ------
+    ProtocolError
+        On unparseable JSON, a non-object frame, or a frame longer than
+        :data:`MAX_FRAME_BYTES`.
+    """
+    line = stream.readline(MAX_FRAME_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame exceeds {MAX_FRAME_BYTES} bytes; not a Crimson peer?"
+        )
+    try:
+        envelope = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError(f"unparseable frame: {error}") from None
+    if not isinstance(envelope, dict):
+        raise ProtocolError(
+            f"a frame must be a JSON object, got {type(envelope).__name__}"
+        )
+    return envelope
+
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "VERBS",
+    "error_envelope",
+    "parse_request",
+    "parse_response",
+    "read_frame",
+    "request_envelope",
+    "response_envelope",
+    "write_frame",
+]

@@ -1,0 +1,239 @@
+"""The Crimson RPC server: a threaded TCP front-end over one store.
+
+The paper's Crimson is a shared repository serving many evaluation
+clients; PR 2/3 made one *process* scale (reader pool, shards), and
+this server makes the repository reachable from other processes.  Each
+client connection is handled on its own thread speaking JSON lines
+(:mod:`repro.server.protocol`); every verb executes through the exact
+in-process code path — :meth:`CrimsonStore.query`,
+:meth:`CrimsonStore.list_trees`, … — so a connection thread binds to
+its own pooled read-only reader (and warm per-thread row caches) on
+the store's shards, and N remote clients contend exactly as N local
+threads would: not at all.
+
+Run it from the CLI (``crimson --db crimson.db --readers 4 serve``) or
+embed it::
+
+    with CrimsonStore.open(path, readers=4) as store:
+        with CrimsonServer(store) as server:     # port 0 = ephemeral
+            host, port = server.address
+            ...                                  # serving in background
+
+Errors never tear down a connection: any :class:`CrimsonError` raised
+while handling a request is encoded (:func:`repro.storage.wire.
+encode_error`) and returned in a failure envelope, so the client
+re-raises the same typed exception.  Only an unparseable frame ends
+the conversation — after a best-effort error reply — because the
+stream can no longer be trusted to be frame-aligned.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Any
+
+from repro.errors import CrimsonError, ProtocolError
+from repro.server import protocol
+from repro.storage import wire
+
+DEFAULT_PORT = 2006
+"""The default ``crimson serve`` port (the paper's VLDB year)."""
+
+
+class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
+    # One daemon thread per connection; the listener socket reopens
+    # promptly after a restart.
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, crimson: "CrimsonServer") -> None:
+        self.crimson = crimson
+        super().__init__(address, handler)
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    """One client connection: a loop of frames until EOF."""
+
+    # Frames are small and latency-bound; never wait for Nagle.
+    disable_nagle_algorithm = True
+
+    def handle(self) -> None:
+        crimson: CrimsonServer = self.server.crimson
+        while True:
+            try:
+                envelope = protocol.read_frame(self.rfile)
+            except ProtocolError as error:
+                # The stream is no longer frame-aligned; answer once
+                # and hang up.
+                self._reply(protocol.error_envelope(
+                    None, wire.encode_error(error)
+                ))
+                return
+            except OSError:
+                return
+            if envelope is None:
+                return
+            request_id = envelope.get("id")
+            try:
+                response = protocol.response_envelope(
+                    request_id, crimson.dispatch(envelope)
+                )
+            except CrimsonError as error:
+                response = protocol.error_envelope(
+                    request_id, wire.encode_error(error)
+                )
+            except Exception as error:  # noqa: BLE001 - reported to client
+                response = protocol.error_envelope(
+                    request_id, wire.encode_error(error)
+                )
+            if not self._reply(response):
+                return
+
+    def _reply(self, response: dict[str, Any]) -> bool:
+        try:
+            protocol.write_frame(self.wfile, response)
+            return True
+        except ProtocolError as error:
+            # The result itself was too large for one frame; nothing
+            # was written, so a small typed error can take its place.
+            try:
+                protocol.write_frame(
+                    self.wfile,
+                    protocol.error_envelope(
+                        response.get("id"), wire.encode_error(error)
+                    ),
+                )
+                return True
+            except OSError:
+                return False
+        except OSError:
+            return False
+
+
+class CrimsonServer:
+    """Serve one store's :class:`CrimsonSession` verbs over TCP.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.storage.store.CrimsonStore` to serve.  Open
+        it with ``readers=N`` so connection threads read on pooled
+        read-only connections instead of the writer.  The server
+        borrows the store; closing the server does not close it.
+    host, port:
+        Listen address.  ``port=0`` binds an ephemeral port — read the
+        actual one from :attr:`address`.
+    """
+
+    def __init__(
+        self, store, host: str = "127.0.0.1", port: int = DEFAULT_PORT
+    ) -> None:
+        self.store = store
+        self._tcp = _ThreadedTCPServer((host, port), _ConnectionHandler, self)
+        self._thread: threading.Thread | None = None
+        self._serving = threading.Event()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` the server accepts connections on."""
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    # ------------------------------------------------------------------
+    # Verb dispatch (shared by every connection thread)
+    # ------------------------------------------------------------------
+
+    def dispatch(self, envelope: dict[str, Any]) -> Any:
+        """Execute one request envelope; return the result payload.
+
+        Raises whatever the store raises — the connection handler turns
+        exceptions into failure envelopes.
+        """
+        verb, payload, record = protocol.parse_request(envelope)
+        if verb == "ping":
+            return self._ping_payload()
+        if verb == "query":
+            request = wire.decode_request(payload)
+            result = self.store.query(request, record=record)
+            return wire.encode_result(result)
+        if verb == "list_trees":
+            return [
+                wire.encode_tree_info(info) for info in self.store.list_trees()
+            ]
+        if verb == "describe":
+            name = self._name_field(payload, "name", "a describe request")
+            return wire.encode_tree_info(self.store.describe(name))
+        assert verb == "verify"
+        if payload is not None and not isinstance(payload, dict):
+            raise ProtocolError("a verify request's payload must be an object")
+        tree = None
+        if payload is not None and payload.get("tree") is not None:
+            tree = self._name_field(payload, "tree", "a verify request")
+        return [
+            wire.encode_report(report) for report in self.store.verify(tree)
+        ]
+
+    @staticmethod
+    def _name_field(payload: Any, key: str, what: str) -> str:
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get(key), str
+        ):
+            raise ProtocolError(f"{what} needs a string {key!r} field")
+        return payload[key]
+
+    def _ping_payload(self) -> dict[str, Any]:
+        from repro.storage.api import service_info
+
+        return service_info(self.store, "tcp")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (blocking)."""
+        self._serving.set()
+        try:
+            self._tcp.serve_forever(poll_interval=0.1)
+        finally:
+            self._tcp.server_close()
+
+    def start(self) -> tuple[str, int]:
+        """Serve on a background daemon thread; return the bound address."""
+        if self._thread is None:
+            self._serving.set()
+            self._thread = threading.Thread(
+                target=self._tcp.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                name="crimson-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self.address
+
+    def shutdown(self) -> None:
+        """Stop accepting connections and release the socket (idempotent).
+
+        Safe to call whether the server is running in the background,
+        on another thread via :meth:`serve_forever`, or not at all.
+        """
+        # BaseServer.shutdown() blocks forever if serve_forever never
+        # ran, so only signal a loop that actually started.
+        if self._serving.is_set():
+            self._tcp.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._tcp.server_close()
+
+    def __enter__(self) -> "CrimsonServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        return f"CrimsonServer({self.store!r}, {host}:{port})"

@@ -7,7 +7,10 @@ as namespaces.  The layers underneath:
 
 * :mod:`repro.storage.store` — the store façade, shard routing, and
   typed query dispatch,
-* :mod:`repro.storage.api` — ``QueryRequest`` / ``QueryResult``,
+* :mod:`repro.storage.api` — ``QueryRequest`` / ``QueryResult``, the
+  ``CrimsonSession`` protocol, and the in-process ``LocalSession``,
+* :mod:`repro.storage.wire` — the versioned JSON wire codec the
+  sessions and the RPC front-end (:mod:`repro.server`) share,
 * :mod:`repro.storage.pool` — pooled read-only WAL connections and the
   per-shard connection bundle,
 * :mod:`repro.storage.database` — sqlite connection management,
@@ -40,7 +43,14 @@ from repro.storage.query_repository import HistoryEntry, QueryRepository
 from repro.storage.loader import DataLoader
 from repro.storage.projection import project_stored
 from repro.storage.maintenance import IntegrityReport, verify_store, verify_tree
-from repro.storage.api import OPERATIONS, QueryRequest, QueryResult
+from repro.storage.api import (
+    OPERATIONS,
+    CrimsonSession,
+    LocalSession,
+    QueryRequest,
+    QueryResult,
+)
+from repro.storage.wire import PROTOCOL_VERSION
 from repro.storage.pool import DEFAULT_POOL_SIZE, ReaderPool, Shard
 from repro.storage.store import CrimsonStore, shard_path
 
@@ -53,6 +63,9 @@ __all__ = [
     "OPERATIONS",
     "QueryRequest",
     "QueryResult",
+    "CrimsonSession",
+    "LocalSession",
+    "PROTOCOL_VERSION",
     "ReaderPool",
     "Shard",
     "shard_path",

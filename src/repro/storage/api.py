@@ -1,11 +1,20 @@
 """The typed query surface of the Crimson store.
 
-Callers — the CLI, the benchmarks, a future RPC front-end — describe a
+Callers — the CLI, the benchmarks, the RPC front-end — describe a
 query as a :class:`QueryRequest` and get a :class:`QueryResult` back from
 :meth:`repro.storage.store.CrimsonStore.query`.  The request is a plain
 frozen dataclass, so it can be built programmatically, serialized into
-the Query Repository's history, and validated once at construction
+the Query Repository's history or onto the wire
+(:mod:`repro.storage.wire`), and validated once at construction
 instead of at every dispatch site.
+
+Callers that only *query* should program against the
+:class:`CrimsonSession` protocol — the five operations plus the
+catalogue verbs (``list_trees``, ``describe``, ``verify``, ``ping``) —
+rather than the store itself.  :class:`LocalSession` adapts an
+in-process store; :class:`repro.server.RemoteSession` speaks the same
+protocol to a ``crimson serve`` process over TCP, so code (and tests)
+written against a session run unchanged either way.
 
 Supported operations
 --------------------
@@ -26,11 +35,13 @@ Supported operations
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence as SequenceABC
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Protocol, Sequence, runtime_checkable
 
 from repro.errors import QueryError
-from repro.storage.tree_repository import NodeRow
+from repro.storage.maintenance import IntegrityReport
+from repro.storage.tree_repository import NodeRow, TreeInfo
 from repro.trees.tree import PhyloTree
 
 OPERATIONS: tuple[str, ...] = ("lca", "lca_batch", "clade", "project", "match")
@@ -38,6 +49,51 @@ OPERATIONS: tuple[str, ...] = ("lca", "lca_batch", "clade", "project", "match")
 
 TaxonRef = int | str
 """A node referenced by taxon name or pre-order id."""
+
+
+def _checked_taxon(value: object, what: str) -> TaxonRef:
+    """Validate one taxon reference (name or pre-order id)."""
+    # bool is an int subclass, but True as "node 1" is never intended.
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise QueryError(
+            f"{what} must be a species name or pre-order id, got {value!r}"
+        )
+    return value
+
+
+def _checked_taxa(values: object) -> tuple[TaxonRef, ...]:
+    """Validate the ``taxa`` field shape: an iterable of taxon refs."""
+    if isinstance(values, (str, bytes)) or not isinstance(values, Iterable):
+        raise QueryError(
+            f"taxa must be a sequence of names or ids, got {values!r}"
+        )
+    return tuple(_checked_taxon(value, "a taxon") for value in values)
+
+
+def _checked_pairs(values: object) -> tuple[tuple[TaxonRef, TaxonRef], ...]:
+    """Validate the ``pairs`` field shape: an iterable of 2-sequences."""
+    if isinstance(values, (str, bytes)) or not isinstance(values, Iterable):
+        raise QueryError(
+            f"pairs must be a sequence of (a, b) pairs, got {values!r}"
+        )
+    checked: list[tuple[TaxonRef, TaxonRef]] = []
+    for pair in values:
+        if isinstance(pair, (str, bytes)) or not isinstance(
+            pair, SequenceABC
+        ):
+            raise QueryError(f"each pair must be two taxa, got {pair!r}")
+        if len(pair) != 2:
+            raise QueryError(
+                f"each pair must be exactly two taxa, got {len(pair)} "
+                f"in {tuple(pair)!r}"
+            )
+        checked.append(
+            (
+                _checked_taxon(pair[0], "a pair member"),
+                _checked_taxon(pair[1], "a pair member"),
+            )
+        )
+    return tuple(checked)
 
 
 @dataclass(frozen=True)
@@ -65,10 +121,8 @@ class QueryRequest:
             )
         if not self.tree:
             raise QueryError("a query request needs a tree name")
-        object.__setattr__(self, "taxa", tuple(self.taxa))
-        object.__setattr__(
-            self, "pairs", tuple((a, b) for a, b in self.pairs)
-        )
+        object.__setattr__(self, "taxa", _checked_taxa(self.taxa))
+        object.__setattr__(self, "pairs", _checked_pairs(self.pairs))
         if self.operation in ("lca", "clade", "project") and not self.taxa:
             raise QueryError(f"{self.operation!r} needs at least one taxon")
         if self.operation == "lca_batch" and not self.pairs:
@@ -161,7 +215,9 @@ class QueryResult:
         """One-line result description (recorded in the query history)."""
         operation = self.request.operation
         if operation == "lca":
-            row = self.nodes[0]
+            # Through the accessor: an empty result raises QueryError
+            # instead of IndexError.
+            row = self.node
             return str(row.name or row.node_id)
         if operation == "lca_batch":
             return f"{len(self.nodes)} pairs"
@@ -172,3 +228,130 @@ class QueryResult:
             return f"{self.projection.size()} nodes"
         assert operation == "match"
         return f"matched={self.matched}"
+
+
+def service_info(store, transport: str) -> dict[str, Any]:
+    """The ``ping`` payload of a session over ``store``.
+
+    One definition for every transport, so the shape cannot drift
+    between :class:`LocalSession` and the RPC server.
+    """
+    from repro.storage.wire import PROTOCOL_VERSION
+
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "transport": transport,
+        "store": str(store.db.path),
+        "shards": store.shards,
+        "trees": store.tree_count(),
+    }
+
+
+@runtime_checkable
+class CrimsonSession(Protocol):
+    """The one query interface of a Crimson service, local or remote.
+
+    Callers program against this protocol instead of
+    :class:`~repro.storage.store.CrimsonStore` directly: the same five
+    query operations plus the catalogue verbs, whether the store lives
+    in this process (:class:`LocalSession`) or behind a TCP server
+    (:class:`repro.server.RemoteSession`).  Both implementations raise
+    the same typed :class:`~repro.errors.CrimsonError` subclasses, so
+    call sites — and the differential test suites — run unchanged
+    against either.
+    """
+
+    def query(
+        self, request: QueryRequest, *, record: bool = False
+    ) -> QueryResult:
+        """Execute one typed query and return its timed result."""
+        ...
+
+    def list_trees(self) -> list[TreeInfo]:
+        """Catalogue rows of every stored tree."""
+        ...
+
+    def describe(self, name: str) -> TreeInfo:
+        """Catalogue row of one stored tree."""
+        ...
+
+    def verify(self, tree: str | None = None) -> list[IntegrityReport]:
+        """Integrity reports for one tree, or for every stored tree."""
+        ...
+
+    def ping(self) -> dict[str, Any]:
+        """Liveness / identity check (protocol version, store shape)."""
+        ...
+
+    def close(self) -> None:
+        """Release the session's resources (idempotent)."""
+        ...
+
+
+class LocalSession:
+    """:class:`CrimsonSession` over an in-process store.
+
+    A thin adapter: every verb delegates to the owning
+    :class:`~repro.storage.store.CrimsonStore`, whose reader pool
+    already binds each calling thread to its own connection.  Get one
+    from :meth:`~repro.storage.store.CrimsonStore.session`, or own the
+    store outright with :meth:`LocalSession.open`::
+
+        with LocalSession.open("crimson.db", readers=4) as session:
+            result = session.query(QueryRequest.lca("gold", "Lla", "Syn"))
+
+    Parameters
+    ----------
+    store:
+        The store to adapt.
+    owns_store:
+        Close the store when the session closes.  ``False`` (the
+        default) for sessions borrowed from a longer-lived store;
+        :meth:`open` sets it.
+    """
+
+    def __init__(self, store, *, owns_store: bool = False) -> None:
+        self.store = store
+        self._owns_store = owns_store
+
+    @classmethod
+    def open(cls, path=":memory:", **kwargs) -> "LocalSession":
+        """Open a store at ``path`` and wrap it in an owning session.
+
+        Keyword arguments are passed through to
+        :meth:`~repro.storage.store.CrimsonStore.open`.
+        """
+        from repro.storage.store import CrimsonStore
+
+        return cls(CrimsonStore.open(path, **kwargs), owns_store=True)
+
+    def query(
+        self, request: QueryRequest, *, record: bool = False
+    ) -> QueryResult:
+        return self.store.query(request, record=record)
+
+    def list_trees(self) -> list[TreeInfo]:
+        return self.store.list_trees()
+
+    def describe(self, name: str) -> TreeInfo:
+        return self.store.describe(name)
+
+    def verify(self, tree: str | None = None) -> list[IntegrityReport]:
+        return self.store.verify(tree)
+
+    def ping(self) -> dict[str, Any]:
+        return service_info(self.store, "local")
+
+    def close(self) -> None:
+        if self._owns_store:
+            self.store.close()
+
+    def __enter__(self) -> "LocalSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        owns = ", owning" if self._owns_store else ""
+        return f"LocalSession({self.store!r}{owns})"

@@ -360,6 +360,47 @@ class CrimsonStore:
         # so pooled readers never serialize behind the writer.
         return TreeRepository(DatabaseFacade(reader)).info(name)
 
+    def list_trees(self):
+        """Catalogue rows of every stored tree, on this thread's reader.
+
+        Unlike ``store.trees.list_trees()`` (which reads on the writer
+        connection), this runs on the calling thread's pooled reader, so
+        catalogue listings from many server threads never contend with
+        the writer.  Returns a list of
+        :class:`~repro.storage.tree_repository.TreeInfo`.
+        """
+        return TreeRepository(
+            DatabaseFacade(self.reader_database())
+        ).list_trees()
+
+    def tree_count(self) -> int:
+        """Number of stored trees — one aggregate on this thread's reader."""
+        row = self.reader_database().query_one(
+            "SELECT COUNT(*) AS n FROM trees"
+        )
+        return int(row["n"])
+
+    def describe(self, name: str):
+        """Catalogue row of one stored tree, on this thread's reader.
+
+        Raises
+        ------
+        StorageError
+            If no tree of that name is stored.
+        """
+        return self._resolve_info(self.reader_database(), name)
+
+    def session(self):
+        """A :class:`~repro.storage.api.LocalSession` over this store.
+
+        The session borrows the store (closing it does not close the
+        store) and presents the same :class:`CrimsonSession` protocol a
+        :class:`repro.server.RemoteSession` does.
+        """
+        from repro.storage.api import LocalSession
+
+        return LocalSession(self)
+
     def open_tree(
         self, name: str, cache_size: int | None = None
     ) -> StoredTree:

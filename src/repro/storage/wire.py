@@ -1,0 +1,315 @@
+"""Versioned wire codec for the Crimson query surface.
+
+Everything a :class:`~repro.storage.api.CrimsonSession` exchanges with
+a remote store round-trips through this module as plain JSON-friendly
+dicts: :class:`~repro.storage.api.QueryRequest`,
+:class:`~repro.storage.api.QueryResult` (including
+:class:`~repro.storage.tree_repository.NodeRow` rows and
+:class:`~repro.trees.tree.PhyloTree` projections, carried as Newick),
+catalogue rows, integrity reports, and typed
+:class:`~repro.errors.CrimsonError` payloads.  The codec is the *only*
+place the wire shape is defined — the RPC server and client
+(:mod:`repro.server`) frame these dicts as JSON lines and never reach
+into their fields.
+
+Every encoded message carries ``"protocol": PROTOCOL_VERSION``.
+Decoders reject messages stamped with a different version (or none)
+with :class:`~repro.errors.ProtocolError`, so a future incompatible
+codec can bump the constant and old peers fail loudly instead of
+misreading fields.  Malformed payloads — missing keys, wrong types —
+also raise :class:`~repro.errors.ProtocolError`; *semantic* errors
+inside a well-formed message (an unknown operation, an empty taxon
+list) surface as the usual :class:`~repro.errors.QueryError` because
+decoding a request re-runs :class:`QueryRequest` validation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import repro.errors as _errors
+from repro.errors import CrimsonError, ProtocolError
+from repro.storage.api import QueryRequest, QueryResult
+from repro.storage.maintenance import IntegrityReport
+from repro.storage.tree_repository import NodeRow, TreeInfo
+from repro.trees.newick import parse_newick, write_newick
+from repro.trees.tree import PhyloTree
+
+PROTOCOL_VERSION = 1
+"""The wire protocol this build speaks (bump on incompatible change)."""
+
+#: Error kinds the codec round-trips by name; anything unlisted decodes
+#: as the base CrimsonError so callers can still catch it.
+ERROR_KINDS: dict[str, type[CrimsonError]] = {
+    cls.__name__: cls
+    for cls in vars(_errors).values()
+    if isinstance(cls, type) and issubclass(cls, CrimsonError)
+}
+
+
+def stamp(payload: dict[str, Any]) -> dict[str, Any]:
+    """Return ``payload`` with the protocol version stamped in."""
+    payload["protocol"] = PROTOCOL_VERSION
+    return payload
+
+
+def check_protocol(payload: Mapping[str, Any], what: str) -> None:
+    """Reject a payload this codec does not speak.
+
+    Raises
+    ------
+    ProtocolError
+        If ``payload`` is not a mapping, carries no ``protocol`` stamp,
+        or is stamped with a version other than :data:`PROTOCOL_VERSION`.
+    """
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(f"{what} must be a JSON object, got {payload!r}")
+    version = payload.get("protocol")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"{what} speaks protocol {version!r}; this build speaks "
+            f"{PROTOCOL_VERSION}"
+        )
+
+
+def _field(payload: Mapping[str, Any], key: str, what: str) -> Any:
+    try:
+        return payload[key]
+    except (KeyError, TypeError):
+        raise ProtocolError(f"{what} is missing the {key!r} field") from None
+
+
+# ----------------------------------------------------------------------
+# QueryRequest
+# ----------------------------------------------------------------------
+
+def encode_request(request: QueryRequest) -> dict[str, Any]:
+    """Encode a request as a JSON-friendly dict (tuples become lists)."""
+    return stamp(
+        {
+            "operation": request.operation,
+            "tree": request.tree,
+            "taxa": list(request.taxa),
+            "pairs": [list(pair) for pair in request.pairs],
+            "pattern": request.pattern,
+            "ordered": request.ordered,
+        }
+    )
+
+
+def decode_request(payload: Mapping[str, Any]) -> QueryRequest:
+    """Decode and *re-validate* a request.
+
+    Shape problems raise :class:`ProtocolError`; a well-formed payload
+    describing an invalid request (unknown operation, empty taxa, a
+    malformed pair) raises :class:`~repro.errors.QueryError` from the
+    :class:`QueryRequest` constructor — the same error an in-process
+    caller would see.
+    """
+    check_protocol(payload, "a query request")
+    operation = _field(payload, "operation", "a query request")
+    tree = _field(payload, "tree", "a query request")
+    if not isinstance(operation, str) or not isinstance(tree, str):
+        raise ProtocolError(
+            "a query request's 'operation' and 'tree' must be strings"
+        )
+    pattern = payload.get("pattern")
+    if pattern is not None and not isinstance(pattern, str):
+        raise ProtocolError("a query request's 'pattern' must be a string")
+    return QueryRequest(
+        operation=operation,
+        tree=tree,
+        taxa=payload.get("taxa", ()),
+        pairs=payload.get("pairs", ()),
+        pattern=pattern,
+        ordered=bool(payload.get("ordered", True)),
+    )
+
+
+# ----------------------------------------------------------------------
+# NodeRow and PhyloTree
+# ----------------------------------------------------------------------
+
+def encode_node_row(row: NodeRow) -> dict[str, Any]:
+    return {
+        "node_id": row.node_id,
+        "parent_id": row.parent_id,
+        "child_order": row.child_order,
+        "name": row.name,
+        "edge_length": row.edge_length,
+        "depth": row.depth,
+        "dist_from_root": row.dist_from_root,
+        "pre_order_end": row.pre_order_end,
+        "is_leaf": row.is_leaf,
+    }
+
+
+def decode_node_row(payload: Mapping[str, Any]) -> NodeRow:
+    try:
+        return NodeRow(
+            node_id=payload["node_id"],
+            parent_id=payload["parent_id"],
+            child_order=payload["child_order"],
+            name=payload["name"],
+            edge_length=payload["edge_length"],
+            depth=payload["depth"],
+            dist_from_root=payload["dist_from_root"],
+            pre_order_end=payload["pre_order_end"],
+            is_leaf=bool(payload["is_leaf"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise ProtocolError(f"malformed node row: {error}") from None
+
+
+def encode_tree(tree: PhyloTree) -> dict[str, Any]:
+    """A projection on the wire: its Newick text plus the tree name.
+
+    ``write_newick`` emits shortest-round-trip floats, so branch
+    lengths survive bit-for-bit; quoted labels cover names with spaces,
+    quotes, or Newick structure characters.
+    """
+    return {"newick": write_newick(tree), "name": tree.name}
+
+
+def decode_tree(payload: Mapping[str, Any]) -> PhyloTree:
+    newick = _field(payload, "newick", "an encoded tree")
+    if not isinstance(newick, str):
+        raise ProtocolError("an encoded tree's 'newick' must be a string")
+    tree = parse_newick(newick)
+    tree.name = payload.get("name")
+    return tree
+
+
+# ----------------------------------------------------------------------
+# QueryResult
+# ----------------------------------------------------------------------
+
+def encode_result(result: QueryResult) -> dict[str, Any]:
+    """Encode a result with its request embedded (for replay/audit)."""
+    return stamp(
+        {
+            "request": encode_request(result.request),
+            "duration_ms": result.duration_ms,
+            "nodes": [encode_node_row(row) for row in result.nodes],
+            "projection": (
+                encode_tree(result.projection)
+                if result.projection is not None
+                else None
+            ),
+            "matched": result.matched,
+            "similarity": result.similarity,
+        }
+    )
+
+
+def decode_result(payload: Mapping[str, Any]) -> QueryResult:
+    check_protocol(payload, "a query result")
+    request = decode_request(_field(payload, "request", "a query result"))
+    nodes = _field(payload, "nodes", "a query result")
+    if not isinstance(nodes, list):
+        raise ProtocolError("a query result's 'nodes' must be a list")
+    projection = payload.get("projection")
+    duration = _field(payload, "duration_ms", "a query result")
+    if isinstance(duration, bool) or not isinstance(duration, (int, float)):
+        raise ProtocolError(
+            f"a query result's 'duration_ms' must be a number, "
+            f"got {duration!r}"
+        )
+    return QueryResult(
+        request=request,
+        duration_ms=float(duration),
+        nodes=tuple(decode_node_row(row) for row in nodes),
+        projection=(
+            decode_tree(projection) if projection is not None else None
+        ),
+        matched=payload.get("matched"),
+        similarity=payload.get("similarity"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Catalogue rows and integrity reports
+# ----------------------------------------------------------------------
+
+def encode_tree_info(info: TreeInfo) -> dict[str, Any]:
+    return {
+        "tree_id": info.tree_id,
+        "name": info.name,
+        "n_nodes": info.n_nodes,
+        "n_leaves": info.n_leaves,
+        "max_depth": info.max_depth,
+        "f": info.f,
+        "n_layers": info.n_layers,
+        "n_blocks": info.n_blocks,
+        "created_at": info.created_at,
+        "description": info.description,
+        "shard": info.shard,
+    }
+
+
+def decode_tree_info(payload: Mapping[str, Any]) -> TreeInfo:
+    try:
+        return TreeInfo(
+            tree_id=payload["tree_id"],
+            name=payload["name"],
+            n_nodes=payload["n_nodes"],
+            n_leaves=payload["n_leaves"],
+            max_depth=payload["max_depth"],
+            f=payload["f"],
+            n_layers=payload["n_layers"],
+            n_blocks=payload["n_blocks"],
+            created_at=payload["created_at"],
+            description=payload["description"],
+            shard=payload.get("shard", 0),
+        )
+    except (KeyError, TypeError) as error:
+        raise ProtocolError(f"malformed catalogue row: {error}") from None
+
+
+def encode_report(report: IntegrityReport) -> dict[str, Any]:
+    return {"tree_name": report.tree_name, "problems": list(report.problems)}
+
+
+def decode_report(payload: Mapping[str, Any]) -> IntegrityReport:
+    problems = _field(payload, "problems", "an integrity report")
+    if not isinstance(problems, list):
+        raise ProtocolError("an integrity report's 'problems' must be a list")
+    return IntegrityReport(
+        tree_name=_field(payload, "tree_name", "an integrity report"),
+        problems=list(problems),
+    )
+
+
+# ----------------------------------------------------------------------
+# Typed errors
+# ----------------------------------------------------------------------
+
+def encode_error(error: BaseException) -> dict[str, Any]:
+    """Encode an exception as ``{"kind": ..., "message": ...}``.
+
+    Crimson errors keep their class name so the far side re-raises the
+    same type; anything else is reported as the base ``CrimsonError``
+    (the message still names the original class).
+    """
+    if isinstance(error, CrimsonError):
+        return stamp(
+            {"kind": type(error).__name__, "message": str(error)}
+        )
+    return stamp(
+        {
+            "kind": "CrimsonError",
+            "message": f"{type(error).__name__}: {error}",
+        }
+    )
+
+
+def decode_error(payload: Mapping[str, Any]) -> CrimsonError:
+    """Rebuild the typed exception an error payload describes."""
+    check_protocol(payload, "an error payload")
+    kind = _field(payload, "kind", "an error payload")
+    message = _field(payload, "message", "an error payload")
+    if not isinstance(kind, str):
+        raise ProtocolError(
+            f"an error payload's 'kind' must be a string, got {kind!r}"
+        )
+    return ERROR_KINDS.get(kind, CrimsonError)(message)

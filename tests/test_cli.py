@@ -57,8 +57,45 @@ class TestParser:
             ["lca", "t", "a", "b"],
             ["benchmark", "t", "-k", "5"],
             ["simulate", "--name", "x"],
+            ["serve", "--port", "2006"],
         ):
             assert parser.parse_args(command).command == command[0]
+
+
+class TestArgumentValidation:
+    """Bad numeric flags exit 2 with a one-line message, no traceback."""
+
+    BAD_FLAGS = [
+        (["--readers", "-1", "list"], "must be at least 0"),
+        (["--readers", "many", "list"], "is not an integer"),
+        (["--shards", "0", "list"], "must be at least 1"),
+        (["--shards", "-3", "list"], "must be at least 1"),
+        (["--cache-size", "0", "list"], "must be at least 1"),
+        (["serve", "--port", "0"], "between 1 and 65535"),
+        (["serve", "--port", "65536"], "between 1 and 65535"),
+        (["serve", "--port", "meh"], "is not an integer"),
+    ]
+
+    @pytest.mark.parametrize(
+        "argv, message", BAD_FLAGS, ids=lambda v: " ".join(v) if isinstance(v, list) else v
+    )
+    def test_clean_one_line_error(self, dbpath, argv, message, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--db", dbpath, *argv])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert message in err
+        assert "Traceback" not in err
+
+    def test_valid_flags_still_accepted(self, loaded, capsys):
+        assert (
+            main(
+                ["--db", loaded, "--readers", "2", "--shards", "1",
+                 "lca", "demo", "a", "b"]
+            )
+            == 0
+        )
+        assert "LCA:" in capsys.readouterr().out
 
 
 class TestLoadAndCatalogue:

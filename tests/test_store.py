@@ -151,6 +151,43 @@ class TestQueryRequestValidation:
         request = QueryRequest.lca_batch("t", [["a", "b"]])
         assert request.pairs == (("a", "b"),)
 
+    def test_triple_in_pairs_is_query_error(self):
+        # Regression: shape problems escaped as ValueError before.
+        with pytest.raises(QueryError, match="exactly two taxa"):
+            QueryRequest.lca_batch("t", [("a", "b", "c")])
+
+    def test_bare_int_in_pairs_is_query_error(self):
+        # Regression: a non-sequence pair escaped as TypeError before.
+        with pytest.raises(QueryError, match="must be two taxa"):
+            QueryRequest.lca_batch("t", [7])  # type: ignore[list-item]
+
+    def test_string_pair_is_query_error(self):
+        # "ab" is length-2 and iterable, but is one taxon, not a pair.
+        with pytest.raises(QueryError, match="must be two taxa"):
+            QueryRequest.lca_batch("t", ["ab"])  # type: ignore[list-item]
+
+    def test_non_iterable_pairs_is_query_error(self):
+        with pytest.raises(QueryError, match="pairs must be a sequence"):
+            QueryRequest(operation="lca_batch", tree="t", pairs=3)
+
+    def test_bool_taxon_is_query_error(self):
+        # bool is an int subclass; "node True" is never intended.
+        with pytest.raises(QueryError, match="species name or pre-order"):
+            QueryRequest.lca("t", True, "b")  # type: ignore[arg-type]
+
+    def test_non_taxon_in_pair_is_query_error(self):
+        with pytest.raises(QueryError, match="species name or pre-order"):
+            QueryRequest.lca_batch("t", [("a", 1.5)])  # type: ignore[list-item]
+
+    def test_empty_lca_summary_is_query_error(self):
+        # Regression: summary() indexed nodes[0] and raised IndexError
+        # on an empty result; the .node accessor reports it properly.
+        result = QueryResult(
+            request=QueryRequest.lca("t", "a", "b"), duration_ms=0.0
+        )
+        with pytest.raises(QueryError, match="0 rows"):
+            result.summary()
+
     def test_params_round_trip(self):
         assert QueryRequest.lca("t", "a", "b").params() == {"taxa": ["a", "b"]}
         assert QueryRequest.match("t", "(a,b);").params() == {

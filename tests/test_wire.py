@@ -1,0 +1,282 @@
+"""The wire codec: JSON round-trips of requests, results, and errors.
+
+Every payload crosses a real ``json.dumps``/``json.loads`` boundary in
+these tests, so nothing non-serializable or lossy (tuples, floats,
+unicode, quoted Newick labels) can hide in the encoded dicts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.errors as errors_module
+from repro.errors import (
+    CrimsonError,
+    ProtocolError,
+    QueryError,
+    StorageError,
+)
+from repro.storage import wire
+from repro.storage.api import QueryRequest, QueryResult
+from repro.storage.maintenance import IntegrityReport
+from repro.storage.store import CrimsonStore
+from repro.trees.build import sample_tree
+from repro.trees.newick import write_newick
+
+
+def over_json(payload):
+    """Force a payload through an actual JSON byte boundary."""
+    return json.loads(json.dumps(payload, ensure_ascii=False))
+
+
+# Taxon names exercising unicode, Newick metacharacters, quotes, and
+# the underscore-for-space convention.
+TRICKY_NAMES = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_characters="\x00", exclude_categories=("Cs",)
+    ),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s.strip() == s and s != "")
+
+taxon_refs = st.one_of(st.integers(min_value=0, max_value=10**6), TRICKY_NAMES)
+
+
+def requests_for(operation: str):
+    """A hypothesis strategy of valid requests for one operation."""
+    tree = TRICKY_NAMES
+    if operation == "lca_batch":
+        return st.builds(
+            QueryRequest.lca_batch,
+            tree,
+            st.lists(st.tuples(taxon_refs, taxon_refs), min_size=1, max_size=5),
+        )
+    if operation == "match":
+        return st.builds(
+            QueryRequest.match,
+            tree,
+            st.just("((a,b),c);"),
+            ordered=st.booleans(),
+        )
+    taxa = (
+        st.lists(TRICKY_NAMES, min_size=1, max_size=5)
+        if operation == "project"
+        else st.lists(taxon_refs, min_size=1, max_size=5)
+    )
+    constructor = getattr(QueryRequest, operation)
+    return st.builds(lambda t, xs: constructor(t, *xs), tree, taxa)
+
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize(
+        "operation", ["lca", "lca_batch", "clade", "project", "match"]
+    )
+    def test_every_operation_round_trips(self, operation):
+        @SETTINGS
+        @given(request=requests_for(operation))
+        def check(request):
+            decoded = wire.decode_request(
+                over_json(wire.encode_request(request))
+            )
+            assert decoded == request
+
+        check()
+
+    def test_unicode_taxa_survive(self):
+        request = QueryRequest.lca("gold", "Δrosophila", "果蝇", "Δ'quoted'")
+        assert (
+            wire.decode_request(over_json(wire.encode_request(request)))
+            == request
+        )
+
+    def test_decoded_request_is_revalidated(self):
+        payload = over_json(
+            wire.encode_request(QueryRequest.lca("gold", "a", "b"))
+        )
+        payload["taxa"] = []
+        with pytest.raises(QueryError):
+            wire.decode_request(payload)
+        payload["taxa"] = [["not", "a"], "taxon"]
+        with pytest.raises(QueryError):
+            wire.decode_request(payload)
+
+    def test_bad_duration_is_protocol_error(self):
+        result = QueryResult(
+            request=QueryRequest.lca("t", "a", "b"), duration_ms=1.5
+        )
+        payload = over_json(wire.encode_result(result))
+        for bad in (None, "fast", True):
+            payload["duration_ms"] = bad
+            with pytest.raises(ProtocolError, match="duration_ms"):
+                wire.decode_result(payload)
+
+    def test_malformed_shape_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            wire.decode_request(
+                wire.stamp({"operation": "lca"})  # no tree field
+            )
+        with pytest.raises(ProtocolError):
+            wire.decode_request(wire.stamp({"operation": 3, "tree": "t"}))
+        with pytest.raises(ProtocolError):
+            wire.decode_request("not a mapping")
+
+
+@pytest.fixture
+def stored_store():
+    with CrimsonStore.open() as store:
+        store.trees.store_tree(sample_tree(), f=2)
+        yield store
+
+
+class TestResultRoundTrip:
+    REQUESTS = {
+        "lca": lambda t: QueryRequest.lca(t, "Lla", "Syn"),
+        "lca_batch": lambda t: QueryRequest.lca_batch(
+            t, [("Lla", "Spy"), ("Bha", "Syn")]
+        ),
+        "clade": lambda t: QueryRequest.clade(t, "Lla", "Spy"),
+        "project": lambda t: QueryRequest.project(t, "Lla", "Syn", "Bha"),
+        "match": lambda t: QueryRequest.match(t, "(Lla,Spy);"),
+    }
+
+    @pytest.mark.parametrize("operation", sorted(REQUESTS))
+    def test_every_operation_result_round_trips(
+        self, stored_store, operation
+    ):
+        request = self.REQUESTS[operation]("fig1-sample")
+        result = stored_store.query(request)
+        decoded = wire.decode_result(over_json(wire.encode_result(result)))
+        assert decoded.request == request
+        assert decoded.duration_ms == result.duration_ms
+        assert decoded.nodes == result.nodes
+        assert decoded.matched == result.matched
+        assert decoded.similarity == result.similarity
+        if result.projection is None:
+            assert decoded.projection is None
+        else:
+            assert write_newick(decoded.projection) == write_newick(
+                result.projection
+            )
+            assert decoded.projection.name == result.projection.name
+
+    def test_quoted_newick_names_survive(self):
+        from repro.trees.newick import parse_newick
+
+        tree = parse_newick("('it''s a leaf':1.5,'with space':2.25)root;")
+        tree.name = "quoted"
+        result = QueryResult(
+            request=QueryRequest.project("t", "x"),
+            duration_ms=1.0,
+            projection=tree,
+        )
+        decoded = wire.decode_result(over_json(wire.encode_result(result)))
+        assert decoded.projection.leaf_names() == ["it's a leaf", "with space"]
+        assert decoded.projection.name == "quoted"
+        assert write_newick(decoded.projection) == write_newick(tree)
+
+    def test_node_rows_survive_bit_for_bit(self, stored_store):
+        result = stored_store.query(
+            QueryRequest.clade("fig1-sample", "Lla", "Syn")
+        )
+        decoded = wire.decode_result(over_json(wire.encode_result(result)))
+        assert decoded.nodes == result.nodes
+        assert all(
+            type(row.dist_from_root) is float for row in decoded.nodes
+        )
+
+
+class TestCatalogueAndReports:
+    def test_tree_info_round_trips(self, stored_store):
+        info = stored_store.describe("fig1-sample")
+        assert wire.decode_tree_info(
+            over_json(wire.encode_tree_info(info))
+        ) == info
+
+    def test_report_round_trips(self):
+        report = IntegrityReport("gold", problems=["block 3 broke", "läuft"])
+        decoded = wire.decode_report(over_json(wire.encode_report(report)))
+        assert decoded.tree_name == report.tree_name
+        assert decoded.problems == report.problems
+        assert not decoded.ok
+
+
+class TestErrorRoundTrip:
+    ALL_ERRORS = sorted(wire.ERROR_KINDS)
+
+    def test_registry_covers_the_hierarchy(self):
+        assert set(self.ALL_ERRORS) == {
+            name
+            for name, cls in vars(errors_module).items()
+            if isinstance(cls, type) and issubclass(cls, CrimsonError)
+        }
+
+    @pytest.mark.parametrize("kind", ALL_ERRORS)
+    def test_every_kind_round_trips(self, kind):
+        error = wire.ERROR_KINDS[kind]("something Δroke")
+        decoded = wire.decode_error(over_json(wire.encode_error(error)))
+        assert type(decoded) is wire.ERROR_KINDS[kind]
+        assert str(decoded) == "something Δroke"
+
+    def test_unhashable_kind_is_protocol_error(self):
+        payload = wire.stamp({"kind": ["QueryError"], "message": "x"})
+        with pytest.raises(ProtocolError, match="'kind' must be a string"):
+            wire.decode_error(payload)
+
+    def test_unknown_kind_decodes_as_base_error(self):
+        payload = wire.stamp({"kind": "FutureError", "message": "hm"})
+        decoded = wire.decode_error(payload)
+        assert type(decoded) is CrimsonError
+
+    def test_foreign_exception_encodes_as_base_error(self):
+        payload = wire.encode_error(ValueError("out of range"))
+        assert payload["kind"] == "CrimsonError"
+        assert "ValueError" in payload["message"]
+        assert "out of range" in payload["message"]
+
+
+class TestProtocolVersionGate:
+    def future(self, payload):
+        payload = dict(payload)
+        payload["protocol"] = wire.PROTOCOL_VERSION + 1
+        return payload
+
+    def test_future_request_rejected(self):
+        payload = self.future(
+            wire.encode_request(QueryRequest.lca("t", "a", "b"))
+        )
+        with pytest.raises(ProtocolError, match="speaks protocol"):
+            wire.decode_request(payload)
+
+    def test_future_result_rejected(self, ):
+        result = QueryResult(
+            request=QueryRequest.lca("t", "a", "b"), duration_ms=0.0
+        )
+        with pytest.raises(ProtocolError, match="speaks protocol"):
+            wire.decode_result(self.future(wire.encode_result(result)))
+
+    def test_future_error_rejected(self):
+        payload = self.future(wire.encode_error(StorageError("x")))
+        with pytest.raises(ProtocolError):
+            wire.decode_error(payload)
+
+    def test_missing_stamp_rejected(self):
+        with pytest.raises(ProtocolError):
+            wire.decode_request(
+                {"operation": "lca", "tree": "t", "taxa": ["a", "b"]}
+            )
+
+    def test_protocol_error_is_a_crimson_error(self):
+        # The CLI and clients catch CrimsonError; version skew must land
+        # in the same net.
+        assert issubclass(ProtocolError, CrimsonError)
