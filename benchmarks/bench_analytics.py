@@ -1,0 +1,281 @@
+"""Stored-tree analytics benchmark: catalogue-wide consensus in place.
+
+The subsystem's claim: cross-tree analytics — Robinson–Foulds
+comparison, all-pairs distance matrices, majority-rule consensus over
+a 64-tree profile — run *directly from stored rows* through the
+engine's cached batch scans, returning answers **byte-identical** (as
+quoted Newick / exact figures) to the in-memory references on the
+materialized trees, with a **zero-statement warm path**, a writer that
+stays **idle**, and **zero reader lock errors** — locally and through
+a live ``crimson serve`` RemoteSession.
+
+The bench stores a simulated profile (one base topology plus SPR
+noise, all on one leaf set), then measures:
+
+* SQL statements for cold vs warm ``consensus`` / ``compare`` /
+  ``distance_matrix`` on a single-connection store,
+* wall time of stored consensus vs in-memory consensus (including the
+  cost of materializing all N trees first — what the in-memory path
+  forces on every caller),
+* local vs remote parity and writer idleness on a pooled file store
+  behind a live TCP server.
+
+Figures are emitted as JSON (committed as ``BENCH_analytics.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_analytics.py [out.json] [--smoke]
+
+``--smoke`` shrinks the profile to a seconds-long CI guard.  Run as a
+pytest bench it asserts the acceptance properties: byte-identical
+consensus Newick across in-memory / LocalSession / RemoteSession, zero
+warm statements, zero writer statements, zero lock errors.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.benchmark.consensus import majority_rule_consensus
+from repro.reconstruction.random_tree import random_topology
+from repro.reconstruction.rearrange import perturb
+from repro.server import CrimsonServer, RemoteSession
+from repro.storage.api import AnalyticsRequest
+from repro.storage.store import CrimsonStore
+from repro.trees.newick import write_newick
+
+N_TREES = 64
+N_LEAVES = 48
+SPR_MOVES = 3
+F = 8
+POOL_SIZE = 4
+
+SMOKE = {"n_trees": 12, "n_leaves": 16}
+
+
+def build_profile(n_trees: int, n_leaves: int) -> list:
+    """One base topology plus SPR-perturbed replicates, one leaf set."""
+    rng = np.random.default_rng(2006)
+    names = [f"s{i:03d}" for i in range(n_leaves)]
+    base = random_topology(names, rng)
+    return [base] + [
+        perturb(base, SPR_MOVES, rng) for _ in range(n_trees - 1)
+    ]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, (time.perf_counter() - start) * 1e3
+
+
+def run_experiment(n_trees: int = N_TREES, n_leaves: int = N_LEAVES) -> dict:
+    profile = build_profile(n_trees, n_leaves)
+    names = [f"rep{index}" for index in range(n_trees)]
+    consensus_request = AnalyticsRequest.consensus(*names)
+    compare_request = AnalyticsRequest.compare(names[0], names[1])
+    matrix_request = AnalyticsRequest.distance_matrix(*names[:8])
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        path = str(Path(tmpdir) / "analytics.db")
+
+        # --- Statement accounting, one fresh store per operation ------
+        with CrimsonStore.open(path, report=lambda _m: None) as store:
+            for name, tree in zip(names, profile):
+                store.load_tree(tree, name=name, f=F)
+
+        statements: dict[str, int] = {}
+        wall: dict[str, float] = {}
+        for label, request in (
+            ("consensus", consensus_request),
+            ("compare", compare_request),
+            ("matrix", matrix_request),
+        ):
+            with CrimsonStore.open(path) as store:
+                with store.db.count_statements() as counter:
+                    _result, cold_ms = _timed(
+                        lambda r=request: store.analyze(r)
+                    )
+                statements[f"{label}_cold"] = counter.count
+                wall[f"{label}_cold"] = round(cold_ms, 3)
+                with store.db.count_statements() as counter:
+                    _result, warm_ms = _timed(
+                        lambda r=request: store.analyze(r)
+                    )
+                statements[f"{label}_warm"] = counter.count
+                wall[f"{label}_warm"] = round(warm_ms, 3)
+
+        with CrimsonStore.open(path) as store:
+            stored_consensus_result = store.analyze(consensus_request)
+            stored_newick = write_newick(stored_consensus_result.consensus)
+
+            # In-memory baseline: the consensus itself, plus what the
+            # in-memory path forces first — materializing all N trees.
+            materialized, materialize_ms = _timed(
+                lambda: [
+                    store.open_tree(name).fetch_tree() for name in names
+                ]
+            )
+            (memory_tree, memory_support), memory_ms = _timed(
+                lambda: majority_rule_consensus(materialized)
+            )
+            memory_newick = write_newick(memory_tree)
+
+        # --- Parity and writer idleness behind a live server ----------
+        errors: list[str] = []
+        with CrimsonStore.open(path, readers=POOL_SIZE) as store:
+            writer_before = store.db.statements_executed
+            local_result = store.session().analyze(consensus_request)
+            local_newick = write_newick(local_result.consensus)
+            with CrimsonServer(store, port=0) as server:
+                host, port = server.address
+                try:
+                    with RemoteSession(host, port) as session:
+                        remote_result = session.analyze(consensus_request)
+                        remote_compare = session.analyze(compare_request)
+                except Exception as error:  # noqa: BLE001 - reported
+                    errors.append(repr(error))
+                    remote_result = None
+                    remote_compare = None
+            writer_statements = store.db.statements_executed - writer_before
+            remote_newick = (
+                write_newick(remote_result.consensus)
+                if remote_result is not None
+                else None
+            )
+            supports_match = remote_result is not None and (
+                dict(remote_result.support)
+                == dict(local_result.support)
+                == memory_support
+            )
+            compare_matches = (
+                remote_compare is not None
+                and remote_compare.comparison
+                == store.analyze(compare_request).comparison
+            )
+
+    return {
+        "experiment": "stored-analytics",
+        "profile": {
+            "n_trees": n_trees,
+            "n_leaves": n_leaves,
+            "spr_moves": SPR_MOVES,
+            "f": F,
+        },
+        "sql_statements": statements,
+        "wall_ms": {
+            **wall,
+            "materialize_all_trees": round(materialize_ms, 3),
+            "in_memory_consensus": round(memory_ms, 3),
+        },
+        "consensus": {
+            "newick_identical": stored_newick
+            == memory_newick
+            == local_newick
+            == remote_newick,
+            "supports_match": supports_match,
+            "n_majority_clusters": len(stored_consensus_result.support),
+            "newick_length": len(stored_newick),
+        },
+        "remote": {
+            "transport": "tcp (json lines)",
+            "pool_size": POOL_SIZE,
+            "compare_matches": compare_matches,
+            "errors": errors,
+            "locked_errors": sum("locked" in e for e in errors),
+        },
+        "writer_statements_during_analytics": writer_statements,
+    }
+
+
+def test_stored_analytics(benchmark, report):
+    results = run_experiment(**SMOKE)
+    statements = results["sql_statements"]
+
+    store = CrimsonStore.open()
+    smoke_profile = build_profile(**SMOKE)
+    names = [f"rep{index}" for index in range(len(smoke_profile))]
+    for name, tree in zip(names, smoke_profile):
+        store.trees.store_tree(tree, name=name, f=F)
+    request = AnalyticsRequest.consensus(*names)
+    store.analyze(request)  # warm
+
+    def warm_consensus():
+        store.analyze(request)
+
+    benchmark(warm_consensus)
+    store.close()
+
+    report("")
+    report(
+        "E-analytics — stored consensus/compare/matrix "
+        f"({results['profile']['n_trees']} trees, "
+        f"{results['profile']['n_leaves']} leaves, f={F})"
+    )
+    report(f"  {'operation':<12} {'cold stmts':>10} {'warm stmts':>10}")
+    for label in ("consensus", "compare", "matrix"):
+        report(
+            f"  {label:<12} {statements[f'{label}_cold']:>10} "
+            f"{statements[f'{label}_warm']:>10}"
+        )
+    report(
+        f"  stored consensus {results['wall_ms']['consensus_warm']:.1f}ms warm vs "
+        f"in-memory {results['wall_ms']['in_memory_consensus']:.1f}ms "
+        f"(+{results['wall_ms']['materialize_all_trees']:.1f}ms materializing)"
+    )
+    report(
+        "  shape: warm analytics run entirely from the row caches; "
+        "answers byte-identical to the in-memory references, local "
+        "and remote, writer idle"
+    )
+
+    # Acceptance: byte-identical consensus everywhere, zero-statement
+    # warm path, idle writer, no lock errors.
+    assert results["consensus"]["newick_identical"]
+    assert results["consensus"]["supports_match"]
+    assert results["remote"]["compare_matches"]
+    for label in ("consensus", "compare", "matrix"):
+        assert statements[f"{label}_warm"] == 0
+        assert statements[f"{label}_cold"] > 0
+    assert results["writer_statements_during_analytics"] == 0
+    assert results["remote"]["locked_errors"] == 0
+    assert results["remote"]["errors"] == []
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    positional = [arg for arg in argv[1:] if not arg.startswith("--")]
+    out_path = positional[0] if positional else "BENCH_analytics.json"
+    results = run_experiment(**SMOKE) if smoke else run_experiment()
+    with open(out_path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    statements = results["sql_statements"]
+    print(f"wrote {out_path}")
+    print(
+        f"consensus: cold {statements['consensus_cold']} statements, "
+        f"warm {statements['consensus_warm']}; newick identical: "
+        f"{results['consensus']['newick_identical']}; writer statements: "
+        f"{results['writer_statements_during_analytics']}; lock errors: "
+        f"{results['remote']['locked_errors']}"
+    )
+    ok = (
+        results["consensus"]["newick_identical"]
+        and results["consensus"]["supports_match"]
+        and all(
+            statements[f"{label}_warm"] == 0
+            for label in ("consensus", "compare", "matrix")
+        )
+        and results["writer_statements_during_analytics"] == 0
+        and results["remote"]["locked_errors"] == 0
+        and not results["remote"]["errors"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

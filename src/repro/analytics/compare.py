@@ -1,0 +1,97 @@
+"""Pairwise and all-pairs comparison of stored trees.
+
+Robinson–Foulds distance, shared-cluster counts, and the all-pairs
+distance matrix over a catalogue subset — computed entirely from
+stored rows (:mod:`repro.analytics.bipartitions`), never from
+materialized trees.  The numbers are value-identical to running
+:func:`repro.benchmark.metrics.compare_splits` /
+:func:`~repro.benchmark.metrics.clusters` on the fetched trees; the
+assembly is literally shared (:func:`comparison_from_splits`), so the
+two paths cannot drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analytics.bipartitions import scan_tree
+from repro.benchmark.metrics import (
+    SplitComparison,
+    check_same_leaf_sets,
+    comparison_from_splits,
+)
+from repro.storage.tree_repository import StoredTree
+
+
+@dataclass(frozen=True)
+class StoredComparison:
+    """One pairwise comparison of two stored trees.
+
+    ``splits`` carries the unrooted Robinson–Foulds figures
+    (:class:`~repro.benchmark.metrics.SplitComparison`); the rooted
+    cluster counts sit beside it because consensus workloads reason in
+    rooted clusters.
+    """
+
+    splits: SplitComparison
+    shared_clusters: int
+    n_clusters_a: int
+    n_clusters_b: int
+
+    @property
+    def rf_distance(self) -> int:
+        return self.splits.rf_distance
+
+
+def compare_stored(a: StoredTree, b: StoredTree) -> StoredComparison:
+    """Compare two stored trees over the same leaf set (one row scan
+    each; clusters and splits both derive from it).
+
+    Raises
+    ------
+    QueryError
+        If the trees have different leaf sets (same message as the
+        in-memory :func:`~repro.benchmark.metrics.compare_splits`).
+    """
+    scan_a = scan_tree(a)
+    scan_b = scan_tree(b)
+    check_same_leaf_sets(set(scan_a.leaf_names), set(scan_b.leaf_names))
+    clusters_a = scan_a.clusters()
+    clusters_b = scan_b.clusters()
+    return StoredComparison(
+        splits=comparison_from_splits(
+            scan_a.bipartitions(), scan_b.bipartitions()
+        ),
+        shared_clusters=len(clusters_a & clusters_b),
+        n_clusters_a=len(clusters_a),
+        n_clusters_b=len(clusters_b),
+    )
+
+
+def rf_matrix(handles: Sequence[StoredTree]) -> list[list[int]]:
+    """All-pairs Robinson–Foulds distances over a catalogue subset.
+
+    Each tree is scanned once and its splits extracted once, so the
+    cost is ``O(N)`` scans plus ``O(N²)`` set differences — not
+    ``O(N²)`` scans.  The matrix is symmetric with a zero diagonal,
+    rows/columns in input order.
+
+    Raises
+    ------
+    QueryError
+        If any two trees have different leaf sets.
+    """
+    scans = [scan_tree(handle) for handle in handles]
+    for later in scans[1:]:
+        check_same_leaf_sets(
+            set(scans[0].leaf_names), set(later.leaf_names)
+        )
+    splits = [scan.bipartitions() for scan in scans]
+    size = len(handles)
+    matrix = [[0] * size for _ in range(size)]
+    for i in range(size):
+        for j in range(i + 1, size):
+            distance = len(splits[i] ^ splits[j])
+            matrix[i][j] = matrix[j][i] = distance
+    return matrix

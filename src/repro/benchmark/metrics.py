@@ -87,15 +87,22 @@ def bipartitions(tree: PhyloTree) -> set[Split]:
     return result
 
 
-def _check_same_leaves(a: PhyloTree, b: PhyloTree) -> None:
-    leaves_a = set(a.leaf_names())
-    leaves_b = set(b.leaf_names())
+def check_same_leaf_sets(leaves_a: set[str], leaves_b: set[str]) -> None:
+    """Raise :class:`QueryError` when two leaf-name sets differ.
+
+    Shared with the stored-tree analytics so in-memory and stored
+    comparisons refuse mismatched inputs with the same message.
+    """
     if leaves_a != leaves_b:
         only_a = sorted(leaves_a - leaves_b)[:5]
         only_b = sorted(leaves_b - leaves_a)[:5]
         raise QueryError(
             f"trees have different leaf sets (e.g. {only_a} vs {only_b})"
         )
+
+
+def _check_same_leaves(a: PhyloTree, b: PhyloTree) -> None:
+    check_same_leaf_sets(set(a.leaf_names()), set(b.leaf_names()))
 
 
 @dataclass(frozen=True)
@@ -122,17 +129,14 @@ class SplitComparison:
         return self.false_negatives / self.n_splits_reference
 
 
-def compare_splits(reference: PhyloTree, estimate: PhyloTree) -> SplitComparison:
-    """Unrooted split comparison of an estimate against a reference.
+def comparison_from_splits(
+    splits_ref: set[Split], splits_est: set[Split]
+) -> SplitComparison:
+    """Assemble a :class:`SplitComparison` from two extracted split sets.
 
-    Raises
-    ------
-    QueryError
-        If the trees have different leaf sets.
+    Shared by :func:`compare_splits` and the stored-tree analytics
+    (:mod:`repro.analytics.compare`), so the two paths cannot drift.
     """
-    _check_same_leaves(reference, estimate)
-    splits_ref = bipartitions(reference)
-    splits_est = bipartitions(estimate)
     false_neg = len(splits_ref - splits_est)
     false_pos = len(splits_est - splits_ref)
     rf = false_neg + false_pos
@@ -146,6 +150,18 @@ def compare_splits(reference: PhyloTree, estimate: PhyloTree) -> SplitComparison
         n_splits_reference=len(splits_ref),
         n_splits_estimate=len(splits_est),
     )
+
+
+def compare_splits(reference: PhyloTree, estimate: PhyloTree) -> SplitComparison:
+    """Unrooted split comparison of an estimate against a reference.
+
+    Raises
+    ------
+    QueryError
+        If the trees have different leaf sets.
+    """
+    _check_same_leaves(reference, estimate)
+    return comparison_from_splits(bipartitions(reference), bipartitions(estimate))
 
 
 def robinson_foulds(a: PhyloTree, b: PhyloTree) -> int:

@@ -18,6 +18,8 @@ Examples
     crimson --db crimson.db sample gold --method time --time 1.0 -k 8
     crimson --db crimson.db project gold --taxa Bha Lla Syn --format ascii
     crimson --db crimson.db benchmark gold -k 16 --trials 3
+    crimson --db crimson.db compare gold estimate
+    crimson --db crimson.db consensus rep1 rep2 rep3 --support
     crimson --db crimson.db history
     crimson --db crimson.db --readers 4 serve --port 2006
 """
@@ -50,7 +52,7 @@ from repro.simulation.birth_death import (
 )
 from repro.simulation.models import hky85, jc69, k80
 from repro.simulation.seqgen import evolve_sequences
-from repro.storage.api import QueryRequest
+from repro.storage.api import AnalyticsRequest, QueryRequest
 from repro.storage.store import CrimsonStore
 from repro.trees.newick import write_newick
 from repro.trees.nexus import NexusDocument, write_nexus
@@ -231,6 +233,43 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("tree")
     match.add_argument("pattern", help="pattern tree in Newick notation")
     match.add_argument("--unordered", action="store_true")
+
+    compare = commands.add_parser(
+        "compare",
+        help="Robinson–Foulds comparison of stored trees (two trees: "
+        "pairwise figures; more: the all-pairs distance matrix)",
+    )
+    compare.add_argument(
+        "trees", nargs="+", help="two or more stored tree names"
+    )
+
+    consensus = commands.add_parser(
+        "consensus",
+        help="majority-rule (or strict) consensus across stored trees",
+    )
+    consensus.add_argument("trees", nargs="+", help="stored tree names")
+    consensus.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="keep clusters in strictly more than this fraction of the "
+        "trees (default: 0.5, the classical majority rule)",
+    )
+    consensus.add_argument(
+        "--strict",
+        action="store_true",
+        help="keep only clusters present in every tree",
+    )
+    consensus.add_argument(
+        "--support",
+        action="store_true",
+        help="also print per-cluster support fractions",
+    )
+    consensus.add_argument(
+        "--format",
+        choices=("ascii", "newick", "nexus", "walrus"),
+        default="newick",
+    )
 
     benchmark = commands.add_parser(
         "benchmark", help="evaluate reconstruction algorithms"
@@ -509,6 +548,46 @@ def _dispatch(args: argparse.Namespace, store: CrimsonStore, rng) -> int:
         print(f"projection: {write_newick(result.projection)}")
         return int(not result.matched)
 
+    if args.command == "compare":
+        if len(args.trees) == 2:
+            result = store.analyze(
+                AnalyticsRequest.compare(*args.trees), record=True
+            )
+            comparison = result.comparison
+            assert comparison is not None
+            print(f"RF distance:     {comparison.rf_distance}")
+            print(f"normalized RF:   {comparison.normalized_rf:.4f}")
+            print(
+                f"splits:          {comparison.n_splits_reference} vs "
+                f"{comparison.n_splits_estimate}"
+            )
+            print(
+                f"false +/-:       {comparison.false_positives} / "
+                f"{comparison.false_negatives}"
+            )
+            print(f"shared clusters: {result.shared_clusters}")
+            return 0
+        result = store.analyze(
+            AnalyticsRequest.distance_matrix(*args.trees), record=True
+        )
+        assert result.matrix is not None
+        print(_format_matrix(list(args.trees), result.matrix))
+        return 0
+
+    if args.command == "consensus":
+        result = store.analyze(
+            AnalyticsRequest.consensus(
+                *args.trees, threshold=args.threshold, strict=args.strict
+            ),
+            record=True,
+        )
+        assert result.consensus is not None
+        print(_render(result.consensus, args.format))
+        if args.support:
+            for cluster, fraction in result.support_table():
+                print(f"{fraction * 100:5.1f}%  {{{', '.join(cluster)}}}")
+        return 0
+
     if args.command == "benchmark":
         selected = (
             {name: ALL_ALGORITHMS[name] for name in args.algorithms}
@@ -675,6 +754,15 @@ def _replay_arguments(entry) -> list[str] | None:
         if not params.get("ordered", True):
             argv.append("--unordered")
         return argv
+    if entry.operation in ("compare", "distance_matrix") and params.get("trees"):
+        return ["compare", *params["trees"]]
+    if entry.operation == "consensus" and params.get("trees"):
+        argv = ["consensus", *params["trees"]]
+        if params.get("strict"):
+            argv.append("--strict")
+        elif params.get("threshold", 0.5) != 0.5:
+            argv += ["--threshold", str(params["threshold"])]
+        return argv
     return None
 
 
@@ -684,6 +772,23 @@ def _draw_sample(stored, args: argparse.Namespace, rng) -> list[str]:
             raise CrimsonError("time sampling needs --time")
         return sample_with_time_stored(stored, args.time, args.k, rng)
     return random_sample_stored(stored, args.k, rng)
+
+
+def _format_matrix(names: list[str], matrix) -> str:
+    """Render an all-pairs RF distance matrix as an aligned table."""
+    width = max(
+        [len(name) for name in names]
+        + [len(str(cell)) for row in matrix for cell in row]
+    )
+    lines = [
+        " " * width + "  " + "  ".join(f"{name:>{width}}" for name in names)
+    ]
+    for name, row in zip(names, matrix):
+        lines.append(
+            f"{name:>{width}}  "
+            + "  ".join(f"{cell:>{width}}" for cell in row)
+        )
+    return "\n".join(lines)
 
 
 def _render(tree, fmt: str, max_nodes: int = 200) -> str:

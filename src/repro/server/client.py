@@ -30,12 +30,18 @@ from repro.errors import ProtocolError, StorageError
 from repro.server import protocol
 from repro.server.server import DEFAULT_PORT
 from repro.storage import wire
-from repro.storage.api import QueryRequest, QueryResult
+from repro.storage.api import (
+    AnalyticsRequest,
+    AnalyticsResult,
+    AnalyticsVerbs,
+    QueryRequest,
+    QueryResult,
+)
 from repro.storage.maintenance import IntegrityReport
 from repro.storage.tree_repository import TreeInfo
 
 
-class RemoteSession:
+class RemoteSession(AnalyticsVerbs):
     """A client connection to a ``crimson serve`` process.
 
     Parameters
@@ -138,6 +144,23 @@ class RemoteSession:
             "query", wire.encode_request(request), record=record
         )
         return wire.decode_result(payload)
+
+    def analyze(
+        self, request: AnalyticsRequest, *, record: bool = False
+    ) -> AnalyticsResult:
+        """Execute one cross-tree analytics request on the server.
+
+        The named wrappers (``compare``, ``distance_matrix``,
+        ``consensus``) are inherited from
+        :class:`~repro.storage.api.AnalyticsVerbs`, exactly as on a
+        local session.  Against a pre-analytics server the ``analyze``
+        verb is unknown and this re-raises the server's typed
+        :class:`~repro.errors.ProtocolError`; the connection survives.
+        """
+        payload = self._call(
+            "analyze", wire.encode_analytics_request(request), record=record
+        )
+        return wire.decode_analytics_result(payload)
 
     def list_trees(self) -> list[TreeInfo]:
         """Catalogue rows of every tree the server stores."""

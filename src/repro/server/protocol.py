@@ -29,8 +29,20 @@ from typing import Any, BinaryIO, Mapping
 from repro.errors import ProtocolError
 from repro.storage.wire import PROTOCOL_VERSION, check_protocol, stamp
 
-VERBS: tuple[str, ...] = ("query", "list_trees", "describe", "verify", "ping")
-"""Verbs the server dispatches (the session protocol, minus ``close``)."""
+VERBS: tuple[str, ...] = (
+    "query",
+    "analyze",
+    "list_trees",
+    "describe",
+    "verify",
+    "ping",
+)
+"""Verbs the server dispatches (the session protocol, minus ``close``;
+the named analytics operations all travel as one ``analyze`` verb).
+
+An unknown verb — including ``analyze`` sent to a pre-analytics build —
+is answered with a typed :class:`~repro.errors.ProtocolError` envelope
+and the connection stays usable; only unframeable bytes end it."""
 
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 """Upper bound on one frame — a guard against unframed garbage."""

@@ -157,6 +157,10 @@ class CrimsonServer:
             request = wire.decode_request(payload)
             result = self.store.query(request, record=record)
             return wire.encode_result(result)
+        if verb == "analyze":
+            analytics = wire.decode_analytics_request(payload)
+            outcome = self.store.analyze(analytics, record=record)
+            return wire.encode_analytics_result(outcome)
         if verb == "list_trees":
             return [
                 wire.encode_tree_info(info) for info in self.store.list_trees()

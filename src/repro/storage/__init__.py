@@ -44,7 +44,11 @@ from repro.storage.loader import DataLoader
 from repro.storage.projection import project_stored
 from repro.storage.maintenance import IntegrityReport, verify_store, verify_tree
 from repro.storage.api import (
+    ANALYTICS_OPERATIONS,
     OPERATIONS,
+    AnalyticsRequest,
+    AnalyticsResult,
+    AnalyticsVerbs,
     CrimsonSession,
     LocalSession,
     QueryRequest,
@@ -55,6 +59,10 @@ from repro.storage.pool import DEFAULT_POOL_SIZE, ReaderPool, Shard
 from repro.storage.store import CrimsonStore, shard_path
 
 __all__ = [
+    "ANALYTICS_OPERATIONS",
+    "AnalyticsRequest",
+    "AnalyticsResult",
+    "AnalyticsVerbs",
     "CacheStats",
     "CrimsonStore",
     "DEFAULT_CACHE_SIZE",

@@ -31,21 +31,41 @@ Supported operations
 ``match``
     Structural pattern match of a Newick ``pattern`` against the stored
     tree; ``ordered`` picks ordered or unordered child matching.
+
+Cross-tree analytics follow the same pattern one level up: an
+:class:`AnalyticsRequest` names *several* stored trees and one of the
+:data:`ANALYTICS_OPERATIONS` (``compare``, ``distance_matrix``,
+``consensus``), and :meth:`CrimsonSession.analyze` — or the named
+wrappers :meth:`~CrimsonSession.compare` /
+:meth:`~CrimsonSession.distance_matrix` /
+:meth:`~CrimsonSession.consensus` — answers with an
+:class:`AnalyticsResult` computed by :mod:`repro.analytics` straight
+from stored rows.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence as SequenceABC
 from dataclasses import dataclass
-from typing import Any, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Any, Mapping, Protocol, Sequence, runtime_checkable
 
 from repro.errors import QueryError
 from repro.storage.maintenance import IntegrityReport
 from repro.storage.tree_repository import NodeRow, TreeInfo
 from repro.trees.tree import PhyloTree
 
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.benchmark.metrics import SplitComparison
+
 OPERATIONS: tuple[str, ...] = ("lca", "lca_batch", "clade", "project", "match")
 """Operations the store's query dispatcher understands."""
+
+ANALYTICS_OPERATIONS: tuple[str, ...] = (
+    "compare",
+    "distance_matrix",
+    "consensus",
+)
+"""Cross-tree operations the store's analytics dispatcher understands."""
 
 TaxonRef = int | str
 """A node referenced by taxon name or pre-order id."""
@@ -230,6 +250,168 @@ class QueryResult:
         return f"matched={self.matched}"
 
 
+def _checked_tree_names(values: object) -> tuple[str, ...]:
+    """Validate the ``trees`` field shape: an iterable of tree names."""
+    if isinstance(values, (str, bytes)) or not isinstance(values, Iterable):
+        raise QueryError(
+            f"trees must be a sequence of stored-tree names, got {values!r}"
+        )
+    checked: list[str] = []
+    for value in values:
+        if not isinstance(value, str) or not value:
+            raise QueryError(
+                f"each tree must be a stored-tree name, got {value!r}"
+            )
+        checked.append(value)
+    return tuple(checked)
+
+
+@dataclass(frozen=True)
+class AnalyticsRequest:
+    """One typed cross-tree computation over stored trees.
+
+    Build requests with the per-operation constructors
+    (:meth:`compare`, :meth:`distance_matrix`, :meth:`consensus`); the
+    bare constructor validates the field combination and raises
+    :class:`~repro.errors.QueryError` on a malformed request.
+
+    ``threshold`` and ``strict`` only matter to ``consensus``:
+    a cluster is kept when it appears in strictly more than
+    ``threshold`` of the trees (0.5 is the classical majority rule),
+    and ``strict`` keeps only clusters present in *every* tree instead.
+    """
+
+    operation: str
+    trees: tuple[str, ...] = ()
+    threshold: float = 0.5
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.operation not in ANALYTICS_OPERATIONS:
+            raise QueryError(
+                f"unknown analytics operation {self.operation!r}; "
+                f"expected one of {', '.join(ANALYTICS_OPERATIONS)}"
+            )
+        object.__setattr__(self, "trees", _checked_tree_names(self.trees))
+        if self.operation == "compare" and len(self.trees) != 2:
+            raise QueryError(
+                f"'compare' needs exactly two trees, got {len(self.trees)}"
+            )
+        if self.operation == "distance_matrix" and len(self.trees) < 2:
+            raise QueryError("'distance_matrix' needs at least two trees")
+        if self.operation == "consensus" and not self.trees:
+            raise QueryError("'consensus' needs at least one tree")
+        if isinstance(self.threshold, bool) or not isinstance(
+            self.threshold, (int, float)
+        ):
+            raise QueryError(
+                f"threshold must be a number, got {self.threshold!r}"
+            )
+        if not self.strict and not (
+            0.5 <= self.threshold < 1.0 + 1e-12
+        ):
+            raise QueryError(
+                f"threshold must be in [0.5, 1.0], got {self.threshold}"
+            )
+        object.__setattr__(self, "threshold", float(self.threshold))
+        object.__setattr__(self, "strict", bool(self.strict))
+
+    # ------------------------------------------------------------------
+    # Per-operation constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def compare(cls, a: str, b: str) -> "AnalyticsRequest":
+        """Robinson–Foulds + shared-cluster comparison of two trees."""
+        return cls(operation="compare", trees=(a, b))
+
+    @classmethod
+    def distance_matrix(cls, *trees: str) -> "AnalyticsRequest":
+        """All-pairs RF distance matrix over a catalogue subset."""
+        return cls(operation="distance_matrix", trees=trees)
+
+    @classmethod
+    def consensus(
+        cls, *trees: str, threshold: float = 0.5, strict: bool = False
+    ) -> "AnalyticsRequest":
+        """Majority-rule (or strict) consensus across stored trees."""
+        return cls(
+            operation="consensus",
+            trees=trees,
+            threshold=threshold,
+            strict=strict,
+        )
+
+    def params(self) -> dict[str, Any]:
+        """JSON-friendly parameter dict (the Query Repository's record)."""
+        if self.operation == "consensus":
+            return {
+                "trees": list(self.trees),
+                "threshold": self.threshold,
+                "strict": self.strict,
+            }
+        return {"trees": list(self.trees)}
+
+
+@dataclass(frozen=True)
+class AnalyticsResult:
+    """The answer to one :class:`AnalyticsRequest`, with its timing.
+
+    Which fields are populated depends on the operation:
+
+    * ``compare`` fills :attr:`comparison` and :attr:`shared_clusters`,
+    * ``distance_matrix`` fills :attr:`matrix` (rows/columns in
+      ``request.trees`` order),
+    * ``consensus`` fills :attr:`consensus` and :attr:`support`.
+    """
+
+    request: AnalyticsRequest
+    duration_ms: float
+    comparison: "SplitComparison | None" = None
+    shared_clusters: int | None = None
+    matrix: tuple[tuple[int, ...], ...] | None = None
+    consensus: PhyloTree | None = None
+    support: Mapping[frozenset[str], float] | None = None
+
+    def support_table(self) -> list[tuple[tuple[str, ...], float]]:
+        """Support rows as ``(sorted cluster, fraction)``, best first.
+
+        Deterministically ordered (fraction descending, then cluster
+        names), so the CLI and the wire codec render identically.
+        """
+        if self.support is None:
+            return []
+        return sorted(
+            (
+                (tuple(sorted(cluster)), fraction)
+                for cluster, fraction in self.support.items()
+            ),
+            key=lambda row: (-row[1], row[0]),
+        )
+
+    def summary(self) -> str:
+        """One-line result description (recorded in the query history)."""
+        operation = self.request.operation
+        if operation == "compare":
+            if self.comparison is None:
+                raise QueryError("'compare' result carries no comparison")
+            return (
+                f"RF={self.comparison.rf_distance} "
+                f"shared_clusters={self.shared_clusters}"
+            )
+        if operation == "distance_matrix":
+            if self.matrix is None:
+                raise QueryError(
+                    "'distance_matrix' result carries no matrix"
+                )
+            return f"{len(self.matrix)}x{len(self.matrix)} RF matrix"
+        assert operation == "consensus"
+        if self.consensus is None:
+            raise QueryError("'consensus' result carries no tree")
+        kept = len(self.support) if self.support is not None else 0
+        return f"{self.consensus.size()} nodes, {kept} clusters"
+
+
 def service_info(store, transport: str) -> dict[str, Any]:
     """The ``ping`` payload of a session over ``store``.
 
@@ -267,6 +449,35 @@ class CrimsonSession(Protocol):
         """Execute one typed query and return its timed result."""
         ...
 
+    def analyze(
+        self, request: AnalyticsRequest, *, record: bool = False
+    ) -> AnalyticsResult:
+        """Execute one cross-tree analytics request."""
+        ...
+
+    def compare(
+        self, a: str, b: str, *, record: bool = False
+    ) -> AnalyticsResult:
+        """RF distance and shared clusters of two stored trees."""
+        ...
+
+    def distance_matrix(
+        self, trees: Sequence[str], *, record: bool = False
+    ) -> AnalyticsResult:
+        """All-pairs RF distance matrix over stored trees."""
+        ...
+
+    def consensus(
+        self,
+        trees: Sequence[str],
+        *,
+        threshold: float = 0.5,
+        strict: bool = False,
+        record: bool = False,
+    ) -> AnalyticsResult:
+        """Majority-rule (or strict) consensus across stored trees."""
+        ...
+
     def list_trees(self) -> list[TreeInfo]:
         """Catalogue rows of every stored tree."""
         ...
@@ -288,7 +499,60 @@ class CrimsonSession(Protocol):
         ...
 
 
-class LocalSession:
+class AnalyticsVerbs:
+    """The named analytics operations, shared by every session kind.
+
+    Implementers provide :meth:`analyze`; these wrappers only build
+    the typed :class:`AnalyticsRequest`, so :class:`LocalSession` and
+    the remote session cannot drift in how the verbs map to requests.
+    """
+
+    def compare(
+        self, a: str, b: str, *, record: bool = False
+    ) -> AnalyticsResult:
+        """RF distance and shared clusters of two stored trees."""
+        return self.analyze(AnalyticsRequest.compare(a, b), record=record)
+
+    @staticmethod
+    def _checked_sequence(trees: Sequence[str], what: str) -> Sequence[str]:
+        # A bare string is a Sequence[str] the splat below would explode
+        # into per-character "tree names"; refuse it before it can turn
+        # into a baffling unknown-tree error.
+        if isinstance(trees, (str, bytes)):
+            raise QueryError(
+                f"{what} takes a sequence of tree names, not a single "
+                f"string; did you mean [{trees!r}]?"
+            )
+        return trees
+
+    def distance_matrix(
+        self, trees: Sequence[str], *, record: bool = False
+    ) -> AnalyticsResult:
+        """All-pairs RF distance matrix over stored trees."""
+        trees = self._checked_sequence(trees, "'distance_matrix'")
+        return self.analyze(
+            AnalyticsRequest.distance_matrix(*trees), record=record
+        )
+
+    def consensus(
+        self,
+        trees: Sequence[str],
+        *,
+        threshold: float = 0.5,
+        strict: bool = False,
+        record: bool = False,
+    ) -> AnalyticsResult:
+        """Majority-rule (or strict) consensus across stored trees."""
+        trees = self._checked_sequence(trees, "'consensus'")
+        return self.analyze(
+            AnalyticsRequest.consensus(
+                *trees, threshold=threshold, strict=strict
+            ),
+            record=record,
+        )
+
+
+class LocalSession(AnalyticsVerbs):
     """:class:`CrimsonSession` over an in-process store.
 
     A thin adapter: every verb delegates to the owning
@@ -329,6 +593,11 @@ class LocalSession:
         self, request: QueryRequest, *, record: bool = False
     ) -> QueryResult:
         return self.store.query(request, record=record)
+
+    def analyze(
+        self, request: AnalyticsRequest, *, record: bool = False
+    ) -> AnalyticsResult:
+        return self.store.analyze(request, record=record)
 
     def list_trees(self) -> list[TreeInfo]:
         return self.store.list_trees()

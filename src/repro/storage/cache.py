@@ -8,6 +8,22 @@ layered LCA algorithm into dictionary lookups on the warm path.
 least-recently-used eviction and hit/miss/eviction counters that
 :meth:`repro.storage.engine.StoredQueryEngine.cache_stats` aggregates
 for the benchmarks.
+
+Segmented admission
+-------------------
+A cache holds two segments, each LRU-bounded by ``maxsize`` on its own:
+
+* the **probationary** segment, where ordinary ``put`` calls land, and
+* the **pinned** segment, for entries inserted with ``put(...,
+  pinned=True)``.
+
+Eviction never crosses segments: a flood of probationary inserts — a
+layer-0 full-tree scan, like the analytics subsystem's bipartition
+extraction — can only evict other probationary entries, so the pinned
+upper-layer index rows that every layered-LCA walk depends on stay
+resident and the warm-path statement-count guarantee survives
+adversarial scan loads.  The engine decides what to pin (see
+:mod:`repro.storage.engine`); the cache only honours the flag.
 """
 
 from __future__ import annotations
@@ -28,9 +44,11 @@ class CacheStats:
     hits / misses:
         Lookup outcomes since creation (or the last ``reset_stats``).
     evictions:
-        Entries dropped to respect the size bound.
+        Entries dropped to respect the size bound (either segment).
     size / maxsize:
-        Current and maximum number of entries.
+        Current total entries and the per-segment entry bound.
+    pinned:
+        Entries currently held in the pinned segment.
     """
 
     hits: int = 0
@@ -38,6 +56,7 @@ class CacheStats:
     evictions: int = 0
     size: int = 0
     maxsize: int = 0
+    pinned: int = 0
 
     @property
     def lookups(self) -> int:
@@ -56,6 +75,7 @@ class CacheStats:
             evictions=self.evictions + other.evictions,
             size=self.size + other.size,
             maxsize=self.maxsize + other.maxsize,
+            pinned=self.pinned + other.pinned,
         )
 
     def as_dict(self) -> dict[str, int | float]:
@@ -66,6 +86,7 @@ class CacheStats:
             "evictions": self.evictions,
             "size": self.size,
             "maxsize": self.maxsize,
+            "pinned": self.pinned,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -74,41 +95,57 @@ _MISSING = object()
 
 
 class LRUCache:
-    """Bounded mapping with least-recently-used eviction.
+    """Bounded mapping with least-recently-used eviction and a pinned
+    segment that ordinary inserts can never evict.
 
     Parameters
     ----------
     maxsize:
-        Maximum number of entries; must be at least 1
+        Maximum number of entries **per segment**; must be at least 1
         (:class:`~repro.errors.StorageError` otherwise, so callers can
         catch configuration mistakes as :class:`~repro.errors.CrimsonError`).
+        A cache therefore holds at most ``2 · maxsize`` entries, but the
+        pinned segment only grows as large as the index rows actually
+        pinned into it (``O(n/f)`` for the engine's uses).
 
     Notes
     -----
     ``get`` counts a hit or a miss; ``put`` never counts a lookup, so
-    pre-warming (batch fills) does not inflate the hit rate.
+    pre-warming (batch fills) does not inflate the hit rate.  A pinned
+    ``put`` promotes a probationary key; the reverse never happens —
+    pinning is sticky (see :meth:`put`).
     """
 
-    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions")
+    __slots__ = ("maxsize", "_data", "_pinned", "hits", "misses", "evictions")
 
     def __init__(self, maxsize: int) -> None:
         if maxsize < 1:
             raise StorageError(f"cache size must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._pinned: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        return len(self._data) + len(self._pinned)
 
     def __contains__(self, key: Hashable) -> bool:
         """Membership test; does not count as a lookup or refresh recency."""
-        return key in self._data
+        return key in self._data or key in self._pinned
+
+    @property
+    def pinned_count(self) -> int:
+        return len(self._pinned)
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Fetch ``key``, refreshing its recency; counts a hit or miss."""
+        value = self._pinned.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            self._pinned.move_to_end(key)
+            return value
         value = self._data.get(key, _MISSING)
         if value is _MISSING:
             self.misses += 1
@@ -117,20 +154,39 @@ class LRUCache:
         self._data.move_to_end(key)
         return value
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert or refresh ``key``, evicting the LRU entry when full."""
-        if key in self._data:
-            self._data.move_to_end(key)
-            self._data[key] = value
+    def put(self, key: Hashable, value: Any, pinned: bool = False) -> None:
+        """Insert or refresh ``key``, evicting the segment's LRU entry
+        when that segment is full.
+
+        ``pinned`` entries live in the pinned segment, which only
+        pinned inserts can evict from; unpinned (probationary) inserts
+        evict among themselves.  Pinning is **sticky**: once a key is
+        pinned, an unpinned re-put refreshes it *in place* — otherwise
+        a scan that happens to re-fetch a skeleton row (a repeated
+        adversarial scan, say) would demote it into the probationary
+        segment and evict it, silently voiding the admission guarantee.
+        A pinned put does promote a probationary key.
+        """
+        if not pinned and key in self._pinned:
+            self._pinned.move_to_end(key)
+            self._pinned[key] = value
             return
-        self._data[key] = value
-        if len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        target = self._pinned if pinned else self._data
+        if pinned:
+            self._data.pop(key, None)  # promotion
+        if key in target:
+            target.move_to_end(key)
+            target[key] = value
+            return
+        target[key] = value
+        if len(target) > self.maxsize:
+            target.popitem(last=False)
             self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries (counters are kept; see ``reset_stats``)."""
         self._data.clear()
+        self._pinned.clear()
 
     def reset_stats(self) -> None:
         self.hits = 0
@@ -143,12 +199,13 @@ class LRUCache:
             hits=self.hits,
             misses=self.misses,
             evictions=self.evictions,
-            size=len(self._data),
+            size=len(self),
             maxsize=self.maxsize,
+            pinned=len(self._pinned),
         )
 
     def __repr__(self) -> str:
         return (
-            f"LRUCache(size={len(self._data)}/{self.maxsize}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"LRUCache(size={len(self._data)}+{len(self._pinned)}p"
+            f"/{self.maxsize}, hits={self.hits}, misses={self.misses})"
         )

@@ -19,12 +19,21 @@ cheap in two ways:
    chunked ``IN (...)`` queries, filling the caches in one round trip —
    the backbone of ``StoredTree.lca_batch`` and the batched
    ``project_stored``.
+3. **Segmented admission.**  Upper-layer inode rows (``layer > 0``) and
+   block rows — the ``O(n/f)`` skeleton every layered-LCA walk climbs —
+   are inserted *pinned* (:meth:`repro.storage.cache.LRUCache.put`
+   with ``pinned=True``): a layer-0 scan (a whole-tree batch fetch,
+   like the analytics subsystem's bipartition extraction) churns only
+   the probationary segment and can never evict them, so the warm-path
+   statement bound survives adversarial scan loads.
 
 Cache knobs
 -----------
 ``cache_size`` (per-handle, default :data:`DEFAULT_CACHE_SIZE` = 4096)
-bounds **each** of the six row caches; memory is therefore at most
-``6 · cache_size`` rows per open handle.  Pass it through
+bounds **each segment** of each of the six row caches; memory is
+therefore at most ``6 · cache_size`` probationary rows plus the pinned
+index rows (at most ``cache_size`` each for the inode/block caches,
+and in practice only the ``O(n/f)`` upper-layer rows) per open handle.  Pass it through
 ``TreeRepository(db, cache_size=...)``, ``TreeRepository.open(name,
 cache_size=...)``, or the CLI's global ``--cache-size`` flag.  Sizing
 guidance: blocks and inodes above layer 0 number about ``n/f`` and
@@ -111,9 +120,20 @@ class StoredQueryEngine:
             self._node_ids.put(row["name"], row["node_id"])
         return row
 
-    def _remember_inode(self, row: sqlite3.Row) -> sqlite3.Row:
-        self._inodes.put(row["inode_id"], row)
-        self._inode_at.put((row["block_id"], row["local_label"]), row)
+    def _remember_inode(
+        self, row: sqlite3.Row, pin: bool = False
+    ) -> sqlite3.Row:
+        # Upper-layer inodes are part of the O(n/f) skeleton of every
+        # layered walk: pin them so layer-0 scans cannot evict them.
+        # Callers set ``pin`` for layer-0 rows reached through the
+        # skeleton too (block root/source/rep chains — also O(n/f)).
+        # The canonical cache is keyed per node (O(n)) and stays
+        # probationary.
+        pinned = pin or row["layer"] > 0
+        self._inodes.put(row["inode_id"], row, pinned=pinned)
+        self._inode_at.put(
+            (row["block_id"], row["local_label"]), row, pinned=pinned
+        )
         if row["is_canonical"] and row["orig_node_id"] is not None:
             self._canonical.put(row["orig_node_id"], row)
         return row
@@ -232,15 +252,26 @@ class StoredQueryEngine:
                 found[row["orig_node_id"]] = row
         return found
 
-    def inode(self, inode_id: int) -> sqlite3.Row | None:
+    def inode(self, inode_id: int, pin: bool = False) -> sqlite3.Row | None:
+        """Fetch an inode by id; ``pin`` marks it as index skeleton.
+
+        The LCA walk sets ``pin`` when resolving block root/source/rep
+        references: those inodes — layer 0 included — are part of the
+        ``O(n/f)`` structure every walk climbs, so they join the pinned
+        segment and survive layer-0 scans.
+        """
         row = self._inodes.get(inode_id)
         if row is not None:
+            if pin:
+                # Promote a probationary hit: once an inode is known to
+                # be skeleton, scans must not evict it.
+                self._remember_inode(row, pin=True)
             return row
         row = self.db.query_one(
             "SELECT * FROM inodes WHERE tree_id = ? AND inode_id = ?",
             (self.tree_id, inode_id),
         )
-        return self._remember_inode(row) if row is not None else None
+        return self._remember_inode(row, pin=pin) if row is not None else None
 
     def inode_at(self, block_id: int, label: str) -> sqlite3.Row | None:
         row = self._inode_at.get((block_id, label))
@@ -262,7 +293,8 @@ class StoredQueryEngine:
             (self.tree_id, block_id),
         )
         if row is not None:
-            self._blocks.put(block_id, row)
+            # All block rows are index skeleton (O(n/f) of them): pinned.
+            self._blocks.put(block_id, row, pinned=True)
         return row
 
     # ------------------------------------------------------------------

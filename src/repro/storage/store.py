@@ -17,7 +17,11 @@ itself.  This module is that handle.  A store owns
   loader's ``load_*`` methods and :meth:`CrimsonStore.verify`,
 * a typed query surface: :meth:`CrimsonStore.query` takes a
   :class:`~repro.storage.api.QueryRequest` and returns a
-  :class:`~repro.storage.api.QueryResult`.
+  :class:`~repro.storage.api.QueryResult`, and
+  :meth:`CrimsonStore.analyze` answers cross-tree
+  :class:`~repro.storage.api.AnalyticsRequest`\\ s (Robinson–Foulds
+  comparison, distance matrices, consensus) straight from stored rows
+  via :mod:`repro.analytics`.
 
 Example
 -------
@@ -65,7 +69,12 @@ from pathlib import Path
 from typing import Callable, Iterator
 
 from repro.errors import StorageError
-from repro.storage.api import QueryRequest, QueryResult
+from repro.storage.api import (
+    AnalyticsRequest,
+    AnalyticsResult,
+    QueryRequest,
+    QueryResult,
+)
 from repro.storage.database import CrimsonDatabase, DatabaseFacade
 from repro.storage.engine import DEFAULT_CACHE_SIZE
 from repro.storage.loader import DataLoader, Reporter, _silent
@@ -476,6 +485,79 @@ class CrimsonStore:
                     request.operation,
                     request.params(),
                     tree_name=request.tree,
+                    duration_ms=duration_ms,
+                    result_summary=result.summary(),
+                )
+        return result
+
+    def analyze(
+        self, request: AnalyticsRequest, *, record: bool = False
+    ) -> AnalyticsResult:
+        """Execute a cross-tree analytics request on this thread's readers.
+
+        Every named tree is opened through :meth:`open_tree`, so the
+        computation runs on the calling thread's pooled read-only
+        connections (and warm per-thread row caches) — the writer
+        executes zero statements unless ``record`` is set.
+
+        Parameters
+        ----------
+        request:
+            The validated analytics description.
+        record:
+            Also record the request (with its timing and a result
+            summary) in the Query Repository, like :meth:`query`.
+
+        Raises
+        ------
+        QueryError
+            On mismatched leaf sets, unnamed leaves, and the other
+            per-operation argument errors.
+        StorageError
+            If a named tree is unknown or the store is closed.
+        """
+        from repro.analytics import compare_stored, rf_matrix, stored_consensus
+
+        # Resolving N handles (catalogue lookups on a cold thread) is a
+        # real part of what a cross-tree request pays, so unlike
+        # query()'s single pre-resolved handle it runs inside the timed
+        # region.
+        start = time.perf_counter()
+        handles = [self.open_tree(name) for name in request.trees]
+        if request.operation == "compare":
+            outcome = compare_stored(handles[0], handles[1])
+            result = AnalyticsResult(
+                request=request,
+                duration_ms=0.0,
+                comparison=outcome.splits,
+                shared_clusters=outcome.shared_clusters,
+            )
+        elif request.operation == "distance_matrix":
+            matrix = rf_matrix(handles)
+            result = AnalyticsResult(
+                request=request,
+                duration_ms=0.0,
+                matrix=tuple(tuple(row) for row in matrix),
+            )
+        else:
+            assert request.operation == "consensus"
+            tree, support = stored_consensus(
+                handles, threshold=request.threshold, strict=request.strict
+            )
+            result = AnalyticsResult(
+                request=request,
+                duration_ms=0.0,
+                consensus=tree,
+                support=support,
+            )
+        duration_ms = (time.perf_counter() - start) * 1000.0
+        result = dataclasses.replace(result, duration_ms=duration_ms)
+        if record:
+            with self._record_lock:
+                self.history.record(
+                    request.operation,
+                    request.params(),
+                    tree_name=None,
                     duration_ms=duration_ms,
                     result_summary=result.summary(),
                 )

@@ -596,6 +596,32 @@ class StoredTree:
         """The root row (pre-order id 0)."""
         return self.node(0)
 
+    def preorder_rows(self) -> list[NodeRow]:
+        """Every node row in pre-order, through the engine's batch fetch.
+
+        This is the scan the analytics subsystem's bipartition
+        extraction rides on: cold it costs ``ceil(n / chunk)``
+        ``IN (...)`` statements, and a warm repeat (``cache_size >= n``)
+        costs **zero** — while the engine's segmented admission keeps
+        the scan from evicting the pinned upper-layer index rows the
+        point-query warm path depends on.
+
+        Raises
+        ------
+        StorageError
+            If the tree was deleted out from under this handle.
+        """
+        found = self.engine.node_rows_many(range(self.info.n_nodes))
+        if len(found) != self.info.n_nodes:
+            self._raise_missing(
+                f"tree {self.info.name!r} is missing node rows "
+                f"({len(found)} of {self.info.n_nodes})"
+            )
+        return [
+            self._node_row(found[node_id])
+            for node_id in range(self.info.n_nodes)
+        ]
+
     def leaves(self) -> list[NodeRow]:
         """All leaf rows in pre-order."""
         rows = self.db.query_all(
@@ -636,7 +662,9 @@ class StoredTree:
         return row
 
     def _inode(self, inode_id: int):
-        row = self.engine.inode(inode_id)
+        # Only ever called to resolve block root/source/rep references,
+        # which are index skeleton: pin them against layer-0 scans.
+        row = self.engine.inode(inode_id, pin=True)
         if row is None:
             raise StorageError(f"index corrupt: missing inode {inode_id}")
         return row

@@ -3,6 +3,9 @@
 Everything a :class:`~repro.storage.api.CrimsonSession` exchanges with
 a remote store round-trips through this module as plain JSON-friendly
 dicts: :class:`~repro.storage.api.QueryRequest`,
+:class:`~repro.storage.api.AnalyticsRequest` /
+:class:`~repro.storage.api.AnalyticsResult` (consensus trees as quoted
+Newick, support clusters as sorted name lists),
 :class:`~repro.storage.api.QueryResult` (including
 :class:`~repro.storage.tree_repository.NodeRow` rows and
 :class:`~repro.trees.tree.PhyloTree` projections, carried as Newick),
@@ -29,7 +32,12 @@ from typing import Any, Mapping
 
 import repro.errors as _errors
 from repro.errors import CrimsonError, ProtocolError
-from repro.storage.api import QueryRequest, QueryResult
+from repro.storage.api import (
+    AnalyticsRequest,
+    AnalyticsResult,
+    QueryRequest,
+    QueryResult,
+)
 from repro.storage.maintenance import IntegrityReport
 from repro.storage.tree_repository import NodeRow, TreeInfo
 from repro.trees.newick import parse_newick, write_newick
@@ -224,6 +232,192 @@ def decode_result(payload: Mapping[str, Any]) -> QueryResult:
         ),
         matched=payload.get("matched"),
         similarity=payload.get("similarity"),
+    )
+
+
+# ----------------------------------------------------------------------
+# AnalyticsRequest / AnalyticsResult
+# ----------------------------------------------------------------------
+
+def encode_analytics_request(request: AnalyticsRequest) -> dict[str, Any]:
+    """Encode a cross-tree analytics request as a JSON-friendly dict."""
+    return stamp(
+        {
+            "operation": request.operation,
+            "trees": list(request.trees),
+            "threshold": request.threshold,
+            "strict": request.strict,
+        }
+    )
+
+
+def decode_analytics_request(payload: Mapping[str, Any]) -> AnalyticsRequest:
+    """Decode and *re-validate* an analytics request.
+
+    Shape problems raise :class:`ProtocolError`; a well-formed payload
+    describing an invalid request (unknown operation, wrong tree
+    count, a threshold out of range) raises
+    :class:`~repro.errors.QueryError` from the
+    :class:`AnalyticsRequest` constructor — the same error an
+    in-process caller would see.
+    """
+    check_protocol(payload, "an analytics request")
+    operation = _field(payload, "operation", "an analytics request")
+    if not isinstance(operation, str):
+        raise ProtocolError(
+            "an analytics request's 'operation' must be a string"
+        )
+    threshold = payload.get("threshold", 0.5)
+    if isinstance(threshold, bool) or not isinstance(threshold, (int, float)):
+        raise ProtocolError(
+            f"an analytics request's 'threshold' must be a number, "
+            f"got {threshold!r}"
+        )
+    return AnalyticsRequest(
+        operation=operation,
+        trees=payload.get("trees", ()),
+        threshold=threshold,
+        strict=bool(payload.get("strict", False)),
+    )
+
+
+def _encode_comparison(comparison) -> dict[str, Any]:
+    return {
+        "rf_distance": comparison.rf_distance,
+        "normalized_rf": comparison.normalized_rf,
+        "false_positives": comparison.false_positives,
+        "false_negatives": comparison.false_negatives,
+        "n_splits_reference": comparison.n_splits_reference,
+        "n_splits_estimate": comparison.n_splits_estimate,
+    }
+
+
+def _decode_comparison(payload: Mapping[str, Any]):
+    from repro.benchmark.metrics import SplitComparison
+
+    try:
+        return SplitComparison(
+            rf_distance=payload["rf_distance"],
+            normalized_rf=payload["normalized_rf"],
+            false_positives=payload["false_positives"],
+            false_negatives=payload["false_negatives"],
+            n_splits_reference=payload["n_splits_reference"],
+            n_splits_estimate=payload["n_splits_estimate"],
+        )
+    except (KeyError, TypeError) as error:
+        raise ProtocolError(f"malformed split comparison: {error}") from None
+
+
+def encode_analytics_result(result: AnalyticsResult) -> dict[str, Any]:
+    """Encode a result with its request embedded (for replay/audit).
+
+    A consensus tree crosses as quoted Newick (:func:`encode_tree`, so
+    topology and branch lengths survive byte-for-byte); support
+    clusters cross as deterministically sorted name lists
+    (:meth:`AnalyticsResult.support_table`).
+    """
+    return stamp(
+        {
+            "request": encode_analytics_request(result.request),
+            "duration_ms": result.duration_ms,
+            "comparison": (
+                _encode_comparison(result.comparison)
+                if result.comparison is not None
+                else None
+            ),
+            "shared_clusters": result.shared_clusters,
+            "matrix": (
+                [list(row) for row in result.matrix]
+                if result.matrix is not None
+                else None
+            ),
+            "consensus": (
+                encode_tree(result.consensus)
+                if result.consensus is not None
+                else None
+            ),
+            "support": (
+                [
+                    [list(cluster), fraction]
+                    for cluster, fraction in result.support_table()
+                ]
+                if result.support is not None
+                else None
+            ),
+        }
+    )
+
+
+def _decode_support(rows: Any) -> dict[frozenset[str], float]:
+    if not isinstance(rows, list):
+        raise ProtocolError("an analytics result's 'support' must be a list")
+    support: dict[frozenset[str], float] = {}
+    for row in rows:
+        if (
+            not isinstance(row, (list, tuple))
+            or len(row) != 2
+            or not isinstance(row[0], list)
+            or isinstance(row[1], bool)
+            or not isinstance(row[1], (int, float))
+            or not all(isinstance(name, str) for name in row[0])
+        ):
+            raise ProtocolError(
+                f"malformed support row {row!r}; expected "
+                "[[name, ...], fraction]"
+            )
+        support[frozenset(row[0])] = float(row[1])
+    return support
+
+
+def _decode_matrix(rows: Any) -> tuple[tuple[int, ...], ...]:
+    if not isinstance(rows, list):
+        raise ProtocolError("an analytics result's 'matrix' must be a list")
+    matrix: list[tuple[int, ...]] = []
+    for row in rows:
+        if not isinstance(row, list) or not all(
+            isinstance(cell, int) and not isinstance(cell, bool)
+            for cell in row
+        ):
+            raise ProtocolError(
+                f"malformed matrix row {row!r}; expected a list of ints"
+            )
+        matrix.append(tuple(row))
+    return tuple(matrix)
+
+
+def decode_analytics_result(payload: Mapping[str, Any]) -> AnalyticsResult:
+    check_protocol(payload, "an analytics result")
+    request = decode_analytics_request(
+        _field(payload, "request", "an analytics result")
+    )
+    duration = _field(payload, "duration_ms", "an analytics result")
+    if isinstance(duration, bool) or not isinstance(duration, (int, float)):
+        raise ProtocolError(
+            f"an analytics result's 'duration_ms' must be a number, "
+            f"got {duration!r}"
+        )
+    comparison = payload.get("comparison")
+    shared = payload.get("shared_clusters")
+    if shared is not None and (
+        isinstance(shared, bool) or not isinstance(shared, int)
+    ):
+        raise ProtocolError(
+            f"an analytics result's 'shared_clusters' must be an int, "
+            f"got {shared!r}"
+        )
+    matrix = payload.get("matrix")
+    consensus = payload.get("consensus")
+    support = payload.get("support")
+    return AnalyticsResult(
+        request=request,
+        duration_ms=float(duration),
+        comparison=(
+            _decode_comparison(comparison) if comparison is not None else None
+        ),
+        shared_clusters=shared,
+        matrix=_decode_matrix(matrix) if matrix is not None else None,
+        consensus=decode_tree(consensus) if consensus is not None else None,
+        support=_decode_support(support) if support is not None else None,
     )
 
 

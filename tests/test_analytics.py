@@ -1,0 +1,401 @@
+"""Stored-tree analytics: differential identity with the in-memory path.
+
+The subsystem's contract is exact: every number computed from stored
+rows — clusters, bipartitions, Robinson–Foulds figures, distance
+matrices, consensus topologies and supports — must equal what the
+in-memory references (:mod:`repro.benchmark.metrics`,
+:mod:`repro.benchmark.consensus`) produce on the same materialized
+trees, including error behaviour on the edges (single-tree profiles,
+disjoint leaf sets, unnamed/duplicate leaves, threshold boundaries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    compare_stored,
+    rf_matrix,
+    stored_bipartitions,
+    stored_clusters,
+    stored_consensus,
+    stored_leaf_names,
+)
+from repro.benchmark.consensus import (
+    majority_rule_consensus,
+    strict_consensus,
+)
+from repro.benchmark.metrics import (
+    bipartitions,
+    clusters,
+    compare_splits,
+    robinson_foulds,
+)
+from repro.errors import CrimsonError, QueryError, StorageError
+from repro.reconstruction.random_tree import random_topology
+from repro.reconstruction.rearrange import perturb
+from repro.storage.api import (
+    AnalyticsRequest,
+    AnalyticsResult,
+    CrimsonSession,
+)
+from repro.storage.store import CrimsonStore
+from repro.trees.build import balanced, caterpillar, sample_tree
+from repro.trees.newick import write_newick
+from repro.trees.node import Node
+from repro.trees.tree import PhyloTree
+
+N_PROFILE = 8
+
+
+@pytest.fixture(scope="module")
+def profile():
+    """A profile of same-leaf-set trees: a base topology plus SPR noise."""
+    rng = np.random.default_rng(2006)
+    names = [f"s{i:02d}" for i in range(18)]
+    base = random_topology(names, rng)
+    return [base] + [perturb(base, 2, rng) for _ in range(N_PROFILE - 1)]
+
+
+@pytest.fixture(scope="module")
+def store(profile):
+    store = CrimsonStore.open()
+    for index, tree in enumerate(profile):
+        store.load_tree(tree, name=f"rep{index}", f=4)
+    store.load_tree(sample_tree(), name="fig1", f=2)
+    store.load_tree(caterpillar(40), name="deep", f=4)
+    store.load_tree(balanced(4), name="wide", f=8)
+    yield store
+    store.close()
+
+
+@pytest.fixture(scope="module")
+def handles(store):
+    return [store.open_tree(f"rep{index}") for index in range(N_PROFILE)]
+
+
+class TestExtractionMatchesInMemory:
+    SHAPES = ["fig1", "deep", "wide", "rep0", "rep3"]
+
+    @pytest.mark.parametrize("name", SHAPES)
+    def test_clusters_identical(self, store, name):
+        handle = store.open_tree(name)
+        tree = handle.fetch_tree()
+        assert stored_clusters(handle) == clusters(tree)
+        assert stored_clusters(handle, include_trivial=True) == clusters(
+            tree, include_trivial=True
+        )
+
+    @pytest.mark.parametrize("name", SHAPES)
+    def test_bipartitions_identical(self, store, name):
+        handle = store.open_tree(name)
+        assert stored_bipartitions(handle) == bipartitions(
+            handle.fetch_tree()
+        )
+
+    @pytest.mark.parametrize("name", SHAPES)
+    def test_leaf_names_identical(self, store, name):
+        handle = store.open_tree(name)
+        assert stored_leaf_names(handle) == handle.fetch_tree().leaf_names()
+
+    def test_unnamed_leaf_raises_like_in_memory(self, store):
+        root = Node("r")
+        root.new_child("a", 1.0)
+        root.add_child(Node(None, 1.0))  # an unnamed leaf
+        # The loader's validation refuses such trees; store directly to
+        # prove the extraction itself mirrors the in-memory error.
+        handle = store.trees.store_tree(PhyloTree(root), name="unnamed")
+        with pytest.raises(QueryError, match="unnamed leaves"):
+            stored_clusters(handle)
+        # The in-memory path refuses too (via leaf_names' structural
+        # check); both surface as typed CrimsonErrors.
+        with pytest.raises(CrimsonError, match="unnamed leaf"):
+            clusters(handle.fetch_tree())
+
+    def test_duplicate_leaves_raise_for_splits_only(self, store):
+        root = Node("r")
+        inner = root.new_child(None, 1.0)
+        inner.new_child("dup", 1.0)
+        inner.new_child("other", 1.0)
+        root.new_child("dup", 1.0)
+        handle = store.trees.store_tree(PhyloTree(root), name="dupes")
+        with pytest.raises(QueryError, match="duplicate leaf names"):
+            stored_bipartitions(handle)
+        # Rooted clusters tolerate duplicates, exactly like in-memory.
+        assert stored_clusters(handle) == clusters(handle.fetch_tree())
+
+    def test_warm_repeat_extraction_is_sql_free(self, store):
+        handle = store.open_tree("rep0")
+        stored_clusters(handle)
+        with store.db.count_statements() as counter:
+            stored_clusters(handle)
+            stored_bipartitions(handle)
+        assert counter.count == 0
+
+
+class TestCompareMatchesInMemory:
+    def test_pairwise_figures_identical(self, store, profile):
+        for other in range(1, N_PROFILE):
+            outcome = compare_stored(
+                store.open_tree("rep0"), store.open_tree(f"rep{other}")
+            )
+            assert outcome.splits == compare_splits(
+                profile[0], profile[other]
+            )
+            assert outcome.shared_clusters == len(
+                clusters(profile[0]) & clusters(profile[other])
+            )
+            assert outcome.rf_distance == robinson_foulds(
+                profile[0], profile[other]
+            )
+
+    def test_cluster_counts_reported(self, store, profile):
+        outcome = compare_stored(
+            store.open_tree("rep0"), store.open_tree("rep1")
+        )
+        assert outcome.n_clusters_a == len(clusters(profile[0]))
+        assert outcome.n_clusters_b == len(clusters(profile[1]))
+
+    def test_matrix_matches_pairwise_rf(self, handles, profile):
+        matrix = rf_matrix(handles)
+        for i in range(N_PROFILE):
+            assert matrix[i][i] == 0
+            for j in range(N_PROFILE):
+                assert matrix[i][j] == matrix[j][i]
+                assert matrix[i][j] == robinson_foulds(
+                    profile[i], profile[j]
+                )
+
+    def test_disjoint_leaf_sets_raise_typed_error(self, store):
+        message = "different leaf sets"
+        with pytest.raises(QueryError, match=message):
+            compare_stored(store.open_tree("rep0"), store.open_tree("fig1"))
+        with pytest.raises(QueryError, match=message):
+            rf_matrix([store.open_tree("rep0"), store.open_tree("fig1")])
+        # In-memory raises the same way on the same trees.
+        with pytest.raises(QueryError, match=message):
+            compare_splits(
+                store.open_tree("rep0").fetch_tree(),
+                store.open_tree("fig1").fetch_tree(),
+            )
+
+
+class TestConsensusMatchesInMemory:
+    def test_majority_topology_and_support_identical(self, handles, profile):
+        tree_stored, support_stored = stored_consensus(handles)
+        tree_memory, support_memory = majority_rule_consensus(profile)
+        assert write_newick(tree_stored) == write_newick(tree_memory)
+        assert support_stored == support_memory
+
+    @pytest.mark.parametrize("threshold", [0.5, 0.75, 1.0])
+    def test_thresholds_identical(self, handles, profile, threshold):
+        tree_stored, support_stored = stored_consensus(
+            handles, threshold=threshold
+        )
+        tree_memory, support_memory = majority_rule_consensus(
+            profile, threshold=threshold
+        )
+        assert write_newick(tree_stored) == write_newick(tree_memory)
+        assert support_stored == support_memory
+
+    def test_strict_identical_and_differs_from_threshold_one(
+        self, handles, profile
+    ):
+        tree_stored, support = stored_consensus(handles, strict=True)
+        assert write_newick(tree_stored) == write_newick(
+            strict_consensus(profile)
+        )
+        assert set(support.values()) <= {1.0}
+        # Strict keeps unanimous clusters that a 1.0 threshold drops
+        # (count > N is never true), so the two are different requests.
+        threshold_tree, _ = stored_consensus(handles, threshold=1.0)
+        assert len(clusters(tree_stored)) >= len(clusters(threshold_tree))
+
+    def test_single_tree_profile(self, store, profile):
+        tree_stored, support = stored_consensus([store.open_tree("rep0")])
+        tree_memory, support_memory = majority_rule_consensus(profile[:1])
+        assert write_newick(tree_stored) == write_newick(tree_memory)
+        assert support == support_memory
+        assert set(support.values()) <= {1.0}
+
+    def test_empty_profile_raises(self):
+        with pytest.raises(QueryError, match="empty tree profile"):
+            stored_consensus([])
+
+    def test_mismatched_leaf_sets_raise(self, store):
+        with pytest.raises(QueryError, match="different leaf sets"):
+            stored_consensus(
+                [store.open_tree("rep0"), store.open_tree("deep")]
+            )
+
+    def test_bad_threshold_raises(self, handles):
+        for threshold in (0.4, 1.5, -1.0):
+            with pytest.raises(QueryError, match="threshold"):
+                stored_consensus(handles, threshold=threshold)
+
+
+class TestAnalyticsRequestValidation:
+    def test_unknown_operation(self):
+        with pytest.raises(QueryError, match="unknown analytics operation"):
+            AnalyticsRequest(operation="blend", trees=("a", "b"))
+
+    def test_compare_needs_exactly_two(self):
+        with pytest.raises(QueryError, match="exactly two"):
+            AnalyticsRequest.compare("a", "b").__class__(
+                operation="compare", trees=("a",)
+            )
+        with pytest.raises(QueryError, match="exactly two"):
+            AnalyticsRequest(operation="compare", trees=("a", "b", "c"))
+
+    def test_matrix_needs_two(self):
+        with pytest.raises(QueryError, match="at least two"):
+            AnalyticsRequest.distance_matrix("only")
+
+    def test_consensus_needs_one(self):
+        with pytest.raises(QueryError, match="at least one"):
+            AnalyticsRequest.consensus()
+
+    def test_tree_names_must_be_strings(self):
+        for bad in (("a", 3), (None, "b"), ("", "b"), "ab", 7):
+            with pytest.raises(QueryError):
+                AnalyticsRequest(operation="compare", trees=bad)
+
+    def test_threshold_validated_at_construction(self):
+        for bad in (0.4, 1.2, True, "half"):
+            with pytest.raises(QueryError):
+                AnalyticsRequest.consensus("a", threshold=bad)
+
+    def test_strict_bypasses_threshold_range(self):
+        request = AnalyticsRequest.consensus("a", threshold=0.0, strict=True)
+        assert request.strict is True
+
+    def test_params_shape(self):
+        assert AnalyticsRequest.compare("a", "b").params() == {
+            "trees": ["a", "b"]
+        }
+        assert AnalyticsRequest.consensus("a", threshold=0.75).params() == {
+            "trees": ["a"],
+            "threshold": 0.75,
+            "strict": False,
+        }
+
+
+class TestAnalyticsResultSurface:
+    def test_summary_covers_every_kind(self, store):
+        trees = ["rep0", "rep1", "rep2"]
+        compare = store.analyze(AnalyticsRequest.compare("rep0", "rep1"))
+        assert compare.summary().startswith("RF=")
+        matrix = store.analyze(AnalyticsRequest.distance_matrix(*trees))
+        assert matrix.summary() == "3x3 RF matrix"
+        consensus = store.analyze(AnalyticsRequest.consensus(*trees))
+        assert consensus.summary().endswith("clusters")
+
+    def test_summary_refuses_hollow_results(self):
+        request = AnalyticsRequest.compare("a", "b")
+        with pytest.raises(QueryError, match="carries no comparison"):
+            AnalyticsResult(request=request, duration_ms=0.0).summary()
+        matrix_request = AnalyticsRequest.distance_matrix("a", "b")
+        with pytest.raises(QueryError, match="carries no matrix"):
+            AnalyticsResult(request=matrix_request, duration_ms=0.0).summary()
+        consensus_request = AnalyticsRequest.consensus("a")
+        with pytest.raises(QueryError, match="carries no tree"):
+            AnalyticsResult(
+                request=consensus_request, duration_ms=0.0
+            ).summary()
+
+    def test_support_table_is_deterministic(self, store):
+        trees = [f"rep{i}" for i in range(N_PROFILE)]
+        result = store.analyze(AnalyticsRequest.consensus(*trees))
+        table = result.support_table()
+        assert table == sorted(table, key=lambda row: (-row[1], row[0]))
+        assert all(
+            isinstance(name, str) for cluster, _ in table for name in cluster
+        )
+
+    def test_empty_support_table(self):
+        request = AnalyticsRequest.consensus("a")
+        assert (
+            AnalyticsResult(request=request, duration_ms=0.0).support_table()
+            == []
+        )
+
+
+class TestSessionSurface:
+    def test_local_session_still_satisfies_protocol(self, store):
+        assert isinstance(store.session(), CrimsonSession)
+
+    def test_named_verbs_build_the_right_requests(self, store):
+        session = store.session()
+        compare = session.compare("rep0", "rep1")
+        assert compare.request.operation == "compare"
+        matrix = session.distance_matrix(["rep0", "rep1", "rep2"])
+        assert matrix.request.trees == ("rep0", "rep1", "rep2")
+        consensus = session.consensus(
+            ["rep0", "rep1"], threshold=0.75, strict=False
+        )
+        assert consensus.request.threshold == 0.75
+
+    def test_unknown_tree_is_storage_error(self, store):
+        with pytest.raises(StorageError, match="no tree named"):
+            store.analyze(AnalyticsRequest.compare("rep0", "missing"))
+
+    def test_bare_string_is_not_splatted_into_characters(self, store):
+        session = store.session()
+        with pytest.raises(QueryError, match="not a single string"):
+            session.consensus("rep0")
+        with pytest.raises(QueryError, match="not a single string"):
+            session.distance_matrix("rep0")
+
+    def test_single_scan_per_tree(self, profile):
+        """compare/matrix/consensus each read every input tree once."""
+        with CrimsonStore.open() as store:
+            for index, tree in enumerate(profile[:4]):
+                store.load_tree(tree, name=f"rep{index}", f=4)
+            names = [f"rep{i}" for i in range(4)]
+            # Each tree is small enough for one IN (...) chunk, and a
+            # catalogue lookup accompanies each cold open_tree — so a
+            # cold N-tree request costs exactly 2·N statements.
+            for request, n_trees in (
+                (AnalyticsRequest.consensus(*names), 4),
+                (AnalyticsRequest.distance_matrix(*names), 4),
+                (AnalyticsRequest.compare("rep0", "rep1"), 2),
+            ):
+                with CrimsonStore.open() as fresh:
+                    for index, tree in enumerate(profile[:4]):
+                        fresh.load_tree(tree, name=f"rep{index}", f=4)
+                    with fresh.db.count_statements() as counter:
+                        fresh.analyze(request)
+                    assert counter.count == 2 * n_trees
+
+    def test_recorded_analytics_land_in_history(self, profile):
+        with CrimsonStore.open() as store:
+            for index, tree in enumerate(profile[:3]):
+                store.load_tree(tree, name=f"rep{index}")
+            store.analyze(
+                AnalyticsRequest.consensus("rep0", "rep1", "rep2"),
+                record=True,
+            )
+            store.session().compare("rep0", "rep1", record=True)
+            operations = [
+                entry.operation for entry in store.history.recent(limit=5)
+            ]
+            assert operations[:2] == ["compare", "consensus"]
+            entry = store.history.recent(limit=1)[0]
+            assert entry.result_summary.startswith("RF=")
+
+    def test_duration_is_measured(self, store):
+        result = store.analyze(AnalyticsRequest.compare("rep0", "rep1"))
+        assert result.duration_ms >= 0.0
+
+    def test_warm_analyze_is_sql_free(self, profile):
+        with CrimsonStore.open() as store:
+            for index, tree in enumerate(profile):
+                store.load_tree(tree, name=f"rep{index}")
+            request = AnalyticsRequest.consensus(
+                *[f"rep{i}" for i in range(N_PROFILE)]
+            )
+            store.analyze(request)
+            with store.db.count_statements() as counter:
+                store.analyze(request)
+            assert counter.count == 0

@@ -221,6 +221,106 @@ class TestQueries:
         assert "lca" in capsys.readouterr().out
 
 
+@pytest.fixture
+def profile_db(dbpath, tmp_path):
+    """Three stored trees over one leaf set (two agree, one dissents)."""
+    shapes = {
+        "t1": "((a:1,b:1):0.5,(c:1,d:1):0.5)r;",
+        "t2": "((a:1,c:1):0.5,(b:1,d:1):0.5)r;",
+        "t3": "((a:1,b:1):0.5,(c:1,d:1):0.5)r;",
+    }
+    for name, newick in shapes.items():
+        path = tmp_path / f"{name}.nwk"
+        path.write_text(newick + "\n")
+        assert run(dbpath, "load", path, "--format", "newick", "--name", name) == 0
+    return dbpath
+
+
+class TestAnalyticsCommands:
+    def test_compare_two_trees(self, profile_db, capsys):
+        assert run(profile_db, "compare", "t1", "t2") == 0
+        output = capsys.readouterr().out
+        assert "RF distance:     2" in output
+        assert "shared clusters:" in output
+        assert "normalized RF:" in output
+
+    def test_compare_identical_trees(self, profile_db, capsys):
+        assert run(profile_db, "compare", "t1", "t3") == 0
+        assert "RF distance:     0" in capsys.readouterr().out
+
+    def test_compare_many_prints_matrix(self, profile_db, capsys):
+        assert run(profile_db, "compare", "t1", "t2", "t3") == 0
+        output = capsys.readouterr().out
+        lines = output.strip().splitlines()
+        assert lines[0].split() == ["t1", "t2", "t3"]
+        assert lines[1].split() == ["t1", "0", "2", "0"]
+
+    def test_consensus_prints_newick(self, profile_db, capsys):
+        assert run(profile_db, "consensus", "t1", "t2", "t3") == 0
+        output = capsys.readouterr().out
+        # The majority groups (a,b) and (c,d): t2 is outvoted 2-to-1.
+        assert output.startswith("(")
+        assert "a" in output and "d" in output
+
+    def test_consensus_support_table(self, profile_db, capsys):
+        assert run(
+            profile_db, "consensus", "t1", "t2", "t3", "--support"
+        ) == 0
+        output = capsys.readouterr().out
+        assert "66.7%" in output
+        assert "{a, b}" in output
+
+    def test_consensus_strict(self, profile_db, capsys):
+        assert run(profile_db, "consensus", "t1", "t3", "--strict") == 0
+        assert capsys.readouterr().out.startswith("(")
+
+    def test_consensus_ascii_format(self, profile_db, capsys):
+        assert run(
+            profile_db, "consensus", "t1", "t3", "--format", "ascii"
+        ) == 0
+        assert capsys.readouterr().out
+
+    def test_disjoint_leaf_sets_exit_one(self, profile_db, tmp_path, capsys):
+        other = tmp_path / "other.nwk"
+        other.write_text("((x:1,y:1):1,z:1)r;\n")
+        assert run(profile_db, "load", other, "--format", "newick") == 0
+        capsys.readouterr()
+        assert run(profile_db, "compare", "t1", "other") == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "different leaf sets" in err
+
+    def test_bad_threshold_exit_codes(self, profile_db, capsys):
+        # Out-of-range: a typed QueryError, exit 1.
+        assert run(profile_db, "consensus", "t1", "--threshold", "0.3") == 1
+        assert "threshold" in capsys.readouterr().err
+        # Unparseable: an argparse error, exit 2.
+        with pytest.raises(SystemExit) as excinfo:
+            run(profile_db, "consensus", "t1", "--threshold", "meh")
+        assert excinfo.value.code == 2
+
+    def test_compare_single_tree_exit_one(self, profile_db, capsys):
+        assert run(profile_db, "compare", "t1") == 1
+        assert "at least two trees" in capsys.readouterr().err
+
+    def test_unknown_tree_exit_one(self, profile_db, capsys):
+        assert run(profile_db, "compare", "t1", "missing") == 1
+        assert "no tree named" in capsys.readouterr().err
+
+    def test_analytics_recorded_and_rerunnable(self, profile_db, capsys):
+        assert run(profile_db, "compare", "t1", "t2") == 0
+        assert run(profile_db, "consensus", "t1", "t2", "t3") == 0
+        capsys.readouterr()
+        assert run(profile_db, "history") == 0
+        history = capsys.readouterr().out
+        assert "compare" in history and "consensus" in history
+        # Recorded query #1 is the compare; rerun replays it.
+        assert run(profile_db, "rerun", "1") == 0
+        output = capsys.readouterr().out
+        assert "re-running #1: compare" in output
+        assert "RF distance:     2" in output
+
+
 class TestViewAndExport:
     @pytest.mark.parametrize(
         "fmt,needle",

@@ -172,6 +172,100 @@ class TestTypedErrorsCrossTheWire:
             session.ping()
 
 
+@pytest.fixture
+def served_profile(tmp_path):
+    """A live server over a store holding a same-leaf-set tree profile
+    (plus the Figure-1 tree, whose leaf set is disjoint from it)."""
+    import numpy as np
+
+    from repro.reconstruction.random_tree import random_topology
+    from repro.reconstruction.rearrange import perturb
+
+    rng = np.random.default_rng(2006)
+    names = [f"s{i:02d}" for i in range(14)]
+    base = random_topology(names, rng)
+    profile = [base] + [perturb(base, 2, rng) for _ in range(4)]
+    path = str(tmp_path / "profile.db")
+    with CrimsonStore.open(path, readers=4) as store:
+        for index, tree in enumerate(profile):
+            store.load_tree(tree, name=f"rep{index}", f=4)
+        store.trees.store_tree(sample_tree(), f=2)
+        with CrimsonServer(store, port=0) as server:
+            host, port = server.address
+            yield store, profile, host, port
+
+
+class TestAnalyticsParity:
+    """Local and remote sessions answer analytics identically."""
+
+    NAMES = ["rep0", "rep1", "rep2", "rep3", "rep4"]
+
+    def test_compare_identical(self, served_profile):
+        store, _, host, port = served_profile
+        local = store.session().compare("rep0", "rep1")
+        with RemoteSession(host, port) as session:
+            remote = session.compare("rep0", "rep1")
+        assert remote.comparison == local.comparison
+        assert remote.shared_clusters == local.shared_clusters
+        assert remote.request == local.request
+
+    def test_distance_matrix_identical(self, served_profile):
+        store, _, host, port = served_profile
+        local = store.session().distance_matrix(self.NAMES)
+        with RemoteSession(host, port) as session:
+            remote = session.distance_matrix(self.NAMES)
+        assert remote.matrix == local.matrix
+
+    def test_consensus_identical_and_matches_in_memory(self, served_profile):
+        from repro.benchmark.consensus import majority_rule_consensus
+
+        store, profile, host, port = served_profile
+        local = store.session().consensus(self.NAMES)
+        with RemoteSession(host, port) as session:
+            remote = session.consensus(self.NAMES)
+        memory_tree, memory_support = majority_rule_consensus(profile)
+        assert (
+            write_newick(remote.consensus)
+            == write_newick(local.consensus)
+            == write_newick(memory_tree)
+        )
+        assert dict(remote.support) == dict(local.support) == memory_support
+
+    def test_strict_and_threshold_cross_the_wire(self, served_profile):
+        store, _, host, port = served_profile
+        with RemoteSession(host, port) as session:
+            strict = session.consensus(self.NAMES, strict=True)
+            assert strict.request.strict is True
+            threshold = session.consensus(self.NAMES, threshold=0.75)
+            assert threshold.request.threshold == 0.75
+
+    def test_disjoint_leaf_sets_raise_query_error_remotely(
+        self, served_profile
+    ):
+        _, _, host, port = served_profile
+        with RemoteSession(host, port) as session:
+            with pytest.raises(QueryError, match="different leaf sets"):
+                session.compare("rep0", "fig1-sample")
+            with pytest.raises(QueryError, match="different leaf sets"):
+                session.consensus(["rep0", "fig1-sample"])
+            # The connection survives the typed errors.
+            assert session.ping()["trees"] == 6
+
+    def test_unknown_tree_is_storage_error_remotely(self, served_profile):
+        _, _, host, port = served_profile
+        with RemoteSession(host, port) as session:
+            with pytest.raises(StorageError, match="no tree named"):
+                session.compare("rep0", "missing")
+
+    def test_recorded_remote_analytics_land_in_history(self, served_profile):
+        store, _, host, port = served_profile
+        with RemoteSession(host, port) as session:
+            session.consensus(self.NAMES, record=True)
+        entry = store.history.recent(limit=1)[0]
+        assert entry.operation == "consensus"
+        assert entry.params["trees"] == self.NAMES
+
+
 class TestRawProtocol:
     """Talk raw JSON lines to the server, bypassing RemoteSession."""
 
@@ -232,6 +326,67 @@ class TestRawProtocol:
             host, port, self.envelope("ping", request_id=None, id=12345)
         )
         assert response["id"] == 12345
+
+    def test_unrecognized_op_is_typed_error_and_connection_survives(
+        self, served
+    ):
+        """The pre/post-analytics compatibility guarantee, probed raw.
+
+        A verb this build does not dispatch — exactly what ``analyze``
+        is to a pre-analytics server, or what a future verb is to this
+        one — must come back as a typed ProtocolError *reply* (the
+        stream stays frame-aligned), and the same connection must keep
+        answering afterwards.
+        """
+        _, host, port = served
+        with socket.create_connection((host, port), timeout=5) as sock:
+            stream = sock.makefile("rwb")
+            for frame in (
+                self.envelope("analyze_v2", {"trees": ["a", "b"]}),
+                self.envelope("frobnicate"),
+            ):
+                stream.write(frame + b"\n")
+                stream.flush()
+                response = json.loads(stream.readline())
+                assert response["ok"] is False
+                error = wire.decode_error(response["error"])
+                assert isinstance(error, ProtocolError)
+                assert "unknown verb" in str(error)
+            # Same connection, next request: still serving.
+            stream.write(self.envelope("ping") + b"\n")
+            stream.flush()
+            response = json.loads(stream.readline())
+            assert response["ok"] is True
+
+    def test_malformed_analyze_payload_is_protocol_error(self, served):
+        _, host, port = served
+        with socket.create_connection((host, port), timeout=5) as sock:
+            stream = sock.makefile("rwb")
+            # Well-framed but unstamped/shapeless analytics payload.
+            stream.write(
+                self.envelope("analyze", {"trees": ["a", "b"]}) + b"\n"
+            )
+            stream.flush()
+            response = json.loads(stream.readline())
+            assert response["ok"] is False
+            assert isinstance(
+                wire.decode_error(response["error"]), ProtocolError
+            )
+            # The connection survives the malformed payload.
+            stream.write(self.envelope("ping") + b"\n")
+            stream.flush()
+            assert json.loads(stream.readline())["ok"] is True
+
+    def test_unknown_analytics_operation_is_query_error(self, served):
+        _, host, port = served
+        payload = wire.stamp({"operation": "blend", "trees": ["a", "b"]})
+        response = self.raw_call(
+            host, port, self.envelope("analyze", payload)
+        )
+        assert response["ok"] is False
+        error = wire.decode_error(response["error"])
+        assert isinstance(error, QueryError)
+        assert "unknown analytics operation" in str(error)
 
 
 class TestConnectionHygiene:

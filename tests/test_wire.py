@@ -21,7 +21,7 @@ from repro.errors import (
     StorageError,
 )
 from repro.storage import wire
-from repro.storage.api import QueryRequest, QueryResult
+from repro.storage.api import AnalyticsRequest, QueryRequest, QueryResult
 from repro.storage.maintenance import IntegrityReport
 from repro.storage.store import CrimsonStore
 from repro.trees.build import sample_tree
@@ -194,6 +194,127 @@ class TestResultRoundTrip:
         assert all(
             type(row.dist_from_root) is float for row in decoded.nodes
         )
+
+
+@pytest.fixture
+def analytics_store():
+    from repro.trees.build import caterpillar
+    from repro.trees.newick import parse_newick
+
+    with CrimsonStore.open() as store:
+        store.trees.store_tree(caterpillar(8), name="ladder", f=4)
+        store.trees.store_tree(
+            parse_newick("(((t1,t2),(t3,t4)),((t5,t6),(t7,t8)))r;"),
+            name="bush",
+            f=4,
+        )
+        store.trees.store_tree(
+            parse_newick("(((t1,t3),(t2,t4)),((t5,t7),(t6,t8)))r;"),
+            name="shuffled",
+            f=4,
+        )
+        yield store
+
+
+class TestAnalyticsRoundTrip:
+    def test_request_round_trips(self):
+        for request in (
+            AnalyticsRequest.compare("a", "b"),
+            AnalyticsRequest.distance_matrix("a", "b", "c"),
+            AnalyticsRequest.consensus("α", "b", threshold=0.75),
+            AnalyticsRequest.consensus("a", strict=True, threshold=0.0),
+        ):
+            decoded = wire.decode_analytics_request(
+                over_json(wire.encode_analytics_request(request))
+            )
+            assert decoded == request
+
+    def test_decoded_request_is_revalidated(self):
+        payload = over_json(
+            wire.encode_analytics_request(AnalyticsRequest.compare("a", "b"))
+        )
+        payload["trees"] = ["only"]
+        with pytest.raises(QueryError):
+            wire.decode_analytics_request(payload)
+        payload["operation"] = "blend"
+        with pytest.raises(QueryError):
+            wire.decode_analytics_request(payload)
+
+    def test_request_shape_errors_are_protocol_errors(self):
+        good = over_json(
+            wire.encode_analytics_request(AnalyticsRequest.compare("a", "b"))
+        )
+        for key, bad in (("operation", 3), ("threshold", "half"),
+                         ("threshold", True)):
+            payload = dict(good)
+            payload[key] = bad
+            with pytest.raises(ProtocolError):
+                wire.decode_analytics_request(payload)
+        with pytest.raises(ProtocolError):
+            wire.decode_analytics_request("not a mapping")
+
+    def test_compare_result_round_trips(self, analytics_store):
+        result = analytics_store.analyze(
+            AnalyticsRequest.compare("bush", "shuffled")
+        )
+        decoded = wire.decode_analytics_result(
+            over_json(wire.encode_analytics_result(result))
+        )
+        assert decoded.request == result.request
+        assert decoded.comparison == result.comparison
+        assert decoded.shared_clusters == result.shared_clusters
+        assert decoded.matrix is None and decoded.consensus is None
+
+    def test_matrix_result_round_trips(self, analytics_store):
+        result = analytics_store.analyze(
+            AnalyticsRequest.distance_matrix("ladder", "bush", "shuffled")
+        )
+        decoded = wire.decode_analytics_result(
+            over_json(wire.encode_analytics_result(result))
+        )
+        assert decoded.matrix == result.matrix
+        assert all(
+            type(cell) is int for row in decoded.matrix for cell in row
+        )
+
+    def test_consensus_result_round_trips(self, analytics_store):
+        result = analytics_store.analyze(
+            AnalyticsRequest.consensus("ladder", "bush", "shuffled")
+        )
+        decoded = wire.decode_analytics_result(
+            over_json(wire.encode_analytics_result(result))
+        )
+        assert write_newick(decoded.consensus) == write_newick(
+            result.consensus
+        )
+        assert decoded.support == dict(result.support)
+
+    def test_malformed_result_fields_are_protocol_errors(
+        self, analytics_store
+    ):
+        result = analytics_store.analyze(
+            AnalyticsRequest.consensus("ladder", "bush")
+        )
+        good = over_json(wire.encode_analytics_result(result))
+        for key, bad in (
+            ("duration_ms", "fast"),
+            ("support", [["cluster", "not-a-list"], 0.5]),
+            ("support", [[["a"], "half"]]),
+            ("matrix", [["1"]]),
+            ("matrix", [[True]]),
+            ("shared_clusters", True),
+        ):
+            payload = over_json(good)
+            payload[key] = bad
+            with pytest.raises(ProtocolError):
+                wire.decode_analytics_result(payload)
+
+    def test_future_analytics_payloads_rejected(self):
+        request = AnalyticsRequest.compare("a", "b")
+        payload = over_json(wire.encode_analytics_request(request))
+        payload["protocol"] = wire.PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError):
+            wire.decode_analytics_request(payload)
 
 
 class TestCatalogueAndReports:
