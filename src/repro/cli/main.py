@@ -52,6 +52,7 @@ from repro.simulation.birth_death import (
 )
 from repro.simulation.models import hky85, jc69, k80
 from repro.simulation.seqgen import evolve_sequences
+from repro.server.client import RemoteSession
 from repro.storage.api import AnalyticsRequest, QueryRequest
 from repro.storage.store import CrimsonStore
 from repro.trees.newick import write_newick
@@ -302,6 +303,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="listen port (default: 2006)",
     )
 
+    ping = commands.add_parser(
+        "ping",
+        help="round-trip a session ping (local store, or a server "
+        "with --host)",
+    )
+    ping.add_argument(
+        "--host",
+        default=None,
+        help="ping a running crimson server instead of the local store",
+    )
+    ping.add_argument(
+        "--port",
+        type=_port_number,
+        default=2006,
+        help="server port for --host (default: 2006)",
+    )
+
+    lint = commands.add_parser(
+        "lint",
+        help="run crimson-lint, the package's own invariant checker",
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        help="package directory to lint (default: the installed repro "
+        "package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule ids and descriptions, then exit",
+    )
+
     history = commands.add_parser("history", help="show recent queries")
     history.add_argument("--limit", type=int, default=20)
     history.add_argument("--tree")
@@ -360,6 +405,18 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     rng = np.random.default_rng(args.seed)
+    # lint and remote ping never touch the database file: handle them
+    # before the store opens (and possibly creates) it.
+    if args.command == "lint":
+        return _run_lint(args)
+    if args.command == "ping" and args.host is not None:
+        try:
+            with RemoteSession(args.host, args.port) as session:
+                print(json.dumps(session.ping(), indent=2, sort_keys=True))
+            return 0
+        except (CrimsonError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     try:
         with CrimsonStore.open(
             args.db,
@@ -375,6 +432,20 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    """Forward the ``lint`` subcommand to :func:`repro.lint.main`."""
+    from repro import lint as linter
+
+    forward: list[str] = ["--format", args.format]
+    if args.root is not None:
+        forward += ["--root", args.root]
+    if args.rules is not None:
+        forward += ["--rules", args.rules]
+    if args.list_rules:
+        forward.append("--list-rules")
+    return linter.main(forward)
 
 
 def _dispatch(args: argparse.Namespace, store: CrimsonStore, rng) -> int:
@@ -622,6 +693,12 @@ def _dispatch(args: argparse.Namespace, store: CrimsonStore, rng) -> int:
             server.serve_forever()
         finally:
             server.shutdown()
+        return 0
+
+    if args.command == "ping":
+        # The remote (--host) form exits in main() before the store
+        # opens; reaching here means: ping the local store's session.
+        print(json.dumps(store.session().ping(), indent=2, sort_keys=True))
         return 0
 
     if args.command == "history":

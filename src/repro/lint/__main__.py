@@ -1,0 +1,5 @@
+"""``python -m repro.lint`` — same entry point as ``crimson lint``."""
+
+from repro.lint import main
+
+raise SystemExit(main())

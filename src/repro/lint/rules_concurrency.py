@@ -1,0 +1,284 @@
+"""Concurrency hygiene: reader affinity, lock order, shared connections.
+
+The threading story (PRs 2–4) rests on three conventions: pooled
+reader connections are thread-sticky and must be re-checked-out, never
+cached on ``self``; locks are acquired in one global order so the
+threaded server cannot deadlock; and the single writer connection,
+which is opened with ``check_same_thread=False``, is always used under
+its transaction lock.  These rules derive each convention from the AST
+— the lock-order rule builds an acquisition graph out of ``with
+self.<lock>`` nesting plus one level of same-class call propagation
+and reports cycles.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import (
+    Finding,
+    Project,
+    Rule,
+    ancestors,
+    dotted_name,
+    self_attribute,
+)
+
+POOL_MODULE = "storage/pool.py"
+
+#: Calls whose result is a pooled / thread-sticky reader connection.
+READER_SOURCES = frozenset(
+    {"checkout", "reader", "reader_database", "shard_reader"}
+)
+
+_LOCK_FACTORIES = {
+    "threading.Lock": "Lock",
+    "threading.RLock": "RLock",
+    "Lock": "Lock",
+    "RLock": "RLock",
+}
+
+
+def _lock_kind(value: ast.expr) -> str | None:
+    """``"Lock"``/``"RLock"`` when ``value`` constructs one, else None."""
+    if not isinstance(value, ast.Call):
+        return None
+    return _LOCK_FACTORIES.get(dotted_name(value.func) or "")
+
+
+def _class_locks(classdef: ast.ClassDef) -> dict[str, str]:
+    """``self.<name> = threading.[R]Lock()`` assignments in a class."""
+    locks: dict[str, str] = {}
+    for node in ast.walk(classdef):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        kind = _lock_kind(value)
+        if kind is None:
+            continue
+        for target in targets:
+            name = self_attribute(target)
+            if name is not None:
+                locks[name] = kind
+    return locks
+
+
+def _acquired_locks(
+    item_exprs: list[ast.expr], locks: dict[str, str]
+) -> list[str]:
+    names = []
+    for expr in item_exprs:
+        name = self_attribute(expr)
+        if name in locks:
+            names.append(name)
+    return names
+
+
+def _held_locks(node: ast.AST, locks: dict[str, str]) -> list[str]:
+    """Locks held by enclosing ``with`` statements, outermost first."""
+    held: list[str] = []
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break
+        if isinstance(ancestor, ast.With):
+            exprs = [item.context_expr for item in ancestor.items]
+            held.extend(_acquired_locks(exprs, locks))
+    return held
+
+
+class ReaderEscape(Rule):
+    """Pooled reader connections are never cached on ``self``."""
+
+    rule_id = "concurrency-reader-escape"
+    description = (
+        "a checked-out reader connection is thread-sticky and must not "
+        "be stored on self outside storage/pool.py; re-check-out on "
+        "each use instead"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project:
+            if module.path == POOL_MODULE:
+                continue
+            for node in ast.walk(module.tree):
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                if not isinstance(value, ast.Call):
+                    continue
+                func = value.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in READER_SOURCES
+                ):
+                    continue
+                for target in targets:
+                    if self_attribute(target) is not None:
+                        yield self.finding(
+                            module.path,
+                            node,
+                            f"stores the result of .{func.attr}() on self; "
+                            "pooled readers are thread-sticky and must be "
+                            "checked out per call",
+                        )
+
+
+class LockOrder(Rule):
+    """The per-class lock acquisition graph must stay acyclic."""
+
+    rule_id = "concurrency-lock-order"
+    description = (
+        "locks of one class must be acquired in a consistent order; a "
+        "cycle in the with-nesting graph (including one level of "
+        "same-class calls) is a deadlock waiting for two threads"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project:
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(module.path, node)
+
+    def _check_class(
+        self, path: str, classdef: ast.ClassDef
+    ) -> Iterator[Finding]:
+        locks = _class_locks(classdef)
+        if len(locks) == 0:
+            return
+        methods = {
+            item.name: item
+            for item in classdef.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        direct: dict[str, set[str]] = {}
+        for name, method in methods.items():
+            acquired: set[str] = set()
+            for node in ast.walk(method):
+                if isinstance(node, ast.With):
+                    exprs = [item.context_expr for item in node.items]
+                    acquired.update(_acquired_locks(exprs, locks))
+            direct[name] = acquired
+
+        edges: dict[tuple[str, str], int] = {}
+
+        def record(held: list[str], inner: str, line: int) -> None:
+            for outer in held:
+                edges.setdefault((outer, inner), line)
+
+        for method in methods.values():
+            for node in ast.walk(method):
+                if isinstance(node, ast.With):
+                    held = _held_locks(node, locks)
+                    exprs = [item.context_expr for item in node.items]
+                    for inner in _acquired_locks(exprs, locks):
+                        record(held, inner, node.lineno)
+                elif isinstance(node, ast.Call):
+                    callee = None
+                    if isinstance(node.func, ast.Attribute):
+                        target = node.func.value
+                        if (
+                            isinstance(target, ast.Name)
+                            and target.id == "self"
+                        ):
+                            callee = node.func.attr
+                    if callee in direct:
+                        held = _held_locks(node, locks)
+                        for inner in direct[callee]:
+                            record(held, inner, node.lineno)
+
+        # Re-acquiring a non-reentrant lock deadlocks the same thread.
+        for (outer, inner), line in sorted(edges.items()):
+            if outer == inner and locks[inner] == "Lock":
+                yield self.finding(
+                    path,
+                    line,
+                    f"non-reentrant lock {inner!r} of {classdef.name} is "
+                    "acquired while already held; use an RLock or "
+                    "restructure",
+                )
+
+        graph: dict[str, set[str]] = {name: set() for name in locks}
+        for (outer, inner), _line in edges.items():
+            if outer != inner:
+                graph[outer].add(inner)
+
+        reach: dict[str, set[str]] = {}
+        for start in graph:
+            seen: set[str] = set()
+            stack = list(graph[start])
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                stack.extend(graph[current])
+            reach[start] = seen
+
+        cyclic = sorted(
+            {
+                name
+                for name in graph
+                for other in graph
+                if name != other
+                and other in reach[name]
+                and name in reach[other]
+            }
+        )
+        if cyclic:
+            yield self.finding(
+                path,
+                classdef,
+                f"lock-order cycle in {classdef.name} between "
+                f"{', '.join(repr(n) for n in cyclic)}; pick one global "
+                "order and acquire in it everywhere",
+            )
+
+
+class SameThreadGuard(Rule):
+    """``check_same_thread=False`` needs an adjacent transaction lock."""
+
+    rule_id = "concurrency-same-thread"
+    description = (
+        "a connection opened with check_same_thread=False is shared "
+        "between threads and must live in a class that also owns a "
+        "threading lock guarding its use"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                shared = any(
+                    keyword.arg == "check_same_thread"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is False
+                    for keyword in node.keywords
+                )
+                if not shared:
+                    continue
+                classdef = next(
+                    (
+                        ancestor
+                        for ancestor in ancestors(node)
+                        if isinstance(ancestor, ast.ClassDef)
+                    ),
+                    None,
+                )
+                if classdef is None or not _class_locks(classdef):
+                    yield self.finding(
+                        module.path,
+                        node,
+                        "connection opened with check_same_thread=False "
+                        "without a class-owned threading lock next to it; "
+                        "cross-thread use is unserialized",
+                    )

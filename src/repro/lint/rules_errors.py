@@ -1,0 +1,275 @@
+"""Typed-error discipline: everything crossing the session boundary is
+a :class:`~repro.errors.CrimsonError`.
+
+The session protocol's contract (PR 4) is that both transports raise
+the *same typed* errors, and the wire codec re-raises them client-side
+by class name.  That only holds while (a) public API modules raise
+registered ``CrimsonError`` subclasses, (b) nothing silently swallows
+the escape hatch ``except Exception``, and (c) the class registry in
+``errors.py`` and the wire registry in ``storage/wire.py`` agree.
+These rules check all three statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import (
+    Finding,
+    Module,
+    Project,
+    Rule,
+)
+
+ERRORS_MODULE = "errors.py"
+WIRE_MODULE = "storage/wire.py"
+
+PUBLIC_API_MODULES = ("storage/api.py", "storage/store.py", WIRE_MODULE)
+PUBLIC_API_PREFIXES = ("server/", "analytics/")
+
+#: Functions that *return* a typed CrimsonError (so ``raise f(...)`` is
+#: as typed as ``raise Cls(...)``).
+ERROR_FACTORIES = frozenset({"decode_error"})
+
+ROOT_ERROR = "CrimsonError"
+
+
+def error_registry(project: Project) -> dict[str, int]:
+    """CrimsonError subclass names declared in ``errors.py`` (+ lines).
+
+    Resolved transitively within the module: a class is registered when
+    any base (by name) is the root error or an already-registered class.
+    """
+    module = project.module(ERRORS_MODULE)
+    if module is None:
+        return {}
+    classes: dict[str, list[str]] = {}
+    lines: dict[str, int] = {}
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef):
+            bases = [
+                base.id for base in node.bases if isinstance(base, ast.Name)
+            ]
+            classes[node.name] = bases
+            lines[node.name] = node.lineno
+    registered: set[str] = {ROOT_ERROR} if ROOT_ERROR in classes else set()
+    changed = True
+    while changed:
+        changed = False
+        for name, bases in classes.items():
+            if name not in registered and any(b in registered for b in bases):
+                registered.add(name)
+                changed = True
+    return {name: lines[name] for name in registered}
+
+
+def _raised_callee(node: ast.Raise) -> ast.expr | None:
+    """The class/function being raised: ``X`` in ``raise X(...)``."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        return exc.func
+    return exc
+
+
+def _callee_name(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class TypedRaises(Rule):
+    """Public API modules raise registered CrimsonError subclasses only."""
+
+    rule_id = "errors-typed-raise"
+    description = (
+        "raise statements in storage/api.py, store.py, wire.py, "
+        "server/* and analytics/* must raise CrimsonError subclasses "
+        "(or re-raise), so every failure crossing the session boundary "
+        "decodes to the same type client-side"
+    )
+
+    def _in_scope(self, path: str) -> bool:
+        return path in PUBLIC_API_MODULES or path.startswith(
+            PUBLIC_API_PREFIXES
+        )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        registry = set(error_registry(project)) | {ROOT_ERROR}
+        for module in project:
+            if not self._in_scope(module.path):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Raise):
+                    continue
+                if node.exc is None:
+                    continue  # bare re-raise keeps the original type
+                name = _callee_name(_raised_callee(node))
+                if name in registry or name in ERROR_FACTORIES:
+                    continue
+                yield self.finding(
+                    module.path,
+                    node,
+                    f"raises {name or 'a dynamic value'!r}, which is not "
+                    "a registered CrimsonError subclass; sessions would "
+                    "surface it untyped (add the class to repro.errors "
+                    "or raise an existing kind)",
+                )
+
+
+class SwallowedExceptions(Rule):
+    """No ``except Exception:`` / bare ``except:`` without a raise."""
+
+    rule_id = "errors-no-swallow"
+    description = (
+        "a handler catching Exception/BaseException (or everything) "
+        "must contain a raise; a swallowing backstop hides bugs the "
+        "typed-error discipline exists to surface"
+    )
+
+    _BROAD = ("Exception", "BaseException")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                caught = node.type
+                name = None
+                if isinstance(caught, ast.Attribute):
+                    name = caught.attr
+                elif isinstance(caught, ast.Name):
+                    name = caught.id
+                if caught is not None and name not in self._BROAD:
+                    continue
+                if any(
+                    isinstance(child, ast.Raise)
+                    for child in ast.walk(
+                        ast.Module(body=node.body, type_ignores=[])
+                    )
+                ):
+                    continue
+                label = name or "everything"
+                yield self.finding(
+                    module.path,
+                    node,
+                    f"handler catches {label} without re-raising; narrow "
+                    "it to a typed error, or justify it with "
+                    "`# crimson: allow[errors-no-swallow] <why>`",
+                )
+
+
+class RegistrySync(Rule):
+    """errors.py and the wire error-kind registry cannot drift."""
+
+    rule_id = "errors-registry"
+    description = (
+        "every CrimsonError subclass lives in errors.py and is carried "
+        "by storage/wire.py's ERROR_KINDS, so each kind round-trips the "
+        "wire as itself"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        registry = error_registry(project)
+        if not registry and project.module(ERRORS_MODULE) is None:
+            yield self.finding(
+                ERRORS_MODULE, 1, "errors.py is missing; no error registry"
+            )
+            return
+
+        # (a) No error subclass may hide outside errors.py: the wire
+        # registry is built from errors.py, so a subclass declared
+        # elsewhere would decode as the base CrimsonError client-side.
+        names = set(registry) | {ROOT_ERROR}
+        for module in project:
+            if module.path == ERRORS_MODULE:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                for base in node.bases:
+                    base_name = (
+                        base.attr
+                        if isinstance(base, ast.Attribute)
+                        else base.id
+                        if isinstance(base, ast.Name)
+                        else None
+                    )
+                    if base_name in names:
+                        yield self.finding(
+                            module.path,
+                            node,
+                            f"error class {node.name!r} is defined outside "
+                            f"{ERRORS_MODULE}; it will not be in the wire "
+                            "registry and decodes as the base CrimsonError",
+                        )
+
+        # (b) The wire registry itself: either derived from the errors
+        # module (a dict comprehension — in sync by construction) or an
+        # explicit literal whose keys must match errors.py exactly.
+        wire = project.module(WIRE_MODULE)
+        if wire is None:
+            yield self.finding(
+                WIRE_MODULE, 1, "storage/wire.py is missing; no wire registry"
+            )
+            return
+        yield from self._check_error_kinds(wire, registry)
+
+    def _check_error_kinds(
+        self, wire: Module, registry: dict[str, int]
+    ) -> Iterator[Finding]:
+        value: ast.expr | None = None
+        line = 1
+        for node in wire.tree.body:
+            target: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, candidate = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, candidate = node.target, node.value
+            else:
+                continue
+            if isinstance(target, ast.Name) and target.id == "ERROR_KINDS":
+                value, line = candidate, node.lineno
+                break
+        if value is None:
+            yield self.finding(
+                wire.path,
+                line,
+                "no ERROR_KINDS registry found; the codec cannot "
+                "re-raise typed errors",
+            )
+            return
+        if isinstance(value, ast.DictComp):
+            # Derived registry (iterating the errors module): in sync
+            # with errors.py by construction.
+            return
+        if isinstance(value, ast.Dict):
+            keys = {
+                key.value
+                for key in value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            }
+            expected = set(registry) | {ROOT_ERROR}
+            for missing in sorted(expected - keys):
+                yield self.finding(
+                    wire.path,
+                    line,
+                    f"ERROR_KINDS is missing {missing!r}; that kind "
+                    "would decode as the base CrimsonError",
+                )
+            for extra in sorted(keys - expected):
+                yield self.finding(
+                    wire.path,
+                    line,
+                    f"ERROR_KINDS names {extra!r}, which errors.py does "
+                    "not define",
+                )
+            return
+        yield self.finding(
+            wire.path,
+            line,
+            "ERROR_KINDS has an unrecognized shape; use a dict "
+            "comprehension over the errors module or an explicit dict",
+        )

@@ -1,0 +1,114 @@
+"""Layering rules: who may import what.
+
+The storage layer's whole contract is that sqlite3 is an implementation
+detail of :mod:`repro.storage.database` — every other module works in
+terms of :class:`CrimsonDatabase`, typed rows, and repositories.  The
+read-only subsystems (the RPC server, the analytics package) must stay
+read-only, and the library must never depend on its own CLI.  These
+rules pin all three boundaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import (
+    Finding,
+    Project,
+    Rule,
+    dotted_name,
+    imported_modules,
+)
+
+DATABASE_MODULE = "storage/database.py"
+"""The one module allowed to touch sqlite3 directly."""
+
+READ_ONLY_PREFIXES = ("server/", "analytics/")
+"""Package subtrees that serve queries and must never write."""
+
+WRITER_MODULES = ("repro.storage.loader", "repro.storage.schema")
+"""Writer-side APIs the read-only subtrees may not import."""
+
+
+class SqliteLayering(Rule):
+    """``import sqlite3`` / ``sqlite3.connect`` only in database.py."""
+
+    rule_id = "layering-sqlite3"
+    description = (
+        "sqlite3 may be imported or connected only inside "
+        f"{DATABASE_MODULE}; everything else goes through CrimsonDatabase"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project:
+            if module.path == DATABASE_MODULE:
+                continue
+            for name, line in imported_modules(module):
+                if name == "sqlite3" or name.startswith("sqlite3."):
+                    yield self.finding(
+                        module.path,
+                        line,
+                        "import of sqlite3 outside "
+                        f"{DATABASE_MODULE}; use repro.storage.database "
+                        "(CrimsonDatabase, Row) instead",
+                    )
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and dotted_name(node) == "sqlite3.connect"
+                ):
+                    yield self.finding(
+                        module.path,
+                        node,
+                        "raw sqlite3.connect outside "
+                        f"{DATABASE_MODULE}; open a CrimsonDatabase",
+                    )
+
+
+class ReadOnlyImports(Rule):
+    """server/ and analytics/ must not import writer-side storage APIs."""
+
+    rule_id = "layering-read-only"
+    description = (
+        "repro.server.* and repro.analytics.* are read-only subsystems "
+        "and may not import the loader or schema modules"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project:
+            if not module.path.startswith(READ_ONLY_PREFIXES):
+                continue
+            for name, line in imported_modules(module):
+                for forbidden in WRITER_MODULES:
+                    if name == forbidden or name.startswith(forbidden + "."):
+                        yield self.finding(
+                            module.path,
+                            line,
+                            f"read-only subsystem imports writer-side "
+                            f"{forbidden}; route writes through the "
+                            "store handed in by the caller",
+                        )
+
+
+class NoCliImports(Rule):
+    """The library never imports its own command-line interface."""
+
+    rule_id = "layering-no-cli"
+    description = (
+        "no module outside repro.cli may import repro.cli; the CLI "
+        "depends on the library, never the reverse"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project:
+            if module.path.startswith("cli/"):
+                continue
+            for name, line in imported_modules(module):
+                if name == "repro.cli" or name.startswith("repro.cli."):
+                    yield self.finding(
+                        module.path,
+                        line,
+                        "library module imports repro.cli; move the "
+                        "shared code into the library instead",
+                    )

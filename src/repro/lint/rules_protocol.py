@@ -1,0 +1,391 @@
+"""Protocol exhaustiveness: every session operation on every surface.
+
+A :class:`CrimsonSession` operation only works end-to-end when six
+surfaces agree: the request constructors in ``storage/api.py``, the
+store dispatch in ``storage/store.py``, the verb table in
+``server/protocol.py``, the server dispatch in ``server/server.py``,
+the :class:`RemoteSession` stubs in ``server/client.py``, and the CLI
+subcommands in ``cli/main.py``.  PR 5 shipped the analytics verbs with
+an "unknown verb" gap between server and protocol table; this rule
+re-derives each surface from the AST and reports every missing pairing
+by name, so the gap class cannot recur as new operations and backends
+land.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import (
+    Finding,
+    Module,
+    Project,
+    Rule,
+    class_function,
+    compared_literals,
+    public_methods,
+    top_level_class,
+    tuple_literal,
+)
+
+API_MODULE = "storage/api.py"
+STORE_MODULE = "storage/store.py"
+PROTOCOL_MODULE = "server/protocol.py"
+SERVER_MODULE = "server/server.py"
+CLIENT_MODULE = "server/client.py"
+CLI_MODULE = "cli/main.py"
+
+SURFACES = (
+    API_MODULE,
+    STORE_MODULE,
+    PROTOCOL_MODULE,
+    SERVER_MODULE,
+    CLIENT_MODULE,
+    CLI_MODULE,
+)
+
+#: Operations whose CLI subcommand is spelled differently.  A
+#: ``distance_matrix`` request is issued by ``crimson compare`` with
+#: more than two trees — the CLI deliberately folds the two analytics
+#: shapes into one verb.
+CLI_OPERATION_ALIASES = {
+    "lca_batch": "lca-batch",
+    "distance_matrix": "compare",
+}
+
+#: Non-request session verbs and the CLI subcommand that exercises each.
+VERB_CLI = {
+    "list_trees": "list",
+    "describe": "info",
+    "verify": "verify",
+    "ping": "ping",
+}
+
+
+def _constructor_operations(classdef: ast.ClassDef) -> set[str]:
+    """String values passed as ``operation=`` inside a request class.
+
+    The per-operation classmethod constructors all build the request
+    with ``cls(operation="<literal>", ...)``, so the set of literals is
+    the set of operations the class can actually construct.
+    """
+    found: set[str] = set()
+    for node in ast.walk(classdef):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "operation"
+                and isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, str)
+            ):
+                found.add(keyword.value.value)
+    return found
+
+
+def _call_literals(classdef: ast.ClassDef, callee: str) -> set[str]:
+    """First-argument string literals of ``self.<callee>("...")`` calls."""
+    found: set[str] = set()
+    for node in ast.walk(classdef):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == callee
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            found.add(node.args[0].value)
+    return found
+
+
+def _cli_commands(module: Module) -> set[str]:
+    """Subcommand names registered via ``<sub>.add_parser("name", ...)``."""
+    found: set[str] = set()
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_parser"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            found.add(node.args[0].value)
+    return found
+
+
+class ProtocolExhaustiveness(Rule):
+    """Each operation must exist on constructor, dispatch, wire, CLI."""
+
+    rule_id = "protocol-exhaustive"
+    description = (
+        "every CrimsonSession operation must be wired through the "
+        "request constructors, store dispatch, verb table, server "
+        "dispatch, RemoteSession and the CLI in lockstep"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        missing = [path for path in SURFACES if project.module(path) is None]
+        for path in missing:
+            yield self.finding(
+                path, 1, "protocol surface file is missing from the package"
+            )
+        if missing:
+            return
+
+        api = project.modules[API_MODULE]
+        store = project.modules[STORE_MODULE]
+        protocol = project.modules[PROTOCOL_MODULE]
+        server = project.modules[SERVER_MODULE]
+        client = project.modules[CLIENT_MODULE]
+        cli = project.modules[CLI_MODULE]
+
+        yield from self._check_query_operations(api, store, cli)
+        yield from self._check_analytics_operations(api, store, cli)
+        yield from self._check_verbs(api, protocol, server, client, cli)
+
+    # -- request operations -------------------------------------------
+
+    def _check_query_operations(
+        self, api: Module, store: Module, cli: Module
+    ) -> Iterator[Finding]:
+        operations = tuple_literal(api, "OPERATIONS")
+        if operations is None:
+            yield self.finding(
+                api.path, 1, "no OPERATIONS tuple of string literals found"
+            )
+            return
+        yield from self._check_operations(
+            api,
+            store,
+            cli,
+            operations,
+            request_class="QueryRequest",
+            dispatch_method="_execute",
+            kind="query",
+        )
+
+    def _check_analytics_operations(
+        self, api: Module, store: Module, cli: Module
+    ) -> Iterator[Finding]:
+        operations = tuple_literal(api, "ANALYTICS_OPERATIONS")
+        if operations is None:
+            yield self.finding(
+                api.path,
+                1,
+                "no ANALYTICS_OPERATIONS tuple of string literals found",
+            )
+            return
+        yield from self._check_operations(
+            api,
+            store,
+            cli,
+            operations,
+            request_class="AnalyticsRequest",
+            dispatch_method="analyze",
+            kind="analytics",
+        )
+        # Analytics operations additionally need a convenience wrapper
+        # on AnalyticsVerbs (shared by both session implementations).
+        verbs = top_level_class(api, "AnalyticsVerbs")
+        if verbs is None:
+            yield self.finding(api.path, 1, "no AnalyticsVerbs class found")
+            return
+        wrapped = public_methods(verbs)
+        for operation in operations:
+            if operation not in wrapped:
+                yield self.finding(
+                    api.path,
+                    verbs,
+                    f"analytics operation {operation!r} has no "
+                    "AnalyticsVerbs wrapper method; sessions cannot "
+                    "call it directly",
+                )
+
+    def _check_operations(
+        self,
+        api: Module,
+        store: Module,
+        cli: Module,
+        operations: tuple[str, ...],
+        *,
+        request_class: str,
+        dispatch_method: str,
+        kind: str,
+    ) -> Iterator[Finding]:
+        classdef = top_level_class(api, request_class)
+        if classdef is None:
+            yield self.finding(
+                api.path, 1, f"no {request_class} class found"
+            )
+            return
+        constructed = _constructor_operations(classdef)
+        for operation in operations:
+            if operation not in constructed:
+                yield self.finding(
+                    api.path,
+                    classdef,
+                    f"{kind} operation {operation!r} has no "
+                    f"{request_class} constructor",
+                )
+        for extra in sorted(constructed - set(operations)):
+            yield self.finding(
+                api.path,
+                classdef,
+                f"{request_class} constructs unknown operation {extra!r} "
+                "(not in the declared operations tuple)",
+            )
+
+        store_class = top_level_class(store, "CrimsonStore")
+        dispatch = (
+            class_function(store_class, dispatch_method)
+            if store_class is not None
+            else None
+        )
+        if dispatch is None:
+            yield self.finding(
+                store.path,
+                1,
+                f"no CrimsonStore.{dispatch_method} dispatch method found",
+            )
+        else:
+            dispatched = compared_literals(dispatch, attribute="operation")
+            for operation in operations:
+                if operation not in dispatched:
+                    yield self.finding(
+                        store.path,
+                        dispatch,
+                        f"{kind} operation {operation!r} has no branch in "
+                        f"CrimsonStore.{dispatch_method}",
+                    )
+
+        commands = _cli_commands(cli)
+        for operation in operations:
+            command = CLI_OPERATION_ALIASES.get(operation, operation)
+            if command not in commands:
+                yield self.finding(
+                    cli.path,
+                    1,
+                    f"{kind} operation {operation!r} has no CLI "
+                    f"subcommand {command!r}",
+                )
+
+    # -- session verbs ------------------------------------------------
+
+    def _check_verbs(
+        self,
+        api: Module,
+        protocol: Module,
+        server: Module,
+        client: Module,
+        cli: Module,
+    ) -> Iterator[Finding]:
+        session = top_level_class(api, "CrimsonSession")
+        if session is None:
+            yield self.finding(
+                api.path, 1, "no CrimsonSession protocol class found"
+            )
+            return
+        session_methods = public_methods(session)
+
+        analytics = top_level_class(api, "AnalyticsVerbs")
+        analytics_methods = (
+            public_methods(analytics) if analytics is not None else set()
+        )
+
+        verbs = tuple_literal(protocol, "VERBS")
+        if verbs is None:
+            yield self.finding(
+                protocol.path,
+                1,
+                "no VERBS tuple of string literals found",
+            )
+            return
+
+        # The wire verb table is the session protocol minus close()
+        # (transport-local) and the analytics wrappers (sugar over the
+        # analyze verb).
+        expected = session_methods - {"close"} - analytics_methods
+        for verb in sorted(expected - set(verbs)):
+            yield self.finding(
+                protocol.path,
+                1,
+                f"session method {verb!r} is missing from the VERBS "
+                "wire table",
+            )
+        for verb in sorted(set(verbs) - expected):
+            yield self.finding(
+                protocol.path,
+                1,
+                f"wire verb {verb!r} has no CrimsonSession method",
+            )
+
+        server_class = top_level_class(server, "CrimsonServer")
+        dispatch = (
+            class_function(server_class, "dispatch")
+            if server_class is not None
+            else None
+        )
+        if dispatch is None:
+            yield self.finding(
+                server.path, 1, "no CrimsonServer.dispatch method found"
+            )
+        else:
+            handled = compared_literals(dispatch, name="verb")
+            for verb in verbs:
+                if verb not in handled:
+                    yield self.finding(
+                        server.path,
+                        dispatch,
+                        f"wire verb {verb!r} has no branch in "
+                        "CrimsonServer.dispatch",
+                    )
+
+        remote = top_level_class(client, "RemoteSession")
+        if remote is None:
+            yield self.finding(
+                client.path, 1, "no RemoteSession class found"
+            )
+        else:
+            called = _call_literals(remote, "_call")
+            for verb in verbs:
+                if verb not in called:
+                    yield self.finding(
+                        client.path,
+                        remote,
+                        f"wire verb {verb!r} is never sent by "
+                        f"RemoteSession (no self._call({verb!r}, ...))",
+                    )
+            remote_methods = public_methods(remote) | analytics_methods
+            for method in sorted(session_methods - remote_methods):
+                yield self.finding(
+                    client.path,
+                    remote,
+                    f"RemoteSession does not implement session method "
+                    f"{method!r}",
+                )
+
+        local = top_level_class(api, "LocalSession")
+        if local is None:
+            yield self.finding(api.path, 1, "no LocalSession class found")
+        else:
+            local_methods = public_methods(local) | analytics_methods
+            for method in sorted(session_methods - local_methods):
+                yield self.finding(
+                    api.path,
+                    local,
+                    f"LocalSession does not implement session method "
+                    f"{method!r}",
+                )
+
+        commands = _cli_commands(cli)
+        for verb, command in VERB_CLI.items():
+            if verb in session_methods and command not in commands:
+                yield self.finding(
+                    cli.path,
+                    1,
+                    f"session verb {verb!r} has no CLI subcommand "
+                    f"{command!r}",
+                )

@@ -1,0 +1,128 @@
+"""Resource discipline: connections and files in storage/ get closed.
+
+Every ``open()`` / ``sqlite3.connect()`` in the storage layer must be
+in a shape that releases the resource: a ``with`` block, a
+``contextlib.closing`` wrapper, a ``try``/``finally``, or ownership by
+a class that defines ``close()`` (the :class:`CrimsonDatabase` /
+:class:`ReaderPool` pattern — the object holds the handle and its
+``close`` is the release point).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import (
+    Finding,
+    Project,
+    Rule,
+    ancestors,
+    dotted_name,
+    self_attribute,
+)
+
+SCOPE_PREFIX = "storage/"
+
+_OPENERS = ("open", "sqlite3.connect", "connect")
+
+
+def _opens_resource(node: ast.Call) -> str | None:
+    name = dotted_name(node.func)
+    if name in _OPENERS:
+        return name
+    return None
+
+
+def _class_defines_close(classdef: ast.ClassDef) -> bool:
+    return any(
+        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and item.name == "close"
+        for item in classdef.body
+    )
+
+
+class ManagedResources(Rule):
+    """open()/connect() in storage/ must be managed."""
+
+    rule_id = "resources-managed"
+    description = (
+        "open()/connect() calls in storage/ must sit in a with block, "
+        "a closing() wrapper, a try/finally, or be assigned to self on "
+        "a class that defines close()"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project:
+            if not module.path.startswith(SCOPE_PREFIX):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                opener = _opens_resource(node)
+                if opener is None:
+                    continue
+                if self._managed(node):
+                    continue
+                yield self.finding(
+                    module.path,
+                    node,
+                    f"{opener}() result is not visibly released; use "
+                    "with/closing/try-finally or hand it to an object "
+                    "with a close()",
+                )
+
+    def _managed(self, node: ast.Call) -> bool:
+        previous: ast.AST = node
+        for ancestor in ancestors(node):
+            if isinstance(ancestor, ast.With):
+                # Managed when the call is part of a with item (directly
+                # or wrapped, e.g. ``with closing(connect(...))``).
+                if any(
+                    item.context_expr is previous
+                    or self._contains(item.context_expr, node)
+                    for item in ancestor.items
+                ):
+                    return True
+            if isinstance(ancestor, ast.Call):
+                wrapper = dotted_name(ancestor.func)
+                if wrapper in ("closing", "contextlib.closing"):
+                    return True
+            if isinstance(ancestor, ast.Try) and ancestor.finalbody:
+                return True
+            if isinstance(ancestor, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    ancestor.targets
+                    if isinstance(ancestor, ast.Assign)
+                    else [ancestor.target]
+                )
+                if any(
+                    self_attribute(target) is not None for target in targets
+                ):
+                    classdef = next(
+                        (
+                            outer
+                            for outer in ancestors(ancestor)
+                            if isinstance(outer, ast.ClassDef)
+                        ),
+                        None,
+                    )
+                    if classdef is not None and _class_defines_close(
+                        classdef
+                    ):
+                        return True
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                # Keep climbing: a method body may still sit inside a
+                # class whose close() owns the handle, but only the
+                # assignment shape above grants that — stop at the
+                # enclosing function otherwise.
+                previous = ancestor
+                continue
+            previous = ancestor
+        return False
+
+    @staticmethod
+    def _contains(haystack: ast.AST, needle: ast.AST) -> bool:
+        return any(child is needle for child in ast.walk(haystack))

@@ -83,7 +83,10 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 response = protocol.error_envelope(
                     request_id, wire.encode_error(error)
                 )
-            except Exception as error:  # noqa: BLE001 - reported to client
+            # The server's last-resort backstop: an unexpected bug must
+            # reach the client as an error envelope, not kill the
+            # connection thread silently.
+            except Exception as error:  # noqa: BLE001  # crimson: allow[errors-no-swallow] reported to client as an error envelope
                 response = protocol.error_envelope(
                     request_id, wire.encode_error(error)
                 )

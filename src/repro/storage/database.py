@@ -23,7 +23,17 @@ from typing import Iterator
 from urllib.parse import quote
 
 from repro.errors import StorageError
+from repro.storage.sanitize import maybe_sanitize
 from repro.storage.schema import create_schema
+
+Row = sqlite3.Row
+"""Re-export of the row type the convenience helpers return.
+
+Modules outside this one annotate and inspect rows as
+``database.Row`` instead of importing sqlite3 themselves — sqlite is
+an implementation detail of this module (the ``layering-sqlite3`` lint
+rule enforces exactly that boundary).
+"""
 
 
 def unwrap_database(owner: object, what: str, *, warn: bool = True) -> "CrimsonDatabase":
@@ -151,11 +161,18 @@ class CrimsonDatabase:
         # parameterized point/batch queries resident, so the hot path
         # re-binds rather than re-prepares.
         try:
-            self._connection: sqlite3.Connection | None = sqlite3.connect(
-                _read_only_uri(self.path) if read_only else self.path,
-                cached_statements=256,
-                uri=read_only,
-                check_same_thread=False,
+            # maybe_sanitize is an identity function unless
+            # CRIMSON_SANITIZE is set, in which case the connection is
+            # proxied for thread-affinity checks and statement budgets.
+            self._connection: sqlite3.Connection | None = maybe_sanitize(
+                sqlite3.connect(
+                    _read_only_uri(self.path) if read_only else self.path,
+                    cached_statements=256,
+                    uri=read_only,
+                    check_same_thread=False,
+                ),
+                self.path,
+                read_only=read_only,
             )
         except sqlite3.Error as error:
             raise StorageError(
@@ -230,6 +247,17 @@ class CrimsonDatabase:
     @property
     def is_closed(self) -> bool:
         return self._connection is None
+
+    def bind_current_thread(self) -> None:
+        """Mark the current thread as a legal user of this connection.
+
+        A no-op unless the connection is sanitized (``CRIMSON_SANITIZE``).
+        The reader pool calls this at checkout so thread-sticky readers
+        record every thread the round-robin legitimately hands them to.
+        """
+        binder = getattr(self._connection, "bind_thread", None)
+        if binder is not None:
+            binder()
 
     def __enter__(self) -> "CrimsonDatabase":
         return self

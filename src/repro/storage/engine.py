@@ -54,11 +54,10 @@ no locking and hit/miss counters stay exact per thread.
 
 from __future__ import annotations
 
-import sqlite3
 from typing import Iterable, Sequence
 
 from repro.storage.cache import CacheStats, LRUCache
-from repro.storage.database import CrimsonDatabase
+from repro.storage.database import CrimsonDatabase, Row
 
 DEFAULT_CACHE_SIZE = 4096
 """Default per-cache entry bound (see module docstring for sizing)."""
@@ -86,7 +85,7 @@ class StoredQueryEngine:
 
     Notes
     -----
-    The engine returns raw :class:`sqlite3.Row` objects (or ``None`` for
+    The engine returns raw :class:`Row` objects (or ``None`` for
     absent keys) and never raises domain errors itself — the query layer
     owns the ``QueryError`` / ``StorageError`` vocabulary.  Rows of a
     stored tree never change, so cached rows cannot go stale; deleting
@@ -114,15 +113,15 @@ class StoredQueryEngine:
     # Cache plumbing
     # ------------------------------------------------------------------
 
-    def _remember_node(self, row: sqlite3.Row) -> sqlite3.Row:
+    def _remember_node(self, row: Row) -> Row:
         self._nodes.put(row["node_id"], row)
         if row["name"] is not None:
             self._node_ids.put(row["name"], row["node_id"])
         return row
 
     def _remember_inode(
-        self, row: sqlite3.Row, pin: bool = False
-    ) -> sqlite3.Row:
+        self, row: Row, pin: bool = False
+    ) -> Row:
         # Upper-layer inodes are part of the O(n/f) skeleton of every
         # layered walk: pin them so layer-0 scans cannot evict them.
         # Callers set ``pin`` for layer-0 rows reached through the
@@ -142,7 +141,7 @@ class StoredQueryEngine:
     # Node rows
     # ------------------------------------------------------------------
 
-    def node_row(self, node_id: int) -> sqlite3.Row | None:
+    def node_row(self, node_id: int) -> Row | None:
         row = self._nodes.get(node_id)
         if row is not None:
             return row
@@ -152,7 +151,7 @@ class StoredQueryEngine:
         )
         return self._remember_node(row) if row is not None else None
 
-    def node_row_by_name(self, name: str) -> sqlite3.Row | None:
+    def node_row_by_name(self, name: str) -> Row | None:
         node_id = self._node_ids.get(name)
         if node_id is not None:
             cached = self._nodes.get(node_id)
@@ -164,10 +163,10 @@ class StoredQueryEngine:
         )
         return self._remember_node(row) if row is not None else None
 
-    def node_rows_many(self, node_ids: Iterable[int]) -> dict[int, sqlite3.Row]:
+    def node_rows_many(self, node_ids: Iterable[int]) -> dict[int, Row]:
         """Resolve many node ids at once, via cache + ``IN (...)`` fills."""
         wanted = list(dict.fromkeys(node_ids))
-        found: dict[int, sqlite3.Row] = {}
+        found: dict[int, Row] = {}
         missing: list[int] = []
         for node_id in wanted:
             row = self._nodes.get(node_id)
@@ -185,10 +184,10 @@ class StoredQueryEngine:
                 found[row["node_id"]] = self._remember_node(row)
         return found
 
-    def node_rows_by_names(self, names: Iterable[str]) -> dict[str, sqlite3.Row]:
+    def node_rows_by_names(self, names: Iterable[str]) -> dict[str, Row]:
         """Resolve many taxon names at once (absent names are omitted)."""
         wanted = list(dict.fromkeys(names))
-        found: dict[str, sqlite3.Row] = {}
+        found: dict[str, Row] = {}
         missing: list[str] = []
         for name in wanted:
             node_id = self._node_ids.get(name)
@@ -212,7 +211,7 @@ class StoredQueryEngine:
     # Index rows (inodes / blocks)
     # ------------------------------------------------------------------
 
-    def canonical_inode(self, node_id: int) -> sqlite3.Row | None:
+    def canonical_inode(self, node_id: int) -> Row | None:
         row = self._canonical.get(node_id)
         if row is not None:
             return row
@@ -225,7 +224,7 @@ class StoredQueryEngine:
 
     def canonical_inodes_many(
         self, node_ids: Iterable[int]
-    ) -> dict[int, sqlite3.Row]:
+    ) -> dict[int, Row]:
         """Resolve all canonical inodes of ``node_ids`` in one pass.
 
         This is the single ``IN (...)`` query the batched LCA and
@@ -233,7 +232,7 @@ class StoredQueryEngine:
         in one round trip instead of one point query per leaf.
         """
         wanted = list(dict.fromkeys(node_ids))
-        found: dict[int, sqlite3.Row] = {}
+        found: dict[int, Row] = {}
         missing: list[int] = []
         for node_id in wanted:
             row = self._canonical.get(node_id)
@@ -252,7 +251,7 @@ class StoredQueryEngine:
                 found[row["orig_node_id"]] = row
         return found
 
-    def inode(self, inode_id: int, pin: bool = False) -> sqlite3.Row | None:
+    def inode(self, inode_id: int, pin: bool = False) -> Row | None:
         """Fetch an inode by id; ``pin`` marks it as index skeleton.
 
         The LCA walk sets ``pin`` when resolving block root/source/rep
@@ -273,7 +272,7 @@ class StoredQueryEngine:
         )
         return self._remember_inode(row, pin=pin) if row is not None else None
 
-    def inode_at(self, block_id: int, label: str) -> sqlite3.Row | None:
+    def inode_at(self, block_id: int, label: str) -> Row | None:
         row = self._inode_at.get((block_id, label))
         if row is not None:
             return row
@@ -284,7 +283,7 @@ class StoredQueryEngine:
         )
         return self._remember_inode(row) if row is not None else None
 
-    def block(self, block_id: int) -> sqlite3.Row | None:
+    def block(self, block_id: int) -> Row | None:
         row = self._blocks.get(block_id)
         if row is not None:
             return row

@@ -98,6 +98,10 @@ class ReaderPool:
                 reader = CrimsonDatabase(self.path, read_only=True)
                 self._readers[slot] = reader
         self._local.reader = reader
+        # Legitimate handoff: when threads outnumber readers the
+        # round-robin shares connections, so record this thread as a
+        # legal user (a no-op unless the sanitizer is active).
+        reader.bind_current_thread()
         return reader
 
     # ------------------------------------------------------------------

@@ -27,6 +27,19 @@ def db():
     database.close()
 
 
+@pytest.fixture
+def sanitized(monkeypatch):
+    """Turn on the runtime connection sanitizer for this test.
+
+    Databases opened while the fixture is active wrap their sqlite
+    connections in thread-affinity + statement-counting proxies (see
+    :mod:`repro.storage.sanitize`), so the test can assert — via
+    ``statement_budget`` — that warm paths stay off the database and
+    that pooled readers are only used by threads that checked them out.
+    """
+    monkeypatch.setenv("CRIMSON_SANITIZE", "1")
+
+
 def make_random_tree(
     n_nodes: int, seed: int, max_children: int = 4, name_prefix: str = "L"
 ) -> PhyloTree:

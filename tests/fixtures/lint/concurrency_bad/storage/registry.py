@@ -1,0 +1,35 @@
+import threading
+
+
+class HandleCache:
+    def __init__(self, pool):
+        self._reader = pool.checkout()
+
+
+class Deadlocker:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                pass
+
+
+class Reacquire:
+    def __init__(self):
+        self._guard = threading.Lock()
+
+    def outer(self):
+        with self._guard:
+            self.inner()
+
+    def inner(self):
+        with self._guard:
+            pass

@@ -1,0 +1,5 @@
+import sqlite3
+
+
+def connect_unguarded(path):
+    return sqlite3.connect(path, check_same_thread=False)

@@ -1,0 +1,5 @@
+from repro.errors import CrimsonError
+
+
+class AnalyticsError(CrimsonError):
+    pass

@@ -1,0 +1,10 @@
+class CrimsonError(Exception):
+    pass
+
+
+class StorageError(CrimsonError):
+    pass
+
+
+class QueryError(CrimsonError):
+    pass

@@ -1,0 +1,7 @@
+def fetch(store, name):
+    if name is None:
+        raise ValueError("a name is required")
+    try:
+        return store.describe(name)
+    except Exception:
+        return None

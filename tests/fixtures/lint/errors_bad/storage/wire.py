@@ -1,0 +1,7 @@
+from repro.errors import CrimsonError, StorageError
+
+ERROR_KINDS = {
+    "CrimsonError": CrimsonError,
+    "StorageError": StorageError,
+    "ParseError": None,
+}

@@ -1,0 +1,5 @@
+from repro.storage.loader import DataLoader
+
+
+def reload(store, path):
+    return DataLoader(store).load_newick_file(path)

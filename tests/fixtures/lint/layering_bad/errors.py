@@ -1,0 +1,2 @@
+class CrimsonError(Exception):
+    pass

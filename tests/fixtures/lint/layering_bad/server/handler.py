@@ -1,0 +1,5 @@
+import sqlite3  # a read path reaching for the driver directly
+
+
+def rows(connection):
+    return connection.execute("SELECT 1").fetchall()

@@ -1,0 +1,6 @@
+import sqlite3
+
+
+def direct(path):
+    # Bypasses CrimsonDatabase entirely.
+    return sqlite3.connect(path)

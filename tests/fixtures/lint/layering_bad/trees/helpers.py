@@ -1,0 +1,5 @@
+from repro.cli.main import build_parser
+
+
+def usage():
+    return build_parser().format_usage()

@@ -1,0 +1,1 @@
+VERBS = ("query", "analyze", "list_trees", "describe", "verify", "ping")

@@ -1,0 +1,15 @@
+class CrimsonServer:
+    def dispatch(self, envelope):
+        verb = envelope["verb"]
+        if verb == "ping":
+            return {}
+        if verb == "query":
+            return {}
+        if verb == "analyze":
+            return {}
+        if verb == "list_trees":
+            return []
+        if verb == "describe":
+            return {}
+        assert verb == "verify"
+        return []

@@ -1,0 +1,56 @@
+"""Mini session API with one unwired operation: ``frontier`` is declared
+in OPERATIONS but has no constructor, no store branch, no CLI verb."""
+
+OPERATIONS = ("lca", "frontier")
+ANALYTICS_OPERATIONS = ("compare",)
+
+
+class QueryRequest:
+    @classmethod
+    def lca(cls, tree, *taxa):
+        return cls(operation="lca", tree=tree, taxa=taxa)
+
+
+class AnalyticsRequest:
+    @classmethod
+    def compare(cls, a, b):
+        return cls(operation="compare", trees=(a, b))
+
+
+class CrimsonSession:
+    def query(self, request): ...
+
+    def analyze(self, request): ...
+
+    def compare(self, a, b): ...
+
+    def list_trees(self): ...
+
+    def describe(self, name): ...
+
+    def verify(self, tree=None): ...
+
+    def ping(self): ...
+
+    def close(self): ...
+
+
+class AnalyticsVerbs:
+    def compare(self, a, b):
+        return self.analyze(AnalyticsRequest.compare(a, b))
+
+
+class LocalSession(AnalyticsVerbs):
+    def query(self, request): ...
+
+    def analyze(self, request): ...
+
+    def list_trees(self): ...
+
+    def describe(self, name): ...
+
+    def verify(self, tree=None): ...
+
+    def ping(self): ...
+
+    def close(self): ...

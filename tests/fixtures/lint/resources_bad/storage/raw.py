@@ -1,0 +1,29 @@
+import sqlite3
+from contextlib import closing
+
+
+def tally(path):
+    connection = sqlite3.connect(path)
+    return connection.execute("SELECT count(*) FROM nodes").fetchone()[0]
+
+
+def peek(path):
+    return open(path).read()
+
+
+def managed_read(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def managed_connect(path):
+    with closing(sqlite3.connect(path)) as connection:
+        return connection.execute("SELECT 1").fetchone()
+
+
+class Owner:
+    def __init__(self, path):
+        self.connection = sqlite3.connect(path)
+
+    def close(self):
+        self.connection.close()

@@ -1,0 +1,5 @@
+import sqlite3  # crimson: allow[layering-sqlite3] fixture proving suppressions work
+
+
+def silent(path):
+    return sqlite3.connect(path)  # crimson: allow[layering-sqlite3, resources-managed] both rules quieted here

@@ -1,0 +1,70 @@
+"""Registry audit: every CrimsonError kind round-trips a live server.
+
+The wire codec re-raises errors client-side by class name, looked up in
+``storage/wire.py``'s ``ERROR_KINDS``.  Two ways that can silently rot:
+a class added to ``errors.py`` but missing from the registry (decodes
+as the base ``CrimsonError``), or a registry entry with no class.  The
+static ``errors-registry`` lint rule guards the source shape; these
+tests guard the runtime behaviour, kind by kind, over a real socket.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors as errors_module
+from repro.errors import CrimsonError
+from repro.server import CrimsonServer, RemoteSession
+from repro.storage import wire
+from repro.storage.store import CrimsonStore
+from repro.trees.build import sample_tree
+
+
+def registered_error_classes() -> dict[str, type]:
+    """Every CrimsonError subclass (plus the root) defined in errors.py."""
+    return {
+        name: obj
+        for name, obj in vars(errors_module).items()
+        if isinstance(obj, type) and issubclass(obj, CrimsonError)
+    }
+
+
+def test_wire_registry_carries_every_error_class():
+    assert wire.ERROR_KINDS == registered_error_classes()
+
+
+def test_every_kind_is_instantiable_from_a_message_alone():
+    # decode_error builds each kind as cls(message): a subclass that
+    # grew a second required argument would break decoding.
+    for name, cls in sorted(wire.ERROR_KINDS.items()):
+        error = cls(f"synthetic {name}")
+        assert isinstance(error, CrimsonError)
+        assert f"synthetic {name}" in str(error)
+
+
+def test_each_registered_kind_reraises_client_side(tmp_path):
+    path = str(tmp_path / "kinds.db")
+    with CrimsonStore.open(path, readers=2) as store:
+        store.trees.store_tree(sample_tree(), f=2)
+        with CrimsonServer(store, port=0) as server:
+            host, port = server.address
+            with RemoteSession(host, port) as session:
+                for name, cls in sorted(wire.ERROR_KINDS.items()):
+                    probe = cls(f"synthetic {name}")
+
+                    def explode(_tree_name, _probe=probe):
+                        raise _probe
+
+                    # The server's describe verb calls store.describe:
+                    # shadow it on the instance so this exact error
+                    # object travels the wire.
+                    store.describe = explode
+                    try:
+                        with pytest.raises(CrimsonError) as caught:
+                            session.describe("fig1-sample")
+                    finally:
+                        del store.describe
+                    assert type(caught.value) is cls
+                    assert f"synthetic {name}" in str(caught.value)
+                # The shim is gone: the verb answers normally again.
+                assert session.describe("fig1-sample").name == "fig1-sample"

@@ -1,0 +1,204 @@
+"""The runtime connection sanitizer (``CRIMSON_SANITIZE=1``).
+
+Two promises under test: a pooled reader used from a thread that never
+checked it out raises a typed :class:`StorageError` (instead of racing
+another thread's cursor), and the warm ``lca`` / ``consensus`` paths
+execute exactly zero SQL statements — asserted with
+:func:`repro.storage.sanitize.statement_budget`, not inferred from
+timing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import sanitize
+from repro.storage.api import AnalyticsRequest, QueryRequest
+from repro.storage.database import CrimsonDatabase
+from repro.storage.sanitize import (
+    SanitizedConnection,
+    maybe_sanitize,
+    statement_budget,
+    total_statements,
+)
+from repro.storage.store import CrimsonStore
+from repro.trees.build import sample_tree
+
+
+def run_in_thread(fn):
+    """Run ``fn`` on a fresh thread; return {"value": ...} or {"error": ...}."""
+    outcome = {}
+
+    def target():
+        try:
+            outcome["value"] = fn()
+        except BaseException as error:  # noqa: BLE001 - relayed to the test
+            outcome["error"] = error
+
+    worker = threading.Thread(target=target)
+    worker.start()
+    worker.join()
+    return outcome
+
+
+class FakeConnection:
+    """Stand-in for sqlite3.Connection: records calls, needs no database."""
+
+    def __init__(self):
+        self.calls = []
+        self.row_factory = None
+
+    def execute(self, sql, parameters=()):
+        self.calls.append(("execute", sql))
+        return "cursor"
+
+    def executemany(self, sql, rows):
+        self.calls.append(("executemany", sql))
+
+    def executescript(self, script):
+        self.calls.append(("executescript", script))
+
+    def close(self):
+        self.calls.append(("close", None))
+
+
+class TestProxyUnit:
+    def test_disabled_sanitizer_is_an_identity(self, monkeypatch):
+        monkeypatch.delenv("CRIMSON_SANITIZE", raising=False)
+        inner = FakeConnection()
+        assert maybe_sanitize(inner, "x.db", read_only=False) is inner
+
+    def test_enabled_sanitizer_wraps(self, sanitized):
+        inner = FakeConnection()
+        proxy = maybe_sanitize(inner, "x.db", read_only=True)
+        assert isinstance(proxy, SanitizedConnection)
+
+    def test_statements_are_counted_and_delegated(self):
+        inner = FakeConnection()
+        proxy = SanitizedConnection(inner, "x.db", affine=False)
+        before = total_statements()
+        assert proxy.execute("SELECT 1") == "cursor"
+        proxy.executemany("INSERT", [(1,)])
+        proxy.executescript("BEGIN; COMMIT")
+        assert total_statements() - before == 3
+        assert [name for name, _ in inner.calls] == [
+            "execute", "executemany", "executescript",
+        ]
+
+    def test_attribute_traffic_passes_through(self):
+        inner = FakeConnection()
+        proxy = SanitizedConnection(inner, "x.db", affine=False)
+        proxy.row_factory = dict
+        assert inner.row_factory is dict
+        proxy.close()
+        assert ("close", None) in inner.calls
+
+    def test_non_affine_proxy_allows_any_thread(self):
+        proxy = SanitizedConnection(FakeConnection(), "x.db", affine=False)
+        outcome = run_in_thread(lambda: proxy.execute("SELECT 1"))
+        assert outcome == {"value": "cursor"}
+
+    def test_affine_proxy_rejects_unbound_threads(self):
+        proxy = SanitizedConnection(FakeConnection(), "x.db", affine=True)
+        assert proxy.execute("SELECT 1") == "cursor"  # creator is bound
+        outcome = run_in_thread(lambda: proxy.execute("SELECT 1"))
+        assert isinstance(outcome["error"], StorageError)
+        assert "checked it out" in str(outcome["error"])
+
+    def test_bind_thread_legitimizes_a_handoff(self):
+        proxy = SanitizedConnection(FakeConnection(), "x.db", affine=True)
+
+        def bound_use():
+            proxy.bind_thread()
+            return proxy.execute("SELECT 1")
+
+        assert run_in_thread(bound_use) == {"value": "cursor"}
+
+    def test_statement_budget_trips_on_the_offending_statement(self):
+        proxy = SanitizedConnection(FakeConnection(), "x.db", affine=False)
+        with statement_budget(2) as budget:
+            proxy.execute("SELECT 1")
+            proxy.execute("SELECT 2")
+            assert budget.spent == 2
+            with pytest.raises(StorageError, match="statement budget"):
+                proxy.execute("SELECT 3")
+        # The budget is popped: later statements are free again.
+        proxy.execute("SELECT 4")
+
+
+class TestPooledReaderAffinity:
+    def test_wrong_thread_use_raises_typed_storage_error(
+        self, sanitized, tmp_path
+    ):
+        path = str(tmp_path / "affinity.db")
+        with CrimsonStore.open(path, readers=2) as store:
+            store.trees.store_tree(sample_tree(), f=2)
+            mine = store.reader_database()
+            # A second thread checks out its own reader (round-robin
+            # slot 2 of 2) and leaks the handle back to this thread.
+            outcome = run_in_thread(store.reader_database)
+            leaked = outcome["value"]
+            assert leaked is not mine
+            with pytest.raises(StorageError, match="checked it out"):
+                leaked.query_one("SELECT 1")
+            # The properly checked-out reader still works here...
+            assert mine.query_one("SELECT 1") is not None
+            # ...and the leaked one still works on a thread that binds
+            # it the legitimate way (a fresh checkout).
+            assert "error" not in run_in_thread(
+                lambda: store.reader_database().query_one("SELECT 1")
+            )
+
+    def test_unsanitized_runs_are_unaffected(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("CRIMSON_SANITIZE", raising=False)
+        path = str(tmp_path / "plain.db")
+        with CrimsonStore.open(path, readers=2) as store:
+            store.trees.store_tree(sample_tree(), f=2)
+            reader = store.reader_database()
+            assert isinstance(reader, CrimsonDatabase)
+            # bind_current_thread is a cheap no-op without the proxy.
+            reader.bind_current_thread()
+            assert reader.query_one("SELECT 1") is not None
+
+
+class TestWarmPathBudgets:
+    def test_warm_lca_and_consensus_execute_zero_statements(self, sanitized):
+        with CrimsonStore.open() as store:
+            store.trees.store_tree(sample_tree(), name="a", f=2)
+            store.trees.store_tree(sample_tree(), name="b", f=2)
+            lca = QueryRequest.lca("a", "Lla", "Syn")
+            consensus = AnalyticsRequest.consensus("a", "b")
+            store.query(lca)  # warm the handle's row caches
+            store.analyze(consensus)
+            with statement_budget(0) as budget:
+                result = store.query(lca)
+                outcome = store.analyze(consensus)
+            assert budget.spent == 0
+            assert result.node.name == "R"
+            assert outcome.consensus is not None
+
+    def test_cold_query_under_zero_budget_raises(self, sanitized):
+        with CrimsonStore.open() as store:
+            store.trees.store_tree(sample_tree(), f=2)
+            with pytest.raises(StorageError, match="statement budget"):
+                with statement_budget(0):
+                    store.query(
+                        QueryRequest.lca("fig1-sample", "Lla", "Syn")
+                    )
+
+    def test_budget_only_observes_sanitized_connections(self, monkeypatch):
+        monkeypatch.delenv("CRIMSON_SANITIZE", raising=False)
+        with CrimsonStore.open() as store:
+            store.trees.store_tree(sample_tree(), f=2)
+            with statement_budget(0) as budget:
+                store.query(QueryRequest.lca("fig1-sample", "Lla", "Syn"))
+            assert budget.spent == 0  # raw connections are invisible
+
+    def test_total_statements_is_monotonic(self, sanitized):
+        before = sanitize.total_statements()
+        with CrimsonStore.open() as store:
+            store.trees.store_tree(sample_tree(), f=2)
+        assert sanitize.total_statements() > before
