@@ -1,0 +1,49 @@
+"""Admission control: pre-flight cost estimation, quotas, backpressure.
+
+A Crimson service taking untrusted traffic must ask "how expensive is
+this request?" *before* dispatching it.  This package answers in two
+halves:
+
+* :mod:`repro.admission.estimator` predicts one request's cost
+  (statements, rows touched, result bytes) from catalogue stats the
+  store already has — no SQL executed, warm repeat queries estimate
+  near zero, cold full-catalogue analytics estimate high.
+* :mod:`repro.admission.controller` enforces limits over those
+  estimates: a per-request budget, per-session token-bucket quotas,
+  and a server-wide concurrency cap with a bounded wait queue.  Every
+  refusal is a typed :class:`~repro.errors.ResourceError` carrying the
+  estimate and the limit it hit.
+
+:class:`~repro.storage.store.CrimsonStore` owns one
+:class:`AdmissionController` (unlimited by default) and consults it in
+``query``/``analyze``; ``crimson serve --max-cost/--quota/
+--max-concurrent`` turns the limits on for a server, and the
+``estimate`` session verb exposes the estimator end-to-end so clients
+can pre-flight before committing.
+"""
+
+from repro.admission.controller import (
+    MAX_TRACKED_SESSIONS,
+    AdmissionController,
+    AdmissionLimits,
+)
+from repro.admission.estimator import (
+    BATCH_CHUNK,
+    BYTE_WEIGHT,
+    ROW_WEIGHT,
+    CostEstimate,
+    estimate_analytics,
+    estimate_query,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionLimits",
+    "BATCH_CHUNK",
+    "BYTE_WEIGHT",
+    "CostEstimate",
+    "MAX_TRACKED_SESSIONS",
+    "ROW_WEIGHT",
+    "estimate_analytics",
+    "estimate_query",
+]

@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -53,7 +55,12 @@ from repro.simulation.birth_death import (
 from repro.simulation.models import hky85, jc69, k80
 from repro.simulation.seqgen import evolve_sequences
 from repro.server.client import RemoteSession
-from repro.storage.api import AnalyticsRequest, QueryRequest
+from repro.storage.api import (
+    ANALYTICS_OPERATIONS,
+    OPERATIONS,
+    AnalyticsRequest,
+    QueryRequest,
+)
 from repro.storage.store import CrimsonStore
 from repro.trees.newick import write_newick
 from repro.trees.nexus import NexusDocument, write_nexus
@@ -302,6 +309,93 @@ def build_parser() -> argparse.ArgumentParser:
         default=2006,
         help="listen port (default: 2006)",
     )
+    serve.add_argument(
+        "--max-cost",
+        type=float,
+        default=None,
+        help="refuse any single request whose pre-flight estimate "
+        "exceeds this cost (default: no per-request budget)",
+    )
+    serve.add_argument(
+        "--quota",
+        type=float,
+        default=None,
+        help="per-connection sustained budget, in estimated cost units "
+        "per second (token bucket; default: no quota)",
+    )
+    serve.add_argument(
+        "--quota-burst",
+        type=float,
+        default=None,
+        help="per-connection burst bucket capacity (default: 2x --quota)",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=_positive_int,
+        default=None,
+        help="server-wide cap on concurrently executing requests; "
+        "excess arrivals wait briefly, then are refused "
+        "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="seconds to wait for in-flight requests to finish on "
+        "SIGINT/SIGTERM before closing (default: 5)",
+    )
+
+    estimate = commands.add_parser(
+        "estimate",
+        help="pre-flight cost estimate of a query or analytics request, "
+        "without running it (local store, or a server with --host)",
+    )
+    estimate.add_argument(
+        "operation",
+        choices=OPERATIONS + ANALYTICS_OPERATIONS,
+        help="the operation to estimate",
+    )
+    estimate.add_argument(
+        "trees",
+        nargs="+",
+        help="stored tree name(s); query operations take exactly one",
+    )
+    estimate.add_argument(
+        "--taxa", nargs="+", help="species names (lca, clade, project)"
+    )
+    estimate.add_argument(
+        "--pairs",
+        nargs="+",
+        help="species pairs in the form NAME1,NAME2 (lca_batch)",
+    )
+    estimate.add_argument(
+        "--pattern", help="pattern tree in Newick notation (match)"
+    )
+    estimate.add_argument("--unordered", action="store_true")
+    estimate.add_argument(
+        "--threshold", type=float, default=0.5, help="consensus threshold"
+    )
+    estimate.add_argument(
+        "--strict", action="store_true", help="strict consensus"
+    )
+    estimate.add_argument(
+        "--host",
+        default=None,
+        help="estimate against a running crimson server instead of the "
+        "local store",
+    )
+    estimate.add_argument(
+        "--port",
+        type=_port_number,
+        default=2006,
+        help="server port for --host (default: 2006)",
+    )
+    estimate.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the full estimate as JSON",
+    )
 
     ping = commands.add_parser(
         "ping",
@@ -417,6 +511,16 @@ def main(argv: list[str] | None = None) -> int:
         except (CrimsonError, OSError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
+    if args.command == "estimate" and args.host is not None:
+        try:
+            with RemoteSession(args.host, args.port) as session:
+                _print_estimate(
+                    session.estimate(_estimate_request(args)), args.as_json
+                )
+            return 0
+        except (CrimsonError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     try:
         with CrimsonStore.open(
             args.db,
@@ -527,14 +631,7 @@ def _dispatch(args: argparse.Namespace, store: CrimsonStore, rng) -> int:
         return 0
 
     if args.command == "lca-batch":
-        pairs: list[tuple[str, str]] = []
-        for text in args.pairs:
-            parts = [part for part in text.split(",") if part]
-            if len(parts) != 2:
-                raise CrimsonError(
-                    f"pair {text!r} must be two comma-separated species names"
-                )
-            pairs.append((parts[0], parts[1]))
+        pairs = _parse_pairs(args.pairs)
         result = store.query(
             QueryRequest.lca_batch(args.tree, pairs), record=True
         )
@@ -678,21 +775,44 @@ def _dispatch(args: argparse.Namespace, store: CrimsonStore, rng) -> int:
         return 0
 
     if args.command == "serve":
+        from repro.admission import AdmissionController, AdmissionLimits
         from repro.server import CrimsonServer
         from repro.storage.wire import PROTOCOL_VERSION
 
+        limits = AdmissionLimits(
+            max_cost=args.max_cost,
+            quota_rate=args.quota,
+            quota_burst=args.quota_burst,
+            max_concurrent=args.max_concurrent,
+        )
+        if not limits.unlimited:
+            store.admission = AdmissionController(limits)
         server = CrimsonServer(store, host=args.host, port=args.port)
         host, port = server.address
         pool = store.pool.size if store.pool is not None else 0
+        # Handlers go in before the banner, so "banner printed" implies
+        # "signals drain gracefully" — supervisors key off the banner.
+        previous = _install_drain_handlers(server)
         print(
             f"serving {args.db} on {host}:{port} "
             f"(protocol {PROTOCOL_VERSION}, {pool} pooled readers, "
-            f"{store.shards} shard(s)); Ctrl-C to stop"
+            f"{store.shards} shard(s)); Ctrl-C to stop",
+            flush=True,
         )
+        if not limits.unlimited:
+            print(f"admission: {_describe_limits(limits)}", flush=True)
         try:
             server.serve_forever()
         finally:
-            server.shutdown()
+            for signum, handler in previous:
+                signal.signal(signum, handler)
+            server.shutdown(drain=args.drain_timeout)
+        return 0
+
+    if args.command == "estimate":
+        # The remote (--host) form exits in main() before the store
+        # opens; reaching here means: estimate against the local store.
+        _print_estimate(store.estimate(_estimate_request(args)), args.as_json)
         return 0
 
     if args.command == "ping":
@@ -841,6 +961,111 @@ def _replay_arguments(entry) -> list[str] | None:
             argv += ["--threshold", str(params["threshold"])]
         return argv
     return None
+
+
+def _parse_pairs(texts: list[str]) -> list[tuple[str, str]]:
+    """Parse ``NAME1,NAME2`` command-line pair arguments."""
+    pairs: list[tuple[str, str]] = []
+    for text in texts:
+        parts = [part for part in text.split(",") if part]
+        if len(parts) != 2:
+            raise CrimsonError(
+                f"pair {text!r} must be two comma-separated species names"
+            )
+        pairs.append((parts[0], parts[1]))
+    return pairs
+
+
+def _estimate_request(
+    args: argparse.Namespace,
+) -> QueryRequest | AnalyticsRequest:
+    """Build the typed request an ``estimate`` invocation describes."""
+    if args.operation in ANALYTICS_OPERATIONS:
+        if args.operation == "compare":
+            if len(args.trees) != 2:
+                raise CrimsonError("compare takes exactly two trees")
+            return AnalyticsRequest.compare(*args.trees)
+        if args.operation == "distance_matrix":
+            return AnalyticsRequest.distance_matrix(*args.trees)
+        return AnalyticsRequest.consensus(
+            *args.trees, threshold=args.threshold, strict=args.strict
+        )
+    if len(args.trees) != 1:
+        raise CrimsonError(
+            f"operation {args.operation!r} takes exactly one tree"
+        )
+    tree = args.trees[0]
+    if args.operation == "lca":
+        if not args.taxa:
+            raise CrimsonError("estimating lca needs --taxa")
+        return QueryRequest.lca(tree, *args.taxa)
+    if args.operation == "lca_batch":
+        if not args.pairs:
+            raise CrimsonError("estimating lca_batch needs --pairs")
+        return QueryRequest.lca_batch(tree, _parse_pairs(args.pairs))
+    if args.operation == "clade":
+        if not args.taxa:
+            raise CrimsonError("estimating clade needs --taxa")
+        return QueryRequest.clade(tree, *args.taxa)
+    if args.operation == "project":
+        if not args.taxa:
+            raise CrimsonError("estimating project needs --taxa")
+        return QueryRequest.project(tree, *args.taxa)
+    assert args.operation == "match"
+    if args.pattern is None:
+        raise CrimsonError("estimating match needs --pattern")
+    return QueryRequest.match(tree, args.pattern, ordered=not args.unordered)
+
+
+def _print_estimate(estimate, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(estimate.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(estimate.summary())
+
+
+def _describe_limits(limits) -> str:
+    """One banner line summarizing the configured admission limits."""
+    parts: list[str] = []
+    if limits.max_cost is not None:
+        parts.append(f"max-cost {limits.max_cost:g}")
+    if limits.quota_rate is not None:
+        parts.append(
+            f"quota {limits.quota_rate:g}/s (burst {limits.burst:g})"
+        )
+    if limits.max_concurrent is not None:
+        parts.append(
+            f"max-concurrent {limits.max_concurrent} "
+            f"(queue {limits.max_queue}, wait {limits.queue_timeout:g}s)"
+        )
+    return ", ".join(parts)
+
+
+def _install_drain_handlers(server) -> list[tuple[int, object]]:
+    """Make SIGINT/SIGTERM drain the server instead of tracebacking.
+
+    The handler hands the actual stop to a helper thread: stopping the
+    accept loop waits for the ``serve_forever`` thread to notice, and
+    that is the very thread the signal interrupts — calling
+    ``stop_accepting`` inline would deadlock.  Returns the handlers
+    being replaced so the caller can restore them; empty when not on
+    the main thread (Python only allows signal handlers there), in
+    which case the default KeyboardInterrupt path still applies.
+    """
+    def _handle(signum: int, frame: object) -> None:
+        threading.Thread(
+            target=server.stop_accepting,
+            name="crimson-drain",
+            daemon=True,
+        ).start()
+
+    previous: list[tuple[int, object]] = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous.append((signum, signal.signal(signum, _handle)))
+        except ValueError:
+            pass
+    return previous
 
 
 def _draw_sample(stored, args: argparse.Namespace, rng) -> list[str]:

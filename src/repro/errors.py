@@ -77,3 +77,65 @@ class SimulationError(CrimsonError):
     Examples: non-positive birth rates, an unnormalizable substitution
     model, or a requested tree size below two leaves.
     """
+
+
+class ResourceError(CrimsonError):
+    """A request was refused by admission control, not by its semantics.
+
+    Raised when a pre-flight cost estimate exceeds the per-request
+    budget, a session's token-bucket quota is exhausted, the server's
+    concurrency cap (plus its bounded wait queue) is full, or a server
+    is draining for shutdown.  The request itself may be perfectly
+    valid — retrying later, narrowing it, or raising the limits are all
+    legitimate responses, which is why this is distinct from
+    :class:`QueryError`.
+
+    ``estimate`` (a plain dict, see
+    :meth:`repro.admission.estimator.CostEstimate.as_dict`), ``limit``
+    (the numeric bound that was hit), and ``resource`` (``"cost"``,
+    ``"quota"``, ``"concurrency"``, or ``"shutdown"``) carry the
+    refusal's context across the wire so clients can budget retries.
+    All three are optional: the error stays constructible from its
+    message alone, as the wire codec requires.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        estimate: dict | None = None,
+        limit: float | None = None,
+        resource: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.estimate = dict(estimate) if estimate is not None else None
+        self.limit = limit
+        self.resource = resource
+
+    def wire_details(self) -> dict:
+        """JSON-friendly context the wire codec ships beside the message."""
+        details: dict = {}
+        if self.estimate is not None:
+            details["estimate"] = self.estimate
+        if self.limit is not None:
+            details["limit"] = self.limit
+        if self.resource is not None:
+            details["resource"] = self.resource
+        return details
+
+    def apply_wire_details(self, details: dict) -> None:
+        """Restore :meth:`wire_details` output on the decoded instance.
+
+        Lenient by design: a peer speaking the same protocol but built
+        from slightly different source may omit or malform fields, and
+        a decode must never fail over optional context.
+        """
+        estimate = details.get("estimate")
+        if isinstance(estimate, dict):
+            self.estimate = dict(estimate)
+        limit = details.get("limit")
+        if isinstance(limit, (int, float)) and not isinstance(limit, bool):
+            self.limit = float(limit)
+        resource = details.get("resource")
+        if isinstance(resource, str):
+            self.resource = resource

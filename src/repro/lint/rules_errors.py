@@ -26,7 +26,7 @@ ERRORS_MODULE = "errors.py"
 WIRE_MODULE = "storage/wire.py"
 
 PUBLIC_API_MODULES = ("storage/api.py", "storage/store.py", WIRE_MODULE)
-PUBLIC_API_PREFIXES = ("server/", "analytics/")
+PUBLIC_API_PREFIXES = ("server/", "analytics/", "admission/")
 
 #: Functions that *return* a typed CrimsonError (so ``raise f(...)`` is
 #: as typed as ``raise Cls(...)``).

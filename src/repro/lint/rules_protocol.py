@@ -60,6 +60,7 @@ VERB_CLI = {
     "describe": "info",
     "verify": "verify",
     "ping": "ping",
+    "estimate": "estimate",
 }
 
 

@@ -94,10 +94,14 @@ class RemoteSession(AnalyticsVerbs):
                 protocol.write_frame(
                     self._stream,
                     protocol.request_envelope(
-                        verb, payload, request_id=request_id, record=record
+                        verb,
+                        payload,
+                        request_id=request_id,
+                        record=record,
+                        chunks=True,
                     ),
                 )
-                envelope = protocol.read_frame(self._stream)
+                envelope = protocol.read_envelope(self._stream)
             except ProtocolError:
                 # The stream is no longer frame-aligned; the next call
                 # would pair stale bytes with the wrong request.
@@ -161,6 +165,17 @@ class RemoteSession(AnalyticsVerbs):
             "analyze", wire.encode_analytics_request(request), record=record
         )
         return wire.decode_analytics_result(payload)
+
+    def estimate(self, request: QueryRequest | AnalyticsRequest):
+        """Pre-flight cost estimate of one request, without running it.
+
+        Returns the server's :class:`~repro.admission.CostEstimate` —
+        the same numbers its admission controller would hold the real
+        request against, so a client can right-size a batch before
+        spending its quota on a refusal.
+        """
+        payload = self._call("estimate", wire.encode_estimate_request(request))
+        return wire.decode_estimate(payload)
 
     def list_trees(self) -> list[TreeInfo]:
         """Catalogue rows of every tree the server stores."""

@@ -18,7 +18,26 @@ Response envelope (one of)::
 ``id`` is an opaque client-chosen integer echoed back verbatim, so a
 client can pipeline requests on one connection and still pair answers.
 Verbs mirror the :class:`~repro.storage.api.CrimsonSession` protocol:
-``query``, ``list_trees``, ``describe``, ``verify``, and ``ping``.
+``query``, ``list_trees``, ``describe``, ``verify``, ``ping``, and
+``estimate``.
+
+Chunked responses
+-----------------
+A client that sets ``"chunks": true`` in its request envelope opts in
+to **multi-frame continuation**: a response whose serialized form
+reaches :data:`STREAM_CHUNK_BYTES` is split into chunk frames ::
+
+    {"protocol": 1, "id": 7, "chunk": 0, "more": true,  "data": "..."}
+    {"protocol": 1, "id": 7, "chunk": 1, "more": false, "data": "..."}
+
+where the concatenated ``data`` pieces are the JSON text of the
+ordinary response envelope.  Each chunk frame is bounded, so big
+answers stream in pieces instead of being refused by the
+:data:`MAX_FRAME_BYTES` guard or buffered whole past it.  The field
+rides the existing :data:`PROTOCOL_VERSION` negotiation point: old
+servers ignore unknown envelope fields and keep answering in single
+frames, and old clients never advertise, so they never see a chunk
+frame — both directions stay compatible.
 """
 
 from __future__ import annotations
@@ -36,6 +55,7 @@ VERBS: tuple[str, ...] = (
     "describe",
     "verify",
     "ping",
+    "estimate",
 )
 """Verbs the server dispatches (the session protocol, minus ``close``;
 the named analytics operations all travel as one ``analyze`` verb).
@@ -47,6 +67,14 @@ and the connection stays usable; only unframeable bytes end it."""
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 """Upper bound on one frame — a guard against unframed garbage."""
 
+STREAM_CHUNK_BYTES = 4 * 1024 * 1024
+"""Serialized responses at least this large stream as chunk frames
+(when the client advertised ``chunks``) instead of one giant frame."""
+
+MAX_STREAM_BYTES = 1024 * 1024 * 1024
+"""Upper bound on a reassembled chunked response — a guard against a
+hostile peer streaming forever."""
+
 
 def request_envelope(
     verb: str,
@@ -54,11 +82,19 @@ def request_envelope(
     *,
     request_id: int = 0,
     record: bool = False,
+    chunks: bool = False,
 ) -> dict[str, Any]:
-    """Build one request envelope (stamped with the protocol version)."""
-    return stamp(
-        {"id": request_id, "verb": verb, "payload": payload, "record": record}
-    )
+    """Build one request envelope (stamped with the protocol version).
+
+    ``chunks=True`` advertises that the sender understands chunked
+    responses; peers that don't know the field ignore it.
+    """
+    envelope = {
+        "id": request_id, "verb": verb, "payload": payload, "record": record
+    }
+    if chunks:
+        envelope["chunks"] = True
+    return stamp(envelope)
 
 
 def response_envelope(request_id: Any, result: Any) -> dict[str, Any]:
@@ -154,15 +190,147 @@ def read_frame(stream: BinaryIO) -> dict[str, Any] | None:
     return envelope
 
 
+# ----------------------------------------------------------------------
+# Chunked continuation (negotiated via the request's "chunks" field)
+# ----------------------------------------------------------------------
+
+def _chunk_piece_chars() -> int:
+    """Characters of envelope text per chunk frame.
+
+    Derived from the *current* limits so a test (or deployment) that
+    shrinks :data:`MAX_FRAME_BYTES` still gets in-bound chunk frames.
+    The budget of 8 bytes per character covers the worst of UTF-8
+    width and JSON re-escaping of the embedded text, plus the chunk
+    envelope's own overhead.
+    """
+    return max(1, min(STREAM_CHUNK_BYTES, MAX_FRAME_BYTES) // 8)
+
+
+def write_envelope(
+    stream: BinaryIO, envelope: Mapping[str, Any], *, chunked: bool = False
+) -> None:
+    """Write one response envelope, chunking large ones if negotiated.
+
+    With ``chunked=False`` this is exactly :func:`write_frame` — one
+    frame or a :class:`ProtocolError` past :data:`MAX_FRAME_BYTES`.
+    With ``chunked=True`` a response whose serialized form reaches the
+    streaming threshold is split into bounded chunk frames carrying
+    consecutive pieces of the envelope's JSON text; the split is by
+    *character*, so multi-byte text never tears across frames.
+    """
+    line = json.dumps(envelope, ensure_ascii=False, separators=(",", ":"))
+    encoded = line.encode("utf-8")
+    threshold = min(STREAM_CHUNK_BYTES, MAX_FRAME_BYTES)
+    if not chunked or len(encoded) < threshold:
+        if len(encoded) >= MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame of {len(encoded)} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte limit; narrow the request "
+                "(fewer taxa or pairs per call)"
+            )
+        stream.write(encoded + b"\n")
+        stream.flush()
+        return
+    piece = _chunk_piece_chars()
+    request_id = envelope.get("id")
+    total = len(line)
+    for index, start in enumerate(range(0, total, piece)):
+        write_frame(
+            stream,
+            stamp(
+                {
+                    "id": request_id,
+                    "chunk": index,
+                    "more": start + piece < total,
+                    "data": line[start : start + piece],
+                }
+            ),
+        )
+
+
+def read_envelope(stream: BinaryIO) -> dict[str, Any] | None:
+    """Read one response envelope, reassembling chunk frames.
+
+    A frame without a ``chunk`` field is returned as-is (``None`` on a
+    clean EOF).  Chunk frames are validated — protocol stamp, matching
+    request id, consecutive indexes, bounded total size — concatenated,
+    and parsed back into the ordinary response envelope.
+
+    Raises
+    ------
+    ProtocolError
+        On a malformed or out-of-order chunk frame, a stream that ends
+        mid-chunk, a reassembled response past :data:`MAX_STREAM_BYTES`,
+        or any :func:`read_frame` failure.
+    """
+    envelope = read_frame(stream)
+    if envelope is None or "chunk" not in envelope:
+        return envelope
+    request_id = envelope.get("id")
+    pieces: list[str] = []
+    received = 0
+    index = 0
+    while True:
+        check_protocol(envelope, "a chunk frame")
+        if envelope.get("chunk") != index:
+            raise ProtocolError(
+                f"chunk {envelope.get('chunk')!r} arrived out of order "
+                f"(expected {index})"
+            )
+        if envelope.get("id") != request_id:
+            raise ProtocolError(
+                f"chunk frame names request {envelope.get('id')!r}, "
+                f"expected {request_id!r}"
+            )
+        data = envelope.get("data")
+        if not isinstance(data, str):
+            raise ProtocolError("a chunk frame's 'data' must be a string")
+        received += len(data)
+        if received > MAX_STREAM_BYTES:
+            raise ProtocolError(
+                f"chunked response exceeds {MAX_STREAM_BYTES} bytes; "
+                "refusing to buffer further"
+            )
+        pieces.append(data)
+        if not envelope.get("more"):
+            break
+        index += 1
+        envelope = read_frame(stream)
+        if envelope is None:
+            raise ProtocolError(
+                "stream ended mid-chunk (peer hung up between chunk frames)"
+            )
+        if "chunk" not in envelope:
+            raise ProtocolError(
+                "peer interleaved a non-chunk frame into a chunked response"
+            )
+    try:
+        assembled = json.loads("".join(pieces))
+    except ValueError as error:
+        raise ProtocolError(
+            f"unparseable chunked response: {error}"
+        ) from None
+    if not isinstance(assembled, dict):
+        raise ProtocolError(
+            "a chunked response must reassemble to a JSON object, got "
+            f"{type(assembled).__name__}"
+        )
+    return assembled
+
+
 __all__ = [
     "MAX_FRAME_BYTES",
+    "MAX_STREAM_BYTES",
     "PROTOCOL_VERSION",
+    "STREAM_CHUNK_BYTES",
     "VERBS",
     "error_envelope",
     "parse_request",
     "parse_response",
+    "read_envelope",
     "read_frame",
     "request_envelope",
     "response_envelope",
+    "write_envelope",
     "write_frame",
 ]

@@ -31,9 +31,10 @@ from __future__ import annotations
 
 import socketserver
 import threading
+import time
 from typing import Any
 
-from repro.errors import CrimsonError, ProtocolError
+from repro.errors import CrimsonError, ProtocolError, ResourceError
 from repro.server import protocol
 from repro.storage import wire
 
@@ -75,6 +76,7 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
             if envelope is None:
                 return
             request_id = envelope.get("id")
+            crimson._begin_request()
             try:
                 response = protocol.response_envelope(
                     request_id, crimson.dispatch(envelope)
@@ -90,12 +92,18 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 response = protocol.error_envelope(
                     request_id, wire.encode_error(error)
                 )
-            if not self._reply(response):
+            finally:
+                crimson._end_request()
+            if not self._reply(
+                response, chunked=envelope.get("chunks") is True
+            ):
                 return
 
-    def _reply(self, response: dict[str, Any]) -> bool:
+    def _reply(
+        self, response: dict[str, Any], *, chunked: bool = False
+    ) -> bool:
         try:
-            protocol.write_frame(self.wfile, response)
+            protocol.write_envelope(self.wfile, response, chunked=chunked)
             return True
         except ProtocolError as error:
             # The result itself was too large for one frame; nothing
@@ -135,7 +143,18 @@ class CrimsonServer:
         self.store = store
         self._tcp = _ThreadedTCPServer((host, port), _ConnectionHandler, self)
         self._thread: threading.Thread | None = None
-        self._serving = threading.Event()
+        # Whether the TCP accept loop is actually inside serve_forever;
+        # BaseServer.shutdown() deadlocks when the loop never started,
+        # so stoppers must consult this under the same lock that
+        # _serve_loop uses to enter.
+        self._loop_lock = threading.Lock()
+        self._loop_running = False
+        # Graceful-shutdown state: while draining, new requests are
+        # refused with a typed ResourceError and shutdown(drain=...)
+        # waits for the in-flight count to hit zero.
+        self._draining = False
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -154,12 +173,21 @@ class CrimsonServer:
         exceptions into failure envelopes.
         """
         verb, payload, record = protocol.parse_request(envelope)
+        if self._draining:
+            raise ResourceError(
+                "server is draining for shutdown; no new requests are "
+                "admitted",
+                resource="shutdown",
+            )
         if verb == "ping":
             return self._ping_payload()
         if verb == "query":
             request = wire.decode_request(payload)
             result = self.store.query(request, record=record)
             return wire.encode_result(result)
+        if verb == "estimate":
+            request = wire.decode_estimate_request(payload)
+            return wire.encode_estimate(self.store.estimate(request))
         if verb == "analyze":
             analytics = wire.decode_analytics_request(payload)
             outcome = self.store.analyze(analytics, record=record)
@@ -198,37 +226,102 @@ class CrimsonServer:
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def serve_forever(self) -> None:
-        """Serve on the calling thread until :meth:`shutdown` (blocking)."""
-        self._serving.set()
+    def _begin_request(self) -> None:
+        with self._inflight_cond:
+            self._inflight += 1
+
+    def _end_request(self) -> None:
+        with self._inflight_cond:
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently executing (for drains and diagnostics)."""
+        with self._inflight_cond:
+            return self._inflight
+
+    def stop_accepting(self) -> None:
+        """Start draining: refuse new requests, stop the accept loop.
+
+        Safe to call from any thread *except* the one running
+        :meth:`serve_forever` (stopping the loop waits for it to
+        exit) — a signal handler should hand this to a helper thread.
+        In-flight requests keep running; finish the shutdown with
+        :meth:`shutdown`.
+        """
+        self._draining = True
+        self._stop_tcp_loop()
+
+    def _stop_tcp_loop(self) -> None:
+        # BaseServer.shutdown() waits on an event that only its
+        # serve_forever sets, so signalling a loop that never started
+        # would block forever.  A loop that exits after the check is
+        # fine: the event is then already set and shutdown() returns.
+        with self._loop_lock:
+            if not self._loop_running:
+                return
+        self._tcp.shutdown()
+
+    def _serve_loop(self) -> None:
+        # Entering under _loop_lock closes the race with stoppers: a
+        # stop that lands before the loop starts sets _draining first
+        # and is honoured here instead of being lost.
+        with self._loop_lock:
+            if self._draining:
+                return
+            self._loop_running = True
         try:
             self._tcp.serve_forever(poll_interval=0.1)
+        finally:
+            with self._loop_lock:
+                self._loop_running = False
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (blocking)."""
+        try:
+            self._serve_loop()
         finally:
             self._tcp.server_close()
 
     def start(self) -> tuple[str, int]:
         """Serve on a background daemon thread; return the bound address."""
         if self._thread is None:
-            self._serving.set()
             self._thread = threading.Thread(
-                target=self._tcp.serve_forever,
-                kwargs={"poll_interval": 0.1},
+                target=self._serve_loop,
                 name="crimson-server",
                 daemon=True,
             )
             self._thread.start()
         return self.address
 
-    def shutdown(self) -> None:
+    def shutdown(self, drain: float | None = None) -> None:
         """Stop accepting connections and release the socket (idempotent).
 
         Safe to call whether the server is running in the background,
         on another thread via :meth:`serve_forever`, or not at all.
+
+        ``drain`` waits up to that many seconds for in-flight requests
+        to finish before the socket closes; while draining, new
+        requests are answered with a typed
+        :class:`~repro.errors.ResourceError` instead of executing.
+        ``None`` (the default) keeps the historical immediate shutdown.
         """
-        # BaseServer.shutdown() blocks forever if serve_forever never
-        # ran, so only signal a loop that actually started.
-        if self._serving.is_set():
-            self._tcp.shutdown()
+        # Draining also bars a not-yet-started loop thread from ever
+        # entering serve_forever, so server_close() below cannot pull
+        # the socket out from under a live accept loop.
+        self._draining = True
+        if drain is not None:
+            self._stop_tcp_loop()
+            with self._inflight_cond:
+                deadline = time.monotonic() + drain
+                while self._inflight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._inflight_cond.wait(
+                        remaining
+                    ):
+                        break
+        self._stop_tcp_loop()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None

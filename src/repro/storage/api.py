@@ -55,6 +55,7 @@ from repro.storage.tree_repository import NodeRow, TreeInfo
 from repro.trees.tree import PhyloTree
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.admission.estimator import CostEstimate
     from repro.benchmark.metrics import SplitComparison
 
 OPERATIONS: tuple[str, ...] = ("lca", "lca_batch", "clade", "project", "match")
@@ -478,6 +479,12 @@ class CrimsonSession(Protocol):
         """Majority-rule (or strict) consensus across stored trees."""
         ...
 
+    def estimate(
+        self, request: QueryRequest | AnalyticsRequest
+    ) -> "CostEstimate":
+        """Pre-flight cost estimate of one request, without running it."""
+        ...
+
     def list_trees(self) -> list[TreeInfo]:
         """Catalogue rows of every stored tree."""
         ...
@@ -598,6 +605,11 @@ class LocalSession(AnalyticsVerbs):
         self, request: AnalyticsRequest, *, record: bool = False
     ) -> AnalyticsResult:
         return self.store.analyze(request, record=record)
+
+    def estimate(
+        self, request: QueryRequest | AnalyticsRequest
+    ) -> "CostEstimate":
+        return self.store.estimate(request)
 
     def list_trees(self) -> list[TreeInfo]:
         return self.store.list_trees()

@@ -321,6 +321,28 @@ class StoredQueryEngine:
         stats["total"] = total
         return stats
 
+    def resident_fraction(self, items: Iterable[int | str]) -> float:
+        """Fraction of ``items`` already resident in the row caches.
+
+        Names probe the name→id cache, ids the node-row cache, via
+        membership tests only — residency probes must not perturb the
+        hit/miss counters or the LRU recency order they report on
+        (:meth:`repro.storage.cache.LRUCache.__contains__` guarantees
+        both).  The admission estimator uses this to scale a request's
+        predicted statement count: resolving a warm taxon costs zero
+        SQL, a cold one is a real fetch.  Returns ``1.0`` for an empty
+        probe (nothing to fetch is fully resident).
+        """
+        probed = list(dict.fromkeys(items))
+        if not probed:
+            return 1.0
+        resident = sum(
+            1
+            for item in probed
+            if (item in self._node_ids if isinstance(item, str) else item in self._nodes)
+        )
+        return resident / len(probed)
+
     def clear_cache(self) -> None:
         """Drop all cached rows (cold-start; counters are kept)."""
         for cache in self._caches().values():

@@ -68,7 +68,14 @@ import time
 from pathlib import Path
 from typing import Callable, Iterator
 
-from repro.errors import StorageError
+from repro.admission import (
+    AdmissionController,
+    AdmissionLimits,
+    CostEstimate,
+    estimate_analytics,
+    estimate_query,
+)
+from repro.errors import QueryError, StorageError
 from repro.storage.api import (
     AnalyticsRequest,
     AnalyticsResult,
@@ -100,6 +107,20 @@ def shard_path(path: str | Path, shard: int) -> str:
     return str(parent.with_name(f"{parent.stem}.shard{shard}{suffix}"))
 
 
+#: The estimate an unlimited controller admits without pricing the
+#: request — estimation is skipped entirely when no limit is configured,
+#: so default stores pay zero overhead.
+_FREE_ESTIMATE = CostEstimate(
+    operation="unlimited",
+    trees=(),
+    statements=0,
+    rows=0,
+    result_bytes=0,
+    warm_fraction=1.0,
+    cost=0.0,
+)
+
+
 class CrimsonStore:
     """One Crimson data service over one database file.
 
@@ -122,6 +143,11 @@ class CrimsonStore:
     cache_size:
         Per-cache row bound for every query handle the store creates
         (see :mod:`repro.storage.engine` for sizing guidance).
+    limits:
+        Admission limits enforced over :meth:`query` and
+        :meth:`analyze` (see :mod:`repro.admission`).  ``None`` (the
+        default) admits everything without even estimating, so
+        unlimited stores pay zero overhead.
     report:
         Callback receiving the loader's progress messages.
     """
@@ -133,6 +159,7 @@ class CrimsonStore:
         readers: int = 0,
         shards: int | None = None,
         cache_size: int | None = None,
+        limits: AdmissionLimits | None = None,
         report: Reporter = _silent,
     ) -> None:
         if readers < 0:
@@ -170,6 +197,9 @@ class CrimsonStore:
         #: The Query Repository namespace (history, recall, re-run).
         self.history = QueryRepository(self)
         self._loader = DataLoader(self, report=report)
+        #: The admission controller guarding query/analyze (swap it to
+        #: re-limit a live store, e.g. ``crimson serve`` flag wiring).
+        self.admission = AdmissionController(limits)
         self._local = threading.local()
         self._record_lock = threading.Lock()
         self._placement_lock = threading.Lock()
@@ -187,6 +217,7 @@ class CrimsonStore:
         readers: int = 0,
         shards: int | None = None,
         cache_size: int | None = None,
+        limits: AdmissionLimits | None = None,
         report: Reporter = _silent,
     ) -> "CrimsonStore":
         """Open (creating if needed) the store at ``path``."""
@@ -195,6 +226,7 @@ class CrimsonStore:
             readers=readers,
             shards=shards,
             cache_size=cache_size,
+            limits=limits,
             report=report,
         )
 
@@ -451,6 +483,41 @@ class CrimsonStore:
         handles[name] = (epoch, handle)
         return handle
 
+    def estimate(
+        self, request: QueryRequest | AnalyticsRequest
+    ) -> CostEstimate:
+        """Pre-flight cost estimate of one request, without running it.
+
+        Reads only catalogue rows and this thread's live cache state —
+        the estimate itself executes zero statements against the
+        tree's data rows (see :mod:`repro.admission.estimator`).
+
+        Raises
+        ------
+        StorageError
+            If a named tree is unknown or the store is closed.
+        """
+        if isinstance(request, AnalyticsRequest):
+            handles = [self.open_tree(name) for name in request.trees]
+            return estimate_analytics(request, handles)
+        if isinstance(request, QueryRequest):
+            return estimate_query(request, self.open_tree(request.tree))
+        raise QueryError(
+            f"cannot estimate a {type(request).__name__}; expected a "
+            "QueryRequest or AnalyticsRequest"
+        )
+
+    def _admit(self, estimate_lazily: Callable[[], CostEstimate]):
+        """Admit one request, pricing it only when a limit could refuse.
+
+        Returns the admitted slot (release it when the request
+        finishes); raises :class:`~repro.errors.ResourceError` on
+        refusal.
+        """
+        if self.admission.limits.unlimited:
+            return self.admission.admit(_FREE_ESTIMATE)
+        return self.admission.admit(estimate_lazily())
+
     def query(
         self, request: QueryRequest, *, record: bool = False
     ) -> QueryResult:
@@ -473,11 +540,18 @@ class CrimsonStore:
             per-operation argument errors.
         StorageError
             If the tree is unknown or the store is closed.
+        ResourceError
+            If admission control refuses the request (over budget,
+            quota exhausted, or the concurrency cap is full).
         """
         handle = self.open_tree(request.tree)
-        start = time.perf_counter()
-        result = self._execute(handle, request)
-        duration_ms = (time.perf_counter() - start) * 1000.0
+        slot = self._admit(lambda: estimate_query(request, handle))
+        try:
+            start = time.perf_counter()
+            result = self._execute(handle, request)
+            duration_ms = (time.perf_counter() - start) * 1000.0
+        finally:
+            slot.release()
         result = dataclasses.replace(result, duration_ms=duration_ms)
         if record:
             with self._record_lock:
@@ -515,42 +589,55 @@ class CrimsonStore:
             per-operation argument errors.
         StorageError
             If a named tree is unknown or the store is closed.
+        ResourceError
+            If admission control refuses the request (over budget,
+            quota exhausted, or the concurrency cap is full).
         """
         from repro.analytics import compare_stored, rf_matrix, stored_consensus
 
-        # Resolving N handles (catalogue lookups on a cold thread) is a
-        # real part of what a cross-tree request pays, so unlike
-        # query()'s single pre-resolved handle it runs inside the timed
-        # region.
-        start = time.perf_counter()
-        handles = [self.open_tree(name) for name in request.trees]
-        if request.operation == "compare":
-            outcome = compare_stored(handles[0], handles[1])
-            result = AnalyticsResult(
-                request=request,
-                duration_ms=0.0,
-                comparison=outcome.splits,
-                shared_clusters=outcome.shared_clusters,
+        slot = self._admit(
+            lambda: estimate_analytics(
+                request, [self.open_tree(name) for name in request.trees]
             )
-        elif request.operation == "distance_matrix":
-            matrix = rf_matrix(handles)
-            result = AnalyticsResult(
-                request=request,
-                duration_ms=0.0,
-                matrix=tuple(tuple(row) for row in matrix),
-            )
-        else:
-            assert request.operation == "consensus"
-            tree, support = stored_consensus(
-                handles, threshold=request.threshold, strict=request.strict
-            )
-            result = AnalyticsResult(
-                request=request,
+        )
+        try:
+            # Resolving N handles (catalogue lookups on a cold thread)
+            # is a real part of what a cross-tree request pays, so
+            # unlike query()'s single pre-resolved handle it runs
+            # inside the timed region.
+            start = time.perf_counter()
+            handles = [self.open_tree(name) for name in request.trees]
+            if request.operation == "compare":
+                outcome = compare_stored(handles[0], handles[1])
+                result = AnalyticsResult(
+                    request=request,
+                    duration_ms=0.0,
+                    comparison=outcome.splits,
+                    shared_clusters=outcome.shared_clusters,
+                )
+            elif request.operation == "distance_matrix":
+                matrix = rf_matrix(handles)
+                result = AnalyticsResult(
+                    request=request,
+                    duration_ms=0.0,
+                    matrix=tuple(tuple(row) for row in matrix),
+                )
+            else:
+                assert request.operation == "consensus"
+                tree, support = stored_consensus(
+                    handles,
+                    threshold=request.threshold,
+                    strict=request.strict,
+                )
+                result = AnalyticsResult(
+                    request=request,
                 duration_ms=0.0,
                 consensus=tree,
-                support=support,
-            )
-        duration_ms = (time.perf_counter() - start) * 1000.0
+                    support=support,
+                )
+            duration_ms = (time.perf_counter() - start) * 1000.0
+        finally:
+            slot.release()
         result = dataclasses.replace(result, duration_ms=duration_ms)
         if record:
             with self._record_lock:

@@ -85,6 +85,16 @@ class TreeInfo:
     description: str
     shard: int = 0
 
+    @property
+    def node_count(self) -> int:
+        """Total stored nodes (spelled-out alias of ``n_nodes``)."""
+        return self.n_nodes
+
+    @property
+    def leaf_count(self) -> int:
+        """Stored leaves, i.e. species (alias of ``n_leaves``)."""
+        return self.n_leaves
+
 
 class TreeRepository:
     """Stores and serves phylogenetic trees of one Crimson store.

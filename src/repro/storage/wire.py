@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 import repro.errors as _errors
+from repro.admission.estimator import CostEstimate
 from repro.errors import CrimsonError, ProtocolError
 from repro.storage.api import (
     AnalyticsRequest,
@@ -475,6 +476,59 @@ def decode_report(payload: Mapping[str, Any]) -> IntegrityReport:
 
 
 # ----------------------------------------------------------------------
+# Cost estimates (the `estimate` verb)
+# ----------------------------------------------------------------------
+
+def encode_estimate_request(
+    request: QueryRequest | AnalyticsRequest,
+) -> dict[str, Any]:
+    """Encode an estimate verb's payload: the request plus its kind.
+
+    The kind discriminator lets the decoder rebuild the right request
+    type — an estimate can pre-flight either a single-tree query or a
+    cross-tree analytics request.
+    """
+    if isinstance(request, AnalyticsRequest):
+        return stamp(
+            {"kind": "analytics", "request": encode_analytics_request(request)}
+        )
+    if isinstance(request, QueryRequest):
+        return stamp({"kind": "query", "request": encode_request(request)})
+    raise ProtocolError(
+        f"an estimate request wraps a QueryRequest or AnalyticsRequest, "
+        f"got {type(request).__name__}"
+    )
+
+
+def decode_estimate_request(
+    payload: Mapping[str, Any],
+) -> QueryRequest | AnalyticsRequest:
+    """Decode and re-validate an estimate verb's payload."""
+    check_protocol(payload, "an estimate request")
+    kind = _field(payload, "kind", "an estimate request")
+    body = _field(payload, "request", "an estimate request")
+    if kind == "query":
+        return decode_request(body)
+    if kind == "analytics":
+        return decode_analytics_request(body)
+    raise ProtocolError(
+        f"an estimate request's 'kind' must be 'query' or 'analytics', "
+        f"got {kind!r}"
+    )
+
+
+def encode_estimate(estimate: CostEstimate) -> dict[str, Any]:
+    """Encode one pre-flight cost estimate."""
+    return stamp(estimate.as_dict())
+
+
+def decode_estimate(payload: Mapping[str, Any]) -> CostEstimate:
+    """Rebuild a :class:`CostEstimate` from its wire form."""
+    check_protocol(payload, "a cost estimate")
+    return CostEstimate.from_dict(payload)
+
+
+# ----------------------------------------------------------------------
 # Typed errors
 # ----------------------------------------------------------------------
 
@@ -486,9 +540,16 @@ def encode_error(error: BaseException) -> dict[str, Any]:
     (the message still names the original class).
     """
     if isinstance(error, CrimsonError):
-        return stamp(
-            {"kind": type(error).__name__, "message": str(error)}
-        )
+        payload = {"kind": type(error).__name__, "message": str(error)}
+        # Errors that carry structured context (ResourceError's
+        # estimate/limit/resource) expose it via wire_details(); the
+        # hook keeps the codec ignorant of each class's fields.
+        details_of = getattr(error, "wire_details", None)
+        if callable(details_of):
+            details = details_of()
+            if details:
+                payload["details"] = details
+        return stamp(payload)
     return stamp(
         {
             "kind": "CrimsonError",
@@ -506,4 +567,10 @@ def decode_error(payload: Mapping[str, Any]) -> CrimsonError:
         raise ProtocolError(
             f"an error payload's 'kind' must be a string, got {kind!r}"
         )
-    return ERROR_KINDS.get(kind, CrimsonError)(message)
+    error = ERROR_KINDS.get(kind, CrimsonError)(message)
+    details = payload.get("details")
+    apply = getattr(error, "apply_wire_details", None)
+    if isinstance(details, Mapping) and callable(apply):
+        # Lenient restore: optional context never fails a decode.
+        apply(dict(details))
+    return error

@@ -392,24 +392,52 @@ class TestRawProtocol:
 class TestConnectionHygiene:
     """Framing failures and hung servers must not strand a session."""
 
-    def test_oversize_result_is_typed_error_and_connection_survives(
+    def test_oversize_result_streams_in_chunks_to_a_modern_client(
         self, served, monkeypatch
     ):
         _, host, port = served
         # Shrink the frame limit: the clade result no longer fits one
-        # frame, but the server's replacement error envelope does.
+        # frame.  RemoteSession advertises chunked responses, so the
+        # server streams it as bounded chunk frames instead of refusing.
         monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 700)
         with RemoteSession(host, port) as session:
-            with pytest.raises(ProtocolError, match="byte limit"):
-                session.query(
-                    QueryRequest.clade("fig1-sample", "Lla", "Bsu")
-                )
-            # Nothing of the oversize frame hit the wire, so the same
-            # session keeps working.
             result = session.query(
+                QueryRequest.clade("fig1-sample", "Lla", "Bsu")
+            )
+            assert len(list(result.nodes)) > 0
+            # The stream stays frame-aligned afterwards.
+            lca = session.query(
                 QueryRequest.lca("fig1-sample", "Lla", "Spy")
             )
-            assert result.node.name == "x"
+            assert lca.node.name == "x"
+
+    def test_oversize_result_is_typed_error_for_legacy_clients(
+        self, served, monkeypatch
+    ):
+        _, host, port = served
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 700)
+        # A client that does NOT advertise chunks (an older build) still
+        # gets the one-frame refusal, and the connection survives it.
+        with socket.create_connection((host, port), timeout=5) as sock:
+            stream = sock.makefile("rwb")
+            request = QueryRequest.clade("fig1-sample", "Lla", "Bsu")
+            protocol.write_frame(
+                stream,
+                protocol.request_envelope(
+                    "query", wire.encode_request(request), request_id=1
+                ),
+            )
+            response = protocol.read_frame(stream)
+            assert response["ok"] is False
+            error = wire.decode_error(response["error"])
+            assert isinstance(error, ProtocolError)
+            assert "byte limit" in str(error)
+            # Nothing of the oversize frame hit the wire, so the same
+            # connection keeps working.
+            protocol.write_frame(
+                stream, protocol.request_envelope("ping", request_id=2)
+            )
+            assert protocol.read_frame(stream)["ok"] is True
 
     def test_misaligned_stream_poisons_the_session(self, monkeypatch):
         # A fake server that answers any frame with unframeable garbage
