@@ -426,9 +426,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format",
+        help="output format (github: Actions ::error annotations)",
+    )
+    lint.add_argument(
+        "--sql-census",
+        default=None,
+        metavar="PATH",
+        help="also write the static SQL statement census as JSON",
     )
     lint.add_argument(
         "--rules",
@@ -545,6 +551,8 @@ def _run_lint(args: argparse.Namespace) -> int:
     forward: list[str] = ["--format", args.format]
     if args.root is not None:
         forward += ["--root", args.root]
+    if args.sql_census is not None:
+        forward += ["--sql-census", args.sql_census]
     if args.rules is not None:
         forward += ["--rules", args.rules]
     if args.list_rules:

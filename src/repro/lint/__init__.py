@@ -21,6 +21,7 @@ from repro.lint.framework import (
     Finding,
     Project,
     Rule,
+    render_github,
     render_json,
     render_text,
     run_rules,
@@ -42,12 +43,25 @@ from repro.lint.rules_layering import (
 )
 from repro.lint.rules_protocol import ProtocolExhaustiveness
 from repro.lint.rules_resources import ManagedResources
+from repro.lint.rules_sql import (
+    SqlInterpolation,
+    SqlPlaceholders,
+    SqlSchema,
+    SqlSchemaSync,
+    build_census,
+)
+from repro.lint.rules_wire import (
+    WireErrorDetails,
+    WireFieldDrift,
+    WireRoundtrip,
+)
 
 __all__ = [
     "ALL_RULES",
     "Finding",
     "Project",
     "Rule",
+    "build_census",
     "default_root",
     "lint_project",
     "main",
@@ -66,6 +80,13 @@ ALL_RULES: tuple[Rule, ...] = (
     LockOrder(),
     SameThreadGuard(),
     ManagedResources(),
+    SqlSchema(),
+    SqlPlaceholders(),
+    SqlInterpolation(),
+    SqlSchemaSync(),
+    WireFieldDrift(),
+    WireRoundtrip(),
+    WireErrorDetails(),
 )
 
 
@@ -94,9 +115,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format",
+        help="output format (github: Actions ::error annotations)",
+    )
+    parser.add_argument(
+        "--sql-census",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the static SQL statement census as JSON",
     )
     parser.add_argument(
         "--rules",
@@ -128,8 +156,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     if not root.is_dir():
         parser.error(f"not a directory: {root}")
     project, findings = lint_project(root, rules)
+    if options.sql_census is not None:
+        import json as _json
+
+        options.sql_census.write_text(
+            _json.dumps(build_census(project), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
     if options.format == "json":
         print(render_json(project, rules, findings))
+    elif options.format == "github":
+        print(render_github(project, rules, findings))
     else:
         print(render_text(project, rules, findings))
     return 1 if findings else 0

@@ -37,6 +37,10 @@ _LOCK_FACTORIES = {
     "threading.RLock": "RLock",
     "Lock": "Lock",
     "RLock": "RLock",
+    # A Condition wraps a non-reentrant lock by default, so for
+    # ordering and re-acquisition purposes it behaves like a Lock.
+    "threading.Condition": "Lock",
+    "Condition": "Lock",
 }
 
 

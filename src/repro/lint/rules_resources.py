@@ -22,7 +22,7 @@ from repro.lint.framework import (
     self_attribute,
 )
 
-SCOPE_PREFIX = "storage/"
+SCOPE_PREFIXES = ("storage/", "admission/")
 
 _OPENERS = ("open", "sqlite3.connect", "connect")
 
@@ -43,18 +43,18 @@ def _class_defines_close(classdef: ast.ClassDef) -> bool:
 
 
 class ManagedResources(Rule):
-    """open()/connect() in storage/ must be managed."""
+    """open()/connect() in storage/ and admission/ must be managed."""
 
     rule_id = "resources-managed"
     description = (
-        "open()/connect() calls in storage/ must sit in a with block, "
-        "a closing() wrapper, a try/finally, or be assigned to self on "
-        "a class that defines close()"
+        "open()/connect() calls in storage/ and admission/ must sit in "
+        "a with block, a closing() wrapper, a try/finally, or be "
+        "assigned to self on a class that defines close()"
     )
 
     def check(self, project: Project) -> Iterator[Finding]:
         for module in project:
-            if not module.path.startswith(SCOPE_PREFIX):
+            if not module.path.startswith(SCOPE_PREFIXES):
                 continue
             for node in ast.walk(module.tree):
                 if not isinstance(node, ast.Call):

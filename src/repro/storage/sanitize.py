@@ -36,6 +36,7 @@ _FALSEY = frozenset({"", "0", "false", "no", "off"})
 _state_lock = threading.Lock()
 _total_statements = 0
 _budgets: list["StatementBudget"] = []
+_recorders: list[list[tuple[str, str]]] = []
 
 
 def sanitize_enabled() -> bool:
@@ -49,10 +50,13 @@ def total_statements() -> int:
         return _total_statements
 
 
-def _count_statement(label: str) -> None:
+def _count_statement(label: str, sql: str | None = None) -> None:
     global _total_statements
     with _state_lock:
         _total_statements += 1
+        if sql is not None:
+            for recorder in _recorders:
+                recorder.append((label, sql))
         for budget in _budgets:
             spent = _total_statements - budget.start
             if spent > budget.limit:
@@ -92,6 +96,26 @@ def statement_budget(limit: int) -> Iterator[StatementBudget]:
     finally:
         with _state_lock:
             _budgets.remove(budget)
+
+
+@contextmanager
+def record_statements() -> Iterator[list[tuple[str, str]]]:
+    """Collect ``(connection label, statement text)`` while active.
+
+    Statements on *sanitized* connections only, like
+    :func:`statement_budget`.  The yielded list grows in execution
+    order and is the runtime side of the lint SQL census cross-check:
+    every text recorded here must normalize into the statement set
+    ``crimson lint --sql-census`` extracted statically.
+    """
+    log: list[tuple[str, str]] = []
+    with _state_lock:
+        _recorders.append(log)
+    try:
+        yield log
+    finally:
+        with _state_lock:
+            _recorders.remove(log)
 
 
 class SanitizedConnection:
@@ -137,19 +161,23 @@ class SanitizedConnection:
 
     # -- intercepted statement API ------------------------------------
 
+    @staticmethod
+    def _statement_text(args: tuple) -> str | None:
+        return args[0] if args and isinstance(args[0], str) else None
+
     def execute(self, *args: Any, **kwargs: Any) -> Any:
         self._check()
-        _count_statement(self._san_label)
+        _count_statement(self._san_label, self._statement_text(args))
         return self._san_inner.execute(*args, **kwargs)
 
     def executemany(self, *args: Any, **kwargs: Any) -> Any:
         self._check()
-        _count_statement(self._san_label)
+        _count_statement(self._san_label, self._statement_text(args))
         return self._san_inner.executemany(*args, **kwargs)
 
     def executescript(self, *args: Any, **kwargs: Any) -> Any:
         self._check()
-        _count_statement(self._san_label)
+        _count_statement(self._san_label, self._statement_text(args))
         return self._san_inner.executescript(*args, **kwargs)
 
     def cursor(self, *args: Any, **kwargs: Any) -> Any:

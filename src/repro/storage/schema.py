@@ -160,6 +160,43 @@ SHARD_DDL_STATEMENTS: tuple[str, ...] = (
 )
 """The tree-data-only schema of a shard file."""
 
+TABLE_COLUMNS: dict[str, tuple[str, ...]] = {
+    "meta": ("key", "value"),
+    "trees": (
+        "tree_id", "name", "n_nodes", "n_leaves", "max_depth", "f",
+        "n_layers", "n_blocks", "created_at", "description", "shard",
+    ),
+    "species": ("tree_id", "node_id", "sequence", "char_type"),
+    "query_history": (
+        "query_id", "issued_at", "tree_name", "operation", "params_json",
+        "duration_ms", "result_summary",
+    ),
+    "nodes": (
+        "tree_id", "node_id", "parent_id", "child_order", "name",
+        "edge_length", "depth", "dist_from_root", "pre_order_end",
+        "is_leaf",
+    ),
+    "blocks": (
+        "tree_id", "block_id", "layer", "root_inode_id",
+        "source_inode_id", "rep_inode_id",
+    ),
+    "inodes": (
+        "tree_id", "inode_id", "layer", "block_id", "local_label",
+        "label_depth", "orig_node_id", "represents_block_id",
+        "is_canonical",
+    ),
+}
+"""The schema as structured data: table -> column names, in DDL order.
+
+This is the declaration the ``sql-*`` lint rules check every statement
+against, and the ``sql-schema-sync`` rule keeps it honest: it must
+stay byte-for-byte consistent with :data:`DDL_STATEMENTS` and
+:data:`SHARD_DDL_STATEMENTS` (a runtime test also diffs it against
+``PRAGMA table_info`` on a freshly created database)."""
+
+SHARD_TABLES: tuple[str, ...] = ("meta", "nodes", "blocks", "inodes")
+"""Tables a shard file carries (the tree-data subset plus ``meta``)."""
+
 
 def _migrate_catalogue(connection) -> None:
     """In-place migrations for primary files created before version 2."""

@@ -8,3 +8,7 @@ class StorageError(CrimsonError):
 
 class QueryError(CrimsonError):
     pass
+
+
+class ResourceError(CrimsonError):
+    pass

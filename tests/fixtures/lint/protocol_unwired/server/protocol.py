@@ -1,1 +1,4 @@
-VERBS = ("query", "analyze", "list_trees", "describe", "verify", "ping")
+VERBS = (
+    "query", "analyze", "list_trees", "describe", "verify", "ping",
+    "estimate",
+)

@@ -1,5 +1,10 @@
-"""Mini session API with one unwired operation: ``frontier`` is declared
-in OPERATIONS but has no constructor, no store branch, no CLI verb."""
+"""Mini session API with two deliberate gaps: the ``frontier``
+operation is declared in OPERATIONS but has no constructor, no store
+branch, and no CLI verb; the ``estimate`` verb (added the way PR 7
+added pre-flight estimation) is wired through the session protocol,
+the VERBS table, the server dispatch, and LocalSession — but not
+through RemoteSession or the CLI, the exact half-wiring the rule must
+name."""
 
 OPERATIONS = ("lca", "frontier")
 ANALYTICS_OPERATIONS = ("compare",)
@@ -32,6 +37,8 @@ class CrimsonSession:
 
     def ping(self): ...
 
+    def estimate(self, request): ...
+
     def close(self): ...
 
 
@@ -52,5 +59,7 @@ class LocalSession(AnalyticsVerbs):
     def verify(self, tree=None): ...
 
     def ping(self): ...
+
+    def estimate(self, request): ...
 
     def close(self): ...

@@ -1,0 +1,22 @@
+"""Deliberately drifted schema: TABLE_COLUMNS declares a ``ghosts``
+table with no DDL, the DDL's ``trees`` has no ``weight`` column, and
+SHARD_TABLES lists a ``phantom`` table absent from the shard DDL."""
+
+TABLE_COLUMNS = {"trees": ("tree_id", "name"), "ghosts": ("x",)}
+
+DDL_STATEMENTS = (
+    "CREATE TABLE IF NOT EXISTS trees ("
+    "  tree_id INTEGER PRIMARY KEY,"
+    "  name TEXT"
+    ")",
+)
+
+SHARD_DDL_STATEMENTS = (
+    "CREATE TABLE IF NOT EXISTS nodes ("
+    "  node_id INTEGER,"
+    "  tree_id INTEGER,"
+    "  label TEXT"
+    ")",
+)
+
+SHARD_TABLES = ("nodes", "phantom")

@@ -1,0 +1,24 @@
+"""Error classes with broken wire-details contracts.
+
+``DriftError`` defines ``wire_details`` without ``apply_wire_details``
+and cannot be rebuilt from a bare message (required ``code`` kwarg);
+``HalfError`` has the opposite one-sided hook.
+"""
+
+
+class CrimsonError(Exception):
+    pass
+
+
+class DriftError(CrimsonError):
+    def __init__(self, message, *, code):
+        super().__init__(message)
+        self.code = code
+
+    def wire_details(self):
+        return {"code": self.code, "hint": "x"}
+
+
+class HalfError(CrimsonError):
+    def apply_wire_details(self, details):
+        self.extra = details.get("extra")

@@ -1,0 +1,8 @@
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Packet:
+    kind: str
+    size: int
+    flags: int

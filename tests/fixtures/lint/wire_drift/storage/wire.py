@@ -1,0 +1,19 @@
+"""Codec with field drift: the encoder forgets ``flags`` and invents
+``extra``; the decoder never reads ``flags`` and never passes it to
+the constructor; ``encode_orphan`` has no matching decoder."""
+
+from typing import Any, Mapping
+
+from storage.api import Packet
+
+
+def encode_packet(packet: Packet) -> dict:
+    return {"kind": packet.kind, "size": packet.size, "extra": 1}
+
+
+def decode_packet(payload: Mapping[str, Any]) -> Packet:
+    return Packet(kind=payload["kind"], size=payload["size"])
+
+
+def encode_orphan(x) -> dict:
+    return {"a": 1}

@@ -36,12 +36,27 @@ from repro.lint.rules_layering import (
 )
 from repro.lint.rules_protocol import ProtocolExhaustiveness
 from repro.lint.rules_resources import ManagedResources
+from repro.lint.rules_sql import (
+    SqlInterpolation,
+    SqlPlaceholders,
+    SqlSchema,
+    SqlSchemaSync,
+    build_census,
+    sql_sites,
+)
+from repro.lint.rules_wire import (
+    WireErrorDetails,
+    WireFieldDrift,
+    WireRoundtrip,
+)
 
 FIXTURES = Path(__file__).parent / "fixtures" / "lint"
 
 LAYERING = (SqliteLayering(), ReadOnlyImports(), NoCliImports())
 ERRORS = (TypedRaises(), SwallowedExceptions(), RegistrySync())
 CONCURRENCY = (ReaderEscape(), LockOrder(), SameThreadGuard())
+SQL = (SqlSchema(), SqlPlaceholders(), SqlInterpolation(), SqlSchemaSync())
+WIRE = (WireFieldDrift(), WireRoundtrip(), WireErrorDetails())
 
 
 def lint_fixture(name: str, rules):
@@ -68,7 +83,7 @@ class TestRepoIsClean:
         assert len(ids) == len(set(ids))
         for rule_id in ids:
             assert rule_id == rule_id.lower() and " " not in rule_id
-        assert len(ids) == 11
+        assert len(ids) == 18
 
 
 class TestLayeringRules:
@@ -107,6 +122,7 @@ class TestErrorRules:
             "errors-registry",
             "errors-registry",
             "errors-registry",
+            "errors-registry",
             "errors-typed-raise",
         ]
         typed = next(f for f in findings if f.rule == "errors-typed-raise")
@@ -115,6 +131,7 @@ class TestErrorRules:
             f.message for f in findings if f.rule == "errors-registry"
         )
         assert "'QueryError'" in registry_messages  # missing from wire
+        assert "'ResourceError'" in registry_messages  # PR 7 kind, missing
         assert "'ParseError'" in registry_messages  # unknown to errors.py
         assert "'AnalyticsError'" in registry_messages  # defined elsewhere
 
@@ -128,13 +145,35 @@ class TestProtocolExhaustiveness:
         findings = lint_fixture(
             "protocol_unwired", (ProtocolExhaustiveness(),)
         )
-        assert all("'frontier'" in f.message for f in findings)
-        surfaces = {f.path for f in findings}
-        assert surfaces == {"storage/api.py", "storage/store.py", "cli/main.py"}
-        messages = " | ".join(f.message for f in findings)
+        frontier = [f for f in findings if "'frontier'" in f.message]
+        assert {f.path for f in frontier} == {
+            "storage/api.py", "storage/store.py", "cli/main.py"
+        }
+        messages = " | ".join(f.message for f in frontier)
         assert "no QueryRequest constructor" in messages
         assert "no branch in CrimsonStore._execute" in messages
         assert "no CLI subcommand 'frontier'" in messages
+
+    def test_half_wired_estimate_verb_is_flagged_by_name(self):
+        # ``estimate`` is in the session protocol, VERBS, the server
+        # dispatch, and LocalSession — but RemoteSession and the CLI
+        # were forgotten.  Exactly those two surfaces must be named.
+        findings = lint_fixture(
+            "protocol_unwired", (ProtocolExhaustiveness(),)
+        )
+        estimate = [f for f in findings if "'estimate'" in f.message]
+        assert {f.path for f in estimate} == {
+            "server/client.py", "cli/main.py"
+        }
+        messages = " | ".join(f.message for f in estimate)
+        assert "never sent by RemoteSession" in messages
+        assert "does not implement session method 'estimate'" in messages
+        assert "no CLI subcommand 'estimate'" in messages
+        # And nothing else is flagged: the two seeded gaps are the lot.
+        assert len(findings) == len(frontier := [
+            f for f in findings if "'frontier'" in f.message
+        ]) + len(estimate), "\n".join(f.render() for f in findings)
+        assert len(frontier) == 3 and len(estimate) == 3
 
     def test_missing_surface_file_is_reported(self, tmp_path):
         (tmp_path / "storage").mkdir()
