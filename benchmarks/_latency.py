@@ -1,0 +1,52 @@
+"""Shared latency aggregation for the benchmark scripts.
+
+Every bench that reports timing emits the same summary shape —
+``{count, p50_ms, p95_ms, p99_ms, mean_ms, max_ms}`` — matching the
+figures the observability registry's histograms expose, so a
+``BENCH_*.json`` quantile and a ``crimson stats`` quantile can be read
+side by side.  Helpers take raw **seconds** (what ``time.perf_counter``
+differences produce) and report milliseconds.
+"""
+
+from __future__ import annotations
+
+SUMMARY_KEYS = ("count", "p50_ms", "p95_ms", "p99_ms", "mean_ms", "max_ms")
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values``; 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def latency_summary(latencies_s: list[float]) -> dict:
+    """Summarize per-request latencies (seconds) as millisecond figures."""
+    if not latencies_s:
+        return {key: 0 if key == "count" else 0.0 for key in SUMMARY_KEYS}
+    return {
+        "count": len(latencies_s),
+        "p50_ms": round(percentile(latencies_s, 0.50) * 1e3, 3),
+        "p95_ms": round(percentile(latencies_s, 0.95) * 1e3, 3),
+        "p99_ms": round(percentile(latencies_s, 0.99) * 1e3, 3),
+        "mean_ms": round(sum(latencies_s) / len(latencies_s) * 1e3, 3),
+        "max_ms": round(max(latencies_s) * 1e3, 3),
+    }
+
+
+def merge_latencies(per_operation: list[dict]) -> dict:
+    """Merge per-operation latency lists from several workers.
+
+    Each input maps ``operation -> [seconds, ...]``; the result maps
+    ``operation -> latency_summary`` over the concatenated samples.
+    """
+    combined: dict[str, list[float]] = {}
+    for worker in per_operation:
+        for operation, latencies in worker.items():
+            combined.setdefault(operation, []).extend(latencies)
+    return {
+        operation: latency_summary(latencies)
+        for operation, latencies in sorted(combined.items())
+    }

@@ -47,6 +47,8 @@ from repro.storage.api import QueryRequest
 from repro.storage.store import CrimsonStore
 from repro.trees.build import caterpillar
 
+from _latency import merge_latencies, percentile
+
 GOLD_DEPTH = 200    # the polite clients' tree
 MID_DEPTH = 500     # abuser flood fodder: admitted, but drains its quota
 BULK_DEPTH = 6000   # abuser's oversized target: estimate > max_cost
@@ -89,6 +91,7 @@ def _polite_process(address, depth, rounds, index, barrier, queue) -> None:
         "client": index,
         "queries": 0,
         "latencies_s": [],
+        "latencies_by_op": {},
         "errors": [],
     }
     host, port = address
@@ -102,9 +105,11 @@ def _polite_process(address, depth, rounds, index, barrier, queue) -> None:
                 for request in requests:
                     start = time.perf_counter()
                     session.query(request)
-                    outcome["latencies_s"].append(
-                        time.perf_counter() - start
-                    )
+                    elapsed = time.perf_counter() - start
+                    outcome["latencies_s"].append(elapsed)
+                    outcome["latencies_by_op"].setdefault(
+                        request.operation, []
+                    ).append(elapsed)
                     outcome["queries"] += 1
                     time.sleep(PACE_S)
     except Exception as error:  # noqa: BLE001 - recorded for the report
@@ -153,14 +158,6 @@ def _abuser_process(address, flood, barrier, queue) -> None:
         except Exception:  # noqa: BLE001 - barrier may be gone already
             pass
     queue.put(outcome)
-
-
-def _percentile(values: list[float], fraction: float) -> float:
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
-    return ordered[index]
 
 
 def _run_phase(store, rounds: int, flood: int) -> dict:
@@ -217,8 +214,12 @@ def _run_phase(store, rounds: int, flood: int) -> dict:
         "polite": {
             "clients": POLITE_CLIENTS,
             "queries": sum(o["queries"] for o in outcomes),
-            "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
-            "p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
+            "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+            "p95_ms": round(percentile(latencies, 0.95) * 1e3, 3),
+            "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+            "latency_ms_by_operation": merge_latencies(
+                [o["latencies_by_op"] for o in outcomes]
+            ),
             "errors": errors,
         },
         "admission": snapshot,
@@ -332,6 +333,12 @@ def test_admission_control(benchmark, report):
     assert acceptance["abuser_quota_refusals"] > 0
     assert acceptance["abuser_untyped_errors"] == []
     assert acceptance["polite_errors"] == []
+    for side in (baseline, hostile):
+        by_op = side["latency_ms_by_operation"]
+        assert set(by_op) == {"lca", "clade"}
+        for figures in by_op.values():
+            assert figures["count"] > 0
+            assert figures["p50_ms"] <= figures["p95_ms"] <= figures["p99_ms"]
     assert acceptance["p95_within_limit"], (
         f"hostile p95 {hostile['p95_ms']}ms exceeds "
         f"{acceptance['p95_limit_ms']}ms"

@@ -48,7 +48,10 @@ from repro.storage.api import AnalyticsRequest
 from repro.storage.store import CrimsonStore
 from repro.trees.newick import write_newick
 
+from _latency import latency_summary
+
 N_TREES = 64
+WARM_REPS = 15
 N_LEAVES = 48
 SPR_MOVES = 3
 F = 8
@@ -90,6 +93,7 @@ def run_experiment(n_trees: int = N_TREES, n_leaves: int = N_LEAVES) -> dict:
 
         statements: dict[str, int] = {}
         wall: dict[str, float] = {}
+        warm_latency: dict[str, dict] = {}
         for label, request in (
             ("consensus", consensus_request),
             ("compare", compare_request),
@@ -108,6 +112,13 @@ def run_experiment(n_trees: int = N_TREES, n_leaves: int = N_LEAVES) -> dict:
                     )
                 statements[f"{label}_warm"] = counter.count
                 wall[f"{label}_warm"] = round(warm_ms, 3)
+                latencies = []
+                for _ in range(WARM_REPS):
+                    _result, rep_ms = _timed(
+                        lambda r=request: store.analyze(r)
+                    )
+                    latencies.append(rep_ms / 1e3)
+                warm_latency[label] = latency_summary(latencies)
 
         with CrimsonStore.open(path) as store:
             stored_consensus_result = store.analyze(consensus_request)
@@ -172,6 +183,7 @@ def run_experiment(n_trees: int = N_TREES, n_leaves: int = N_LEAVES) -> dict:
             "materialize_all_trees": round(materialize_ms, 3),
             "in_memory_consensus": round(memory_ms, 3),
         },
+        "warm_latency_ms": warm_latency,
         "consensus": {
             "newick_identical": stored_newick
             == memory_newick

@@ -33,6 +33,8 @@ from repro.storage.api import QueryRequest
 from repro.storage.store import CrimsonStore
 from repro.trees.build import caterpillar
 
+from _latency import latency_summary
+
 DEPTH = 600
 N_PAIRS = 100
 REPS = 3
@@ -57,6 +59,7 @@ class _Phase:
         self.warm = warm
         self.errors: list[str] = []
         self.mismatches = 0
+        self.latencies_s: list[float] = []
         self._lock = threading.Lock()
 
     def _one_workload(self) -> None:
@@ -79,8 +82,13 @@ class _Phase:
                 self._one_workload()
             ready.wait()
             go.wait()
+            timings = []
             for _ in range(REPS):
+                start = time.perf_counter()
                 self._one_workload()
+                timings.append(time.perf_counter() - start)
+            with self._lock:
+                self.latencies_s.extend(timings)
         except Exception as error:  # noqa: BLE001 - recorded for the report
             with self._lock:
                 self.errors.append(repr(error))
@@ -122,6 +130,8 @@ class _Phase:
             "errors": list(self.errors),
             "locked_errors": sum("locked" in e for e in self.errors),
             "result_mismatches": self.mismatches,
+            # One sample per lca_batch workload run (len(pairs) queries).
+            "batch_latency_ms": latency_summary(self.latencies_s),
         }
 
 
@@ -150,6 +160,7 @@ def _loading_phase(store: CrimsonStore, pairs, expected) -> dict:
         "errors": list(phase.errors),
         "locked_errors": sum("locked" in e for e in phase.errors),
         "result_mismatches": phase.mismatches,
+        "batch_latency_ms": latency_summary(phase.latencies_s),
     }
 
 

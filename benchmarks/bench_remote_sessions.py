@@ -39,6 +39,8 @@ from repro.storage.api import QueryRequest
 from repro.storage.store import CrimsonStore
 from repro.trees.build import caterpillar
 
+from _latency import merge_latencies
+
 DEPTH = 600
 POOL_SIZE = 4
 CLIENTS = 4
@@ -66,11 +68,26 @@ def workload_requests(depth: int) -> list[QueryRequest]:
     ]
 
 
-def run_workload(session, requests: list[QueryRequest]) -> str:
-    """Execute one round; return a byte-stable signature of the answers."""
+def run_workload(
+    session,
+    requests: list[QueryRequest],
+    latencies: dict[str, list[float]] | None = None,
+) -> str:
+    """Execute one round; return a byte-stable signature of the answers.
+
+    With ``latencies``, per-request wall times (seconds) are appended
+    under each request's operation name — the per-verb p50/p95/p99
+    source for the emitted JSON.
+    """
     signatures = []
     for request in requests:
-        encoded = wire.encode_result(session.query(request))
+        start = time.perf_counter()
+        result = session.query(request)
+        if latencies is not None:
+            latencies.setdefault(request.operation, []).append(
+                time.perf_counter() - start
+            )
+        encoded = wire.encode_result(result)
         encoded["duration_ms"] = 0.0
         signatures.append(json.dumps(encoded, sort_keys=True))
     return "\n".join(signatures)
@@ -83,6 +100,7 @@ def _client_process(address, depth, rounds, index, barrier, queue) -> None:
         "queries": 0,
         "elapsed_s": 0.0,
         "signature": None,
+        "latencies_s": {},
         "errors": [],
     }
     host, port = address
@@ -94,7 +112,10 @@ def _client_process(address, depth, rounds, index, barrier, queue) -> None:
             barrier.wait(timeout=120)
             start = time.perf_counter()
             for _ in range(rounds):
-                if run_workload(session, requests) != signature:
+                timed = run_workload(
+                    session, requests, outcome["latencies_s"]
+                )
+                if timed != signature:
                     outcome["errors"].append("answer drift between rounds")
                 outcome["queries"] += len(requests)
             outcome["elapsed_s"] = time.perf_counter() - start
@@ -117,10 +138,12 @@ def run_experiment(depth: int = DEPTH, rounds: int = ROUNDS) -> dict:
             # In-process baseline: one LocalSession, same warm workload.
             local = store.session()
             local_signature = run_workload(local, requests)  # warm
+            local_latencies: dict[str, list[float]] = {}
             start = time.perf_counter()
             local_queries = 0
             for _ in range(rounds):
-                assert run_workload(local, requests) == local_signature
+                timed = run_workload(local, requests, local_latencies)
+                assert timed == local_signature
                 local_queries += len(requests)
             local_elapsed = time.perf_counter() - start
 
@@ -170,6 +193,7 @@ def run_experiment(depth: int = DEPTH, rounds: int = ROUNDS) -> dict:
                     "queries": local_queries,
                     "elapsed_s": round(local_elapsed, 3),
                     "qps": round(local_queries / local_elapsed, 1),
+                    "latency_ms_by_verb": merge_latencies([local_latencies]),
                 },
                 "remote": {
                     "clients": CLIENTS,
@@ -183,6 +207,11 @@ def run_experiment(depth: int = DEPTH, rounds: int = ROUNDS) -> dict:
                         else 0.0
                         for o in outcomes
                     ],
+                    # Aggregated over every client's timed rounds; the
+                    # remote-vs-local gap per verb is the wire overhead.
+                    "latency_ms_by_verb": merge_latencies(
+                        [o["latencies_s"] for o in outcomes]
+                    ),
                     "errors": errors,
                     "locked_errors": sum("locked" in e for e in errors),
                 },
@@ -227,6 +256,14 @@ def test_remote_sessions(benchmark, report):
     assert remote["locked_errors"] == 0
     assert results["answers_match"]
     assert remote["total_queries"] == remote["clients"] * local["queries"]
+    # Per-verb latency quantiles cover the whole request mix, both
+    # transports, with consistent ordering.
+    verbs = {"lca", "lca_batch", "clade", "project"}
+    for side in (remote, local):
+        assert set(side["latency_ms_by_verb"]) == verbs
+        for figures in side["latency_ms_by_verb"].values():
+            assert figures["count"] > 0
+            assert figures["p50_ms"] <= figures["p95_ms"] <= figures["p99_ms"]
 
 
 def main(argv: list[str]) -> int:

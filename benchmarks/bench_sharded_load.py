@@ -32,6 +32,8 @@ from repro.storage.api import QueryRequest
 from repro.storage.store import CrimsonStore
 from repro.trees.build import caterpillar
 
+from _latency import latency_summary
+
 N_TREES = 16
 DEPTH = 400
 LOADER_THREADS = 4
@@ -66,6 +68,7 @@ def _load_config(
             loaded: list[str] = []
             errors: list[str] = []
             mismatches = [0]
+            reader_latencies: list[float] = []
             stop = threading.Event()
 
             def loader():
@@ -90,9 +93,13 @@ def _load_config(
                         time.sleep(0.001)
                         continue
                     try:
+                        start = time.perf_counter()
                         result = store.query(
                             QueryRequest.lca(name, "t1", f"t{depth}")
                         )
+                        elapsed = time.perf_counter() - start
+                        with iter_lock:
+                            reader_latencies.append(elapsed)
                         if result.node.node_id != expected_lca:
                             with iter_lock:
                                 mismatches[0] += 1
@@ -126,13 +133,13 @@ def _load_config(
             for info in infos:  # warm this thread's handles
                 store.open_tree(info.name).lca_batch(pairs)
             query_start = time.perf_counter()
-            answers = {
-                info.name: [
-                    row.node_id
-                    for row in store.open_tree(info.name).lca_batch(pairs)
-                ]
-                for info in infos
-            }
+            answers = {}
+            warm_latencies: list[float] = []
+            for info in infos:
+                batch_start = time.perf_counter()
+                rows = store.open_tree(info.name).lca_batch(pairs)
+                warm_latencies.append(time.perf_counter() - batch_start)
+                answers[info.name] = [row.node_id for row in rows]
             query_s = time.perf_counter() - query_start
             queries = len(infos) * len(pairs)
 
@@ -145,6 +152,10 @@ def _load_config(
                 "trees_per_sec": round(len(infos) / load_s, 2),
                 "nodes_per_sec": round(n_nodes / load_s, 1),
                 "warm_queries_per_sec": round(queries / query_s, 1),
+                # Readers race the loaders; one sample per LCA query.
+                "reader_latency_ms": latency_summary(reader_latencies),
+                # One sample per warm lca_batch (len(pairs) queries).
+                "warm_batch_latency_ms": latency_summary(warm_latencies),
                 "errors": errors,
                 "locked_errors": sum("locked" in e for e in errors),
                 "reader_mismatches": mismatches[0],

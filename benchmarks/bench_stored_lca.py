@@ -27,6 +27,8 @@ import time
 from repro.storage.store import CrimsonStore
 from repro.trees.build import caterpillar
 
+from _latency import latency_summary
+
 DEPTH = 800
 N_PAIRS = 100
 F = 8
@@ -60,16 +62,23 @@ def run_experiment(
             elapsed_ms = (time.perf_counter() - start) * 1e3
         return counter.count, elapsed_ms
 
-    def singles(handle):
-        for a, b in pairs:
-            handle.lca(a, b)
+    def singles(latencies_s):
+        def run(handle):
+            for a, b in pairs:
+                start = time.perf_counter()
+                handle.lca(a, b)
+                latencies_s.append(time.perf_counter() - start)
+
+        return run
 
     # Cold singles: fresh handle, empty caches.
     cold_handle = repo.open("deep")
-    cold_statements, cold_ms = measured(cold_handle, singles)
+    cold_latencies: list[float] = []
+    cold_statements, cold_ms = measured(cold_handle, singles(cold_latencies))
 
     # Warm singles: the same handle repeats the same workload.
-    warm_statements, warm_ms = measured(cold_handle, singles)
+    warm_latencies: list[float] = []
+    warm_statements, warm_ms = measured(cold_handle, singles(warm_latencies))
 
     # Cold batch: fresh handle, one lca_batch call.
     batch_handle = repo.open("deep")
@@ -106,6 +115,10 @@ def run_experiment(
             "warm_single": round(warm_ms, 3),
             "cold_batch": round(batch_ms, 3),
             "warm_batch": round(warm_batch_ms, 3),
+        },
+        "latency_ms": {
+            "cold_single": latency_summary(cold_latencies),
+            "warm_single": latency_summary(warm_latencies),
         },
         "cache_stats_single_handle": stats,
     }

@@ -328,14 +328,24 @@ class AdmissionController:
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict[str, object]:
-        """Counters for logs, benchmarks, and the serve banner."""
+        """Counters for logs, benchmarks, the serve banner, and stats."""
         with self._cond:
+            tokens = [bucket.tokens for bucket in self._buckets.values()]
+            quota: dict[str, object] = {
+                "tracked_sessions": len(tokens),
+                "burst": self.limits.burst,
+                "rate": self.limits.quota_rate,
+            }
+            if tokens:
+                quota["min_tokens"] = round(min(tokens), 3)
+                quota["mean_tokens"] = round(sum(tokens) / len(tokens), 3)
             return {
                 "admitted": self._admitted,
                 "refused": dict(self._refused),
                 "active": self._active,
                 "waiting": self._waiting,
                 "sessions": len(self._buckets),
+                "quota": quota,
             }
 
     def __repr__(self) -> str:

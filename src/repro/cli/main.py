@@ -58,8 +58,10 @@ from repro.server.client import RemoteSession
 from repro.storage.api import (
     ANALYTICS_OPERATIONS,
     OPERATIONS,
+    STATS_SECTIONS,
     AnalyticsRequest,
     QueryRequest,
+    StatsRequest,
 )
 from repro.storage.store import CrimsonStore
 from repro.trees.newick import write_newick
@@ -344,6 +346,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to wait for in-flight requests to finish on "
         "SIGINT/SIGTERM before closing (default: 5)",
     )
+    serve.add_argument(
+        "--access-log",
+        default=None,
+        metavar="PATH",
+        help="append one JSON line per handled request (verb, session "
+        "key, phase timings, outcome) to this file",
+    )
 
     estimate = commands.add_parser(
         "estimate",
@@ -408,6 +417,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="ping a running crimson server instead of the local store",
     )
     ping.add_argument(
+        "--port",
+        type=_port_number,
+        default=2006,
+        help="server port for --host (default: 2006)",
+    )
+
+    stats = commands.add_parser(
+        "stats",
+        help="live observability snapshot: metrics, latency histograms, "
+        "cache residency, pool depth, admission counters, slow queries "
+        "(local store, or a server with --host)",
+    )
+    stats.add_argument(
+        "--format",
+        choices=("table", "json", "prom"),
+        default="table",
+        help="output format (prom: Prometheus text exposition)",
+    )
+    stats.add_argument(
+        "--sections",
+        nargs="+",
+        choices=STATS_SECTIONS,
+        default=None,
+        help="limit the snapshot to these sections (default: all)",
+    )
+    stats.add_argument(
+        "--host",
+        default=None,
+        help="snapshot a running crimson server instead of the local "
+        "store",
+    )
+    stats.add_argument(
         "--port",
         type=_port_number,
         default=2006,
@@ -505,8 +546,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     rng = np.random.default_rng(args.seed)
-    # lint and remote ping never touch the database file: handle them
-    # before the store opens (and possibly creates) it.
+    # lint and the remote (--host) verbs never touch the database file:
+    # handle them before the store opens (and possibly creates) it.
     if args.command == "lint":
         return _run_lint(args)
     if args.command == "ping" and args.host is not None:
@@ -522,6 +563,16 @@ def main(argv: list[str] | None = None) -> int:
             with RemoteSession(args.host, args.port) as session:
                 _print_estimate(
                     session.estimate(_estimate_request(args)), args.as_json
+                )
+            return 0
+        except (CrimsonError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    if args.command == "stats" and args.host is not None:
+        try:
+            with RemoteSession(args.host, args.port) as session:
+                _print_stats(
+                    session.stats(_stats_request(args)), args.format
                 )
             return 0
         except (CrimsonError, OSError) as error:
@@ -795,7 +846,12 @@ def _dispatch(args: argparse.Namespace, store: CrimsonStore, rng) -> int:
         )
         if not limits.unlimited:
             store.admission = AdmissionController(limits)
-        server = CrimsonServer(store, host=args.host, port=args.port)
+        server = CrimsonServer(
+            store,
+            host=args.host,
+            port=args.port,
+            access_log=args.access_log,
+        )
         host, port = server.address
         pool = store.pool.size if store.pool is not None else 0
         # Handlers go in before the banner, so "banner printed" implies
@@ -827,6 +883,12 @@ def _dispatch(args: argparse.Namespace, store: CrimsonStore, rng) -> int:
         # The remote (--host) form exits in main() before the store
         # opens; reaching here means: ping the local store's session.
         print(json.dumps(store.session().ping(), indent=2, sort_keys=True))
+        return 0
+
+    if args.command == "stats":
+        # The remote (--host) form exits in main() before the store
+        # opens; reaching here means: snapshot the local store.
+        _print_stats(store.session().stats(_stats_request(args)), args.format)
         return 0
 
     if args.command == "history":
@@ -1030,6 +1092,22 @@ def _print_estimate(estimate, as_json: bool) -> None:
         print(json.dumps(estimate.as_dict(), indent=2, sort_keys=True))
     else:
         print(estimate.summary())
+
+
+def _stats_request(args: argparse.Namespace) -> StatsRequest:
+    """Build the typed request a ``stats`` invocation describes."""
+    return StatsRequest(sections=tuple(args.sections or ()))
+
+
+def _print_stats(snapshot, fmt: str) -> None:
+    from repro.obs import render_prometheus, render_table
+
+    if fmt == "json":
+        print(json.dumps(snapshot.as_dict(), indent=2, sort_keys=True))
+    elif fmt == "prom":
+        print(render_prometheus(snapshot.as_dict()), end="")
+    else:
+        print(render_table(snapshot.as_dict()), end="")
 
 
 def _describe_limits(limits) -> str:

@@ -61,6 +61,7 @@ VERB_CLI = {
     "verify": "verify",
     "ping": "ping",
     "estimate": "estimate",
+    "stats": "stats",
 }
 
 

@@ -1,0 +1,43 @@
+"""Observability: metrics registry, request tracing, slow-query log.
+
+The subsystem every perf PR is judged with.  Three small modules:
+
+* :mod:`repro.obs.metrics` — a lock-cheap :class:`MetricsRegistry` of
+  named counters, gauges, and bounded log2-bucket latency histograms
+  (p50/p95/p99 readout without storing samples).
+* :mod:`repro.obs.trace` — a :class:`Span` per request with per-phase
+  timings (admission → engine → encode → socket write), activated via
+  a thread-local so instrumented layers can annotate the current
+  request without plumbing, plus a fixed-size ring-buffer
+  :class:`SlowQueryLog`.
+* :mod:`repro.obs.render` — pure renderers over snapshot dicts:
+  aligned tables for humans and Prometheus text exposition for
+  scrapers.
+
+Nothing in here imports the storage or server layers; the layers
+import *this* and feed it.  A disabled registry hands out shared no-op
+instruments, so the instrumentation's cost can be switched off
+entirely.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+from repro.obs.render import render_prometheus, render_table
+from repro.obs.trace import SlowQueryLog, Span, activate, current_span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "Span",
+    "activate",
+    "current_span",
+    "render_prometheus",
+    "render_table",
+]

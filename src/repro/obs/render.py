@@ -1,0 +1,159 @@
+"""Renderers over stats snapshot dicts: aligned text and Prometheus.
+
+Both functions take the plain-dict shape of
+``repro.storage.api.StatsSnapshot.as_dict()`` (they only assume dicts
+and scalars, so they render any registry snapshot too) and return a
+string.  No storage imports: the renderers must be usable anywhere a
+snapshot dict exists, including the CLI against a remote server.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Mapping, Tuple
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+_QUANTILES = (("p50_ms", "0.5"), ("p95_ms", "0.95"), ("p99_ms", "0.99"))
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted instrument name into a Prometheus metric name."""
+    return "crimson_" + _PROM_NAME.sub("_", name)
+
+
+def _flatten(
+    prefix: str, value: Any, out: List[Tuple[str, float]]
+) -> None:
+    if isinstance(value, bool):
+        out.append((prefix, 1.0 if value else 0.0))
+    elif isinstance(value, (int, float)):
+        out.append((prefix, float(value)))
+    elif isinstance(value, Mapping):
+        for key in sorted(value):
+            _flatten(f"{prefix}.{key}" if prefix else str(key),
+                     value[key], out)
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Prometheus text exposition (version 0.0.4) of a snapshot."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    for name in sorted(counters):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counters[name]}")
+    gauges = snapshot.get("gauges", {})
+    for name in sorted(gauges):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {gauges[name]}")
+    histograms = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        metric = _prom_name(name)
+        figures = histograms[name]
+        lines.append(f"# TYPE {metric} summary")
+        for key, quantile in _QUANTILES:
+            lines.append(
+                f'{metric}{{quantile="{quantile}"}} {figures.get(key, 0)}'
+            )
+        lines.append(f"{metric}_count {figures.get('count', 0)}")
+    # Structured sections (caches, pool, admission, service) flatten
+    # into gauges so a scrape sees residency and queue depths too.
+    for section in ("caches", "pool", "admission"):
+        flat: List[Tuple[str, float]] = []
+        _flatten(section, snapshot.get(section, {}), flat)
+        for name, value in flat:
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {value}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def _table(rows: List[Tuple[str, ...]], header: Tuple[str, ...]) -> str:
+    widths = [len(column) for column in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Tuple[str, ...]) -> str:
+        return "  ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ).rstrip()
+    rule = "  ".join("-" * width for width in widths)
+    return "\n".join([line(header), rule] + [line(row) for row in rows])
+
+
+def render_table(snapshot: Mapping[str, Any]) -> str:
+    """Human-readable aligned tables, one section per populated part."""
+    blocks: List[str] = []
+    service = snapshot.get("service")
+    if service:
+        flat: List[Tuple[str, float]] = []
+        _flatten("", {k: v for k, v in service.items()
+                      if isinstance(v, (int, float, bool))}, flat)
+        text = ", ".join(f"{k}={_format_value(v)}" for k, v in flat)
+        names = ", ".join(
+            f"{k}={v!r}" for k, v in sorted(service.items())
+            if isinstance(v, str)
+        )
+        blocks.append("service: " + ", ".join(p for p in (names, text) if p))
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    scalar_rows = [
+        (name, _format_value(counters[name]), "counter")
+        for name in sorted(counters)
+    ] + [
+        (name, _format_value(gauges[name]), "gauge")
+        for name in sorted(gauges)
+    ]
+    if scalar_rows:
+        blocks.append(_table(scalar_rows, ("metric", "value", "kind")))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            figures = histograms[name]
+            rows.append((
+                name,
+                _format_value(figures.get("count", 0)),
+                _format_value(figures.get("p50_ms", 0)),
+                _format_value(figures.get("p95_ms", 0)),
+                _format_value(figures.get("p99_ms", 0)),
+                _format_value(figures.get("max_ms", 0)),
+            ))
+        blocks.append(_table(
+            rows, ("latency", "count", "p50_ms", "p95_ms", "p99_ms",
+                   "max_ms")
+        ))
+    for section in ("caches", "pool", "admission"):
+        flat = []
+        _flatten(section, snapshot.get(section, {}), flat)
+        if flat:
+            blocks.append(_table(
+                [(name, _format_value(value)) for name, value in flat],
+                (section, "value"),
+            ))
+    slow = snapshot.get("slow_queries", [])
+    if slow:
+        rows = [
+            (
+                str(entry.get("verb", "?")),
+                str(entry.get("detail", "")),
+                _format_value(entry.get("duration_ms", 0)),
+                str(entry.get("outcome", "?")),
+            )
+            for entry in slow
+        ]
+        blocks.append(_table(
+            rows, ("slow query", "detail", "duration_ms", "outcome")
+        ))
+    return "\n\n".join(blocks) + "\n" if blocks else "no metrics recorded\n"
+
+
+__all__ = ["render_prometheus", "render_table"]

@@ -1,0 +1,151 @@
+"""Per-request spans with phase timings, and a slow-query ring buffer.
+
+A :class:`Span` is created at the edge (server connection handler, or
+a benchmark harness), *activated* on the current thread, and finished
+when the reply is written.  Layers in between never see the span
+passed down — they ask :func:`current_span` and annotate it if one is
+active, so the local hot path (no span) costs one thread-local read.
+
+Phases are cumulative: ``span.phase("engine")`` may be entered several
+times (a batch), and the span records the total milliseconds per
+label.  The conventional labels, in request order:
+
+``admission`` → ``engine`` → ``encode`` → ``write``
+
+The :class:`SlowQueryLog` keeps the last N finished spans that
+exceeded a threshold in a preallocated ring: recording is a threshold
+compare plus one slot assignment under a lock, and reading returns
+entries oldest-first.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+_active = threading.local()
+
+
+class Span:
+    """One request's timing record: total duration plus per-phase ms."""
+
+    __slots__ = (
+        "verb",
+        "detail",
+        "session_key",
+        "started",
+        "phases",
+        "annotations",
+        "error_kind",
+        "duration_ms",
+    )
+
+    def __init__(
+        self,
+        verb: str,
+        detail: str = "",
+        session_key: Optional[str] = None,
+    ) -> None:
+        self.verb = verb
+        self.detail = detail
+        self.session_key = session_key
+        self.started = time.perf_counter()
+        self.phases: Dict[str, float] = {}
+        self.annotations: Dict[str, Any] = {}
+        self.error_kind: Optional[str] = None
+        self.duration_ms: Optional[float] = None
+
+    @contextmanager
+    def phase(self, label: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            self.phases[label] = self.phases.get(label, 0.0) + elapsed_ms
+
+    def annotate(self, key: str, value: Any) -> None:
+        self.annotations[key] = value
+
+    def fail(self, error_kind: str) -> None:
+        self.error_kind = error_kind
+
+    def finish(self) -> float:
+        """Stamp and return the total duration in milliseconds."""
+        self.duration_ms = (time.perf_counter() - self.started) * 1000.0
+        return self.duration_ms
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "verb": self.verb,
+            "detail": self.detail,
+            "session_key": self.session_key,
+            "duration_ms": (
+                round(self.duration_ms, 4)
+                if self.duration_ms is not None
+                else None
+            ),
+            "phases": {
+                label: round(ms, 4) for label, ms in self.phases.items()
+            },
+            "annotations": dict(self.annotations),
+            "outcome": "error" if self.error_kind else "ok",
+            "error_kind": self.error_kind,
+        }
+
+
+def current_span() -> Optional[Span]:
+    """The span activated on this thread, or None outside a request."""
+    span = getattr(_active, "span", None)
+    return span if isinstance(span, Span) else None
+
+
+@contextmanager
+def activate(span: Span) -> Iterator[Span]:
+    """Make ``span`` the thread's current span for the duration."""
+    previous = getattr(_active, "span", None)
+    _active.span = span
+    try:
+        yield span
+    finally:
+        _active.span = previous
+
+
+class SlowQueryLog:
+    """Fixed-capacity ring of the slowest recent request spans."""
+
+    def __init__(
+        self, capacity: int = 128, threshold_ms: float = 50.0
+    ) -> None:
+        self.capacity = capacity
+        self.threshold_ms = threshold_ms
+        self._lock = threading.Lock()
+        self._entries: List[Optional[Dict[str, Any]]] = [None] * capacity
+        self._next = 0
+        self._recorded = 0
+
+    def observe(self, span: Span) -> bool:
+        """Record a finished span if it was slow; True when kept."""
+        duration = span.duration_ms
+        if duration is None or duration < self.threshold_ms:
+            return False
+        entry = span.as_dict()
+        with self._lock:
+            self._entries[self._next] = entry
+            self._next = (self._next + 1) % self.capacity
+            self._recorded += 1
+        return True
+
+    @property
+    def recorded(self) -> int:
+        with self._lock:
+            return self._recorded
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Retained entries, oldest first."""
+        with self._lock:
+            tail = self._entries[self._next:]
+            head = self._entries[: self._next]
+        return [entry for entry in tail + head if entry is not None]

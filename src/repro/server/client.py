@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Any
 
 from repro.errors import ProtocolError, StorageError
@@ -36,6 +37,8 @@ from repro.storage.api import (
     AnalyticsVerbs,
     QueryRequest,
     QueryResult,
+    StatsRequest,
+    StatsSnapshot,
 )
 from repro.storage.maintenance import IntegrityReport
 from repro.storage.tree_repository import TreeInfo
@@ -76,6 +79,12 @@ class RemoteSession(AnalyticsVerbs):
         self._close_lock = threading.Lock()
         self._next_id = 0
         self._closed = False
+        #: Client-observed duration of the last round trip (ms).
+        self.last_round_trip_ms: float | None = None
+        #: Server-reported handling time of the last call (ms), from
+        #: the response envelope's ``server_ms`` stamp; ``None``
+        #: against a server too old to stamp it.
+        self.last_server_ms: float | None = None
 
     # ------------------------------------------------------------------
     # One round trip
@@ -90,6 +99,7 @@ class RemoteSession(AnalyticsVerbs):
                 )
             self._next_id += 1
             request_id = self._next_id
+            started = time.perf_counter()
             try:
                 protocol.write_frame(
                     self._stream,
@@ -117,6 +127,7 @@ class RemoteSession(AnalyticsVerbs):
                 raise StorageError(
                     f"connection to {host}:{port} lost: {error}"
                 ) from None
+        round_trip_ms = (time.perf_counter() - started) * 1000.0
         if envelope is None:
             raise StorageError(
                 f"server at {host}:{port} closed the connection"
@@ -132,9 +143,28 @@ class RemoteSession(AnalyticsVerbs):
             # Request/response pairing can no longer be trusted.
             self.close()
             raise
+        self.last_round_trip_ms = round(round_trip_ms, 3)
+        server_ms = envelope.get("server_ms")
+        self.last_server_ms = (
+            float(server_ms)
+            if isinstance(server_ms, (int, float))
+            and not isinstance(server_ms, bool)
+            else None
+        )
         if kind == "error":
             raise wire.decode_error(body)
         return body
+
+    @property
+    def last_wire_overhead_ms(self) -> float | None:
+        """Wire cost of the last call: client-observed round trip minus
+        the server-reported handling time (``None`` before any call, or
+        against a server too old to stamp ``server_ms``)."""
+        if self.last_round_trip_ms is None or self.last_server_ms is None:
+            return None
+        return max(
+            0.0, round(self.last_round_trip_ms - self.last_server_ms, 3)
+        )
 
     # ------------------------------------------------------------------
     # The CrimsonSession protocol
@@ -201,6 +231,22 @@ class RemoteSession(AnalyticsVerbs):
         if not isinstance(payload, dict):
             raise ProtocolError("a ping result must be an object")
         return payload
+
+    def stats(self, request: StatsRequest | None = None) -> StatsSnapshot:
+        """The server's live observability snapshot, decoded.
+
+        Because the server answers from the same registry a local
+        session reads, the snapshot carries the same counter and
+        histogram names — plus the server-side series (per-verb
+        latency, bytes in/out, in-flight) only a TCP front-end has.
+        """
+        payload = self._call(
+            "stats",
+            wire.encode_stats_request(
+                request if request is not None else StatsRequest()
+            ),
+        )
+        return wire.decode_stats(payload)
 
     # ------------------------------------------------------------------
     # Lifecycle

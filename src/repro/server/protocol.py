@@ -18,8 +18,11 @@ Response envelope (one of)::
 ``id`` is an opaque client-chosen integer echoed back verbatim, so a
 client can pipeline requests on one connection and still pair answers.
 Verbs mirror the :class:`~repro.storage.api.CrimsonSession` protocol:
-``query``, ``list_trees``, ``describe``, ``verify``, ``ping``, and
-``estimate``.
+``query``, ``list_trees``, ``describe``, ``verify``, ``ping``,
+``estimate``, and ``stats``.  A response envelope may also carry
+``server_ms`` — the server-side handling time in milliseconds — which
+clients use to separate wire overhead from server work; peers that
+don't know the field ignore it.
 
 Chunked responses
 -----------------
@@ -56,6 +59,7 @@ VERBS: tuple[str, ...] = (
     "verify",
     "ping",
     "estimate",
+    "stats",
 )
 """Verbs the server dispatches (the session protocol, minus ``close``;
 the named analytics operations all travel as one ``analyze`` verb).

@@ -29,17 +29,48 @@ stream can no longer be trusted to be frame-aligned.
 
 from __future__ import annotations
 
+import json
 import socketserver
 import threading
 import time
+from contextlib import nullcontext
 from typing import Any
 
 from repro.errors import CrimsonError, ProtocolError, ResourceError
+from repro.obs import Counter, Span, activate, current_span
 from repro.server import protocol
 from repro.storage import wire
 
 DEFAULT_PORT = 2006
 """The default ``crimson serve`` port (the paper's VLDB year)."""
+
+
+class _MeteredStream:
+    """Count the bytes crossing one direction of a connection.
+
+    Wraps the handler's buffered ``rfile``/``wfile`` and feeds a
+    shared counter; everything else (``close``, ``closed``, …)
+    delegates to the wrapped stream.
+    """
+
+    def __init__(self, stream: Any, counter: Counter) -> None:
+        self._stream = stream
+        self._counter = counter
+
+    def readline(self, limit: int = -1) -> bytes:
+        data = self._stream.readline(limit)
+        self._counter.inc(len(data))
+        return data
+
+    def write(self, data: bytes) -> int:
+        self._counter.inc(len(data))
+        return self._stream.write(data)
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._stream, name)
 
 
 class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
@@ -61,6 +92,15 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:
         crimson: CrimsonServer = self.server.crimson
+        metrics = crimson.store.metrics
+        self.rfile = _MeteredStream(
+            self.rfile, metrics.counter("server.bytes_in")
+        )
+        self.wfile = _MeteredStream(
+            self.wfile, metrics.counter("server.bytes_out")
+        )
+        host, port = self.client_address[:2]
+        session_key = f"{host}:{port}"
         while True:
             try:
                 envelope = protocol.read_frame(self.rfile)
@@ -76,12 +116,18 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
             if envelope is None:
                 return
             request_id = envelope.get("id")
+            span = Span(
+                str(envelope.get("verb", "?")), session_key=session_key
+            )
+            started = time.perf_counter()
             crimson._begin_request()
             try:
-                response = protocol.response_envelope(
-                    request_id, crimson.dispatch(envelope)
-                )
+                with activate(span):
+                    response = protocol.response_envelope(
+                        request_id, crimson.dispatch(envelope)
+                    )
             except CrimsonError as error:
+                span.fail(type(error).__name__)
                 response = protocol.error_envelope(
                     request_id, wire.encode_error(error)
                 )
@@ -89,14 +135,24 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
             # reach the client as an error envelope, not kill the
             # connection thread silently.
             except Exception as error:  # noqa: BLE001  # crimson: allow[errors-no-swallow] reported to client as an error envelope
+                span.fail(type(error).__name__)
                 response = protocol.error_envelope(
                     request_id, wire.encode_error(error)
                 )
             finally:
                 crimson._end_request()
-            if not self._reply(
-                response, chunked=envelope.get("chunks") is True
-            ):
+            # Stamped before the write phase, so server_ms is the time
+            # from parsed frame to response ready — the client
+            # subtracts it from its round trip to see wire overhead.
+            response["server_ms"] = round(
+                (time.perf_counter() - started) * 1000.0, 3
+            )
+            with span.phase("write"):
+                delivered = self._reply(
+                    response, chunked=envelope.get("chunks") is True
+                )
+            crimson._observe(span)
+            if not delivered:
                 return
 
     def _reply(
@@ -135,12 +191,35 @@ class CrimsonServer:
     host, port:
         Listen address.  ``port=0`` binds an ephemeral port — read the
         actual one from :attr:`address`.
+    access_log:
+        Path of a structured access log: one JSON line per handled
+        request (verb, session key, phase timings, cost annotation,
+        outcome), fed from the same spans the slow-query log sees.
+        ``None`` (the default) logs nothing.
+
+    The server shares the store's
+    :class:`~repro.obs.MetricsRegistry`, so a ``stats`` snapshot taken
+    over TCP carries the same counter names a local one does, plus the
+    server-side series (``server.latency.<verb>``, ``server.bytes_in``
+    / ``server.bytes_out``, ``server.inflight``,
+    ``server.errors.<Kind>``).
     """
 
     def __init__(
-        self, store, host: str = "127.0.0.1", port: int = DEFAULT_PORT
+        self,
+        store,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        access_log: str | None = None,
     ) -> None:
         self.store = store
+        self._access_lock = threading.Lock()
+        self._access_log = (
+            open(access_log, "a", encoding="utf-8")
+            if access_log is not None
+            else None
+        )
         self._tcp = _ThreadedTCPServer((host, port), _ConnectionHandler, self)
         self._thread: threading.Thread | None = None
         # Whether the TCP accept loop is actually inside serve_forever;
@@ -184,14 +263,21 @@ class CrimsonServer:
         if verb == "query":
             request = wire.decode_request(payload)
             result = self.store.query(request, record=record)
-            return wire.encode_result(result)
+            with self._phase("encode"):
+                return wire.encode_result(result)
         if verb == "estimate":
             request = wire.decode_estimate_request(payload)
             return wire.encode_estimate(self.store.estimate(request))
         if verb == "analyze":
             analytics = wire.decode_analytics_request(payload)
             outcome = self.store.analyze(analytics, record=record)
-            return wire.encode_analytics_result(outcome)
+            with self._phase("encode"):
+                return wire.encode_analytics_result(outcome)
+        if verb == "stats":
+            stats_request = wire.decode_stats_request(payload)
+            snapshot = self.store.stats(stats_request, transport="tcp")
+            with self._phase("encode"):
+                return wire.encode_stats(snapshot)
         if verb == "list_trees":
             return [
                 wire.encode_tree_info(info) for info in self.store.list_trees()
@@ -208,6 +294,14 @@ class CrimsonServer:
         return [
             wire.encode_report(report) for report in self.store.verify(tree)
         ]
+
+    @staticmethod
+    def _phase(label: str):
+        """The active span's phase timer, or a no-op without a span."""
+        span = current_span()
+        if span is None:
+            return nullcontext()
+        return span.phase(label)
 
     @staticmethod
     def _name_field(payload: Any, key: str, what: str) -> str:
@@ -229,11 +323,40 @@ class CrimsonServer:
     def _begin_request(self) -> None:
         with self._inflight_cond:
             self._inflight += 1
+        self.store.metrics.gauge("server.inflight").inc()
 
     def _end_request(self) -> None:
         with self._inflight_cond:
             self._inflight -= 1
             self._inflight_cond.notify_all()
+        self.store.metrics.gauge("server.inflight").dec()
+
+    def _observe(self, span: Span) -> None:
+        """Record one finished request: metrics, slow log, access log."""
+        duration_ms = span.finish()
+        metrics = self.store.metrics
+        metrics.histogram(f"server.latency.{span.verb}").record(
+            duration_ms / 1000.0
+        )
+        metrics.counter("server.requests").inc()
+        if span.error_kind is not None:
+            metrics.counter(f"server.errors.{span.error_kind}").inc()
+        self.store.slow_log.observe(span)
+        self._log_access(span)
+
+    def _log_access(self, span: Span) -> None:
+        stream = self._access_log
+        if stream is None:
+            return
+        line = json.dumps(span.as_dict(), ensure_ascii=False)
+        try:
+            with self._access_lock:
+                stream.write(line + "\n")
+                stream.flush()
+        except (OSError, ValueError):
+            # A full disk or a log closed mid-shutdown must not kill
+            # the connection thread; the request itself succeeded.
+            pass
 
     @property
     def inflight(self) -> int:
@@ -326,6 +449,11 @@ class CrimsonServer:
             self._thread.join(timeout=5.0)
             self._thread = None
         self._tcp.server_close()
+        if self._access_log is not None:
+            try:
+                self._access_log.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "CrimsonServer":
         self.start()

@@ -53,6 +53,8 @@ from repro.storage.api import (
     LocalSession,
     QueryRequest,
     QueryResult,
+    StatsRequest,
+    StatsSnapshot,
 )
 from repro.storage.wire import PROTOCOL_VERSION
 from repro.storage.pool import DEFAULT_POOL_SIZE, ReaderPool, Shard
@@ -71,6 +73,8 @@ __all__ = [
     "OPERATIONS",
     "QueryRequest",
     "QueryResult",
+    "StatsRequest",
+    "StatsSnapshot",
     "CrimsonSession",
     "LocalSession",
     "PROTOCOL_VERSION",

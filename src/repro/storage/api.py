@@ -49,7 +49,7 @@ from collections.abc import Iterable, Sequence as SequenceABC
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping, Protocol, Sequence, runtime_checkable
 
-from repro.errors import QueryError
+from repro.errors import ProtocolError, QueryError
 from repro.storage.maintenance import IntegrityReport
 from repro.storage.tree_repository import NodeRow, TreeInfo
 from repro.trees.tree import PhyloTree
@@ -413,6 +413,116 @@ class AnalyticsResult:
         return f"{self.consensus.size()} nodes, {kept} clusters"
 
 
+STATS_SECTIONS: tuple[str, ...] = (
+    "metrics",
+    "caches",
+    "pool",
+    "admission",
+    "slow_queries",
+)
+"""Sections a :class:`StatsRequest` may select (empty selects all)."""
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """A request for a service's observability snapshot.
+
+    ``sections`` narrows the answer to the named parts of the
+    snapshot; the default empty tuple asks for everything.  Unknown
+    section names raise :class:`~repro.errors.QueryError` at
+    construction, exactly like a malformed :class:`QueryRequest`.
+    """
+
+    sections: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.sections, str) or not isinstance(
+            self.sections, Iterable
+        ):
+            raise QueryError(
+                f"sections must be a sequence of section names, "
+                f"got {self.sections!r}"
+            )
+        checked = tuple(self.sections)
+        for section in checked:
+            if section not in STATS_SECTIONS:
+                raise QueryError(
+                    f"unknown stats section {section!r}; expected one "
+                    f"of {', '.join(STATS_SECTIONS)}"
+                )
+        object.__setattr__(self, "sections", checked)
+
+    def wants(self, section: str) -> bool:
+        """Is ``section`` selected by this request?"""
+        return not self.sections or section in self.sections
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """One service's observability snapshot, transport-agnostic.
+
+    The shape is identical from :class:`LocalSession` and a running
+    ``crimson serve`` (the differential tests assert it): the metrics
+    registry's counters/gauges/histograms, aggregated cache and reader
+    pool figures, the admission controller's view, the slow-query ring,
+    and the same ``service`` identity dict ``ping`` answers with.
+    All values are JSON-plain so the snapshot crosses the wire and
+    renders (table / json / prom) without further translation.
+    """
+
+    counters: Mapping[str, int]
+    gauges: Mapping[str, float]
+    histograms: Mapping[str, Mapping[str, Any]]
+    caches: Mapping[str, Any]
+    pool: Mapping[str, Any]
+    admission: Mapping[str, Any]
+    slow_queries: tuple[Mapping[str, Any], ...]
+    service: Mapping[str, Any]
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly dict (the wire payload, minus the stamp)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: dict(figures)
+                for name, figures in self.histograms.items()
+            },
+            "caches": dict(self.caches),
+            "pool": dict(self.pool),
+            "admission": dict(self.admission),
+            "slow_queries": [dict(entry) for entry in self.slow_queries],
+            "service": dict(self.service),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StatsSnapshot":
+        """Rebuild a snapshot from its wire payload.
+
+        Raises
+        ------
+        ProtocolError
+            If the payload is missing fields or malformed.
+        """
+        try:
+            return cls(
+                counters=dict(payload["counters"]),
+                gauges=dict(payload["gauges"]),
+                histograms=dict(payload["histograms"]),
+                caches=dict(payload["caches"]),
+                pool=dict(payload["pool"]),
+                admission=dict(payload["admission"]),
+                slow_queries=tuple(
+                    dict(entry) for entry in payload["slow_queries"]
+                ),
+                service=dict(payload["service"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(
+                f"malformed stats snapshot payload: {error}"
+            ) from None
+
+
 def service_info(store, transport: str) -> dict[str, Any]:
     """The ``ping`` payload of a session over ``store``.
 
@@ -499,6 +609,10 @@ class CrimsonSession(Protocol):
 
     def ping(self) -> dict[str, Any]:
         """Liveness / identity check (protocol version, store shape)."""
+        ...
+
+    def stats(self, request: StatsRequest | None = None) -> StatsSnapshot:
+        """Observability snapshot: metrics, caches, pool, admission."""
         ...
 
     def close(self) -> None:
@@ -622,6 +736,9 @@ class LocalSession(AnalyticsVerbs):
 
     def ping(self) -> dict[str, Any]:
         return service_info(self.store, "local")
+
+    def stats(self, request: StatsRequest | None = None) -> StatsSnapshot:
+        return self.store.stats(request)
 
     def close(self) -> None:
         if self._owns_store:

@@ -29,9 +29,14 @@ where entry 0 wraps the primary file's existing connections.
 from __future__ import annotations
 
 import threading
+import time
+from typing import TYPE_CHECKING
 
 from repro.errors import StorageError
 from repro.storage.database import CrimsonDatabase
+
+if TYPE_CHECKING:
+    from repro.obs import MetricsRegistry
 
 DEFAULT_POOL_SIZE = 4
 """Pool size used when a caller asks for readers without a count."""
@@ -71,6 +76,9 @@ class ReaderPool:
         self._local = threading.local()
         self._next_slot = 0
         self._closed = False
+        #: Set by the owning store; records checkout waits and depth.
+        #: The thread-sticky fast path stays metric-free on purpose.
+        self.metrics: "MetricsRegistry | None" = None
 
     # ------------------------------------------------------------------
     # Checkout
@@ -88,6 +96,7 @@ class ReaderPool:
         reader = getattr(self._local, "reader", None)
         if reader is not None and not reader.is_closed:
             return reader
+        started = time.perf_counter()
         with self._lock:
             if self._closed:
                 raise StorageError(f"reader pool over {self.path!r} is closed")
@@ -97,6 +106,12 @@ class ReaderPool:
             if reader is None or reader.is_closed:
                 reader = CrimsonDatabase(self.path, read_only=True)
                 self._readers[slot] = reader
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.histogram("pool.checkout_wait").record(
+                time.perf_counter() - started
+            )
+            metrics.counter("pool.checkouts").inc()
         self._local.reader = reader
         # Legitimate handoff: when threads outnumber readers the
         # round-robin shares connections, so record this thread as a

@@ -65,8 +65,9 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
+import weakref
 from pathlib import Path
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.admission import (
     AdmissionController,
@@ -76,12 +77,17 @@ from repro.admission import (
     estimate_query,
 )
 from repro.errors import QueryError, StorageError
+from repro.obs import MetricsRegistry, SlowQueryLog, Span, current_span
 from repro.storage.api import (
     AnalyticsRequest,
     AnalyticsResult,
     QueryRequest,
     QueryResult,
+    StatsRequest,
+    StatsSnapshot,
+    service_info,
 )
+from repro.storage.cache import CacheStats
 from repro.storage.database import CrimsonDatabase, DatabaseFacade
 from repro.storage.engine import DEFAULT_CACHE_SIZE
 from repro.storage.loader import DataLoader, Reporter, _silent
@@ -200,7 +206,20 @@ class CrimsonStore:
         #: The admission controller guarding query/analyze (swap it to
         #: re-limit a live store, e.g. ``crimson serve`` flag wiring).
         self.admission = AdmissionController(limits)
+        #: The store's metrics registry; every layer (pool, server)
+        #: shares it so local and remote snapshots carry the same names.
+        self.metrics = MetricsRegistry()
+        #: Ring buffer of the slowest recent requests (local + served).
+        self.slow_log = SlowQueryLog()
+        for shard in self._shards:
+            if shard.pool is not None:
+                shard.pool.metrics = self.metrics
         self._local = threading.local()
+        # Every live query handle, across threads, so stats() can
+        # aggregate cache residency; weak references keep the registry
+        # from pinning handles whose threads are gone.
+        self._handles_lock = threading.Lock()
+        self._live_handles: weakref.WeakSet[StoredTree] = weakref.WeakSet()
         self._record_lock = threading.Lock()
         self._placement_lock = threading.Lock()
         self._placement_cursor = -1
@@ -481,6 +500,8 @@ class CrimsonStore:
             self.shard_reader(info.shard), info, self.cache_size
         )
         handles[name] = (epoch, handle)
+        with self._handles_lock:
+            self._live_handles.add(handle)
         return handle
 
     def estimate(
@@ -518,6 +539,128 @@ class CrimsonStore:
             return self.admission.admit(_FREE_ESTIMATE)
         return self.admission.admit(estimate_lazily())
 
+    def _request_span(self, verb: str, operation: str, detail: str) -> Span:
+        """The span timing one request.
+
+        When a span is already active on this thread (the server
+        activated one around the whole connection turn), the store
+        joins it instead of opening a nested one, so admission/engine
+        phase timings land on the request the server is tracing.
+        """
+        span = current_span()
+        if span is not None:
+            span.annotate("operation", operation)
+            return span
+        return Span(verb, detail=f"{operation} {detail}".strip())
+
+    @staticmethod
+    def _priced(span: Span, estimate: CostEstimate) -> CostEstimate:
+        span.annotate("estimate_cost", round(estimate.cost, 3))
+        return estimate
+
+    def _finish_span(self, span: Span, *, error: Exception | None = None) -> None:
+        """Finish a store-owned span and offer it to the slow log.
+
+        A span the store merely joined (still active — the server owns
+        it) is left running; the activating edge finishes and logs it
+        with the socket-write phase included.
+        """
+        if error is not None:
+            span.fail(type(error).__name__)
+        if current_span() is span:
+            return
+        span.finish()
+        self.slow_log.observe(span)
+
+    def _shard_statements(self) -> int:
+        """Total statements executed across every shard's connections."""
+        total = 0
+        for shard in self._shards:
+            total += shard.db.statements_executed
+            if shard.pool is not None:
+                total += shard.pool.statements_executed()
+        return total
+
+    def stats(
+        self,
+        request: StatsRequest | None = None,
+        *,
+        transport: str = "local",
+    ) -> StatsSnapshot:
+        """A point-in-time observability snapshot of this store.
+
+        Sections the request does not ask for come back empty, so a
+        narrow ``stats`` stays cheap over the wire.  ``transport`` is
+        stamped into the service section (``"tcp"`` when the server
+        answers on behalf of a remote session).
+        """
+        if request is None:
+            request = StatsRequest()
+        metrics: dict[str, Any] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        if request.wants("metrics"):
+            metrics = self.metrics.snapshot()
+        caches: dict[str, Any] = {}
+        if request.wants("caches"):
+            caches = self._stats_caches()
+        pool: dict[str, Any] = {}
+        if request.wants("pool"):
+            pool = self._stats_pool()
+        admission: dict[str, Any] = {}
+        if request.wants("admission"):
+            admission = {
+                str(key): value
+                for key, value in self.admission.snapshot().items()
+            }
+        slow: tuple[dict[str, Any], ...] = ()
+        if request.wants("slow_queries"):
+            slow = tuple(self.slow_log.entries())
+        return StatsSnapshot(
+            counters=metrics["counters"],
+            gauges=metrics["gauges"],
+            histograms=metrics["histograms"],
+            caches=caches,
+            pool=pool,
+            admission=admission,
+            slow_queries=slow,
+            service=dict(service_info(self, transport)),
+        )
+
+    def _stats_caches(self) -> dict[str, Any]:
+        """Row-cache stats aggregated over every live query handle."""
+        with self._handles_lock:
+            handles = list(self._live_handles)
+        totals: dict[str, CacheStats] = {}
+        for handle in handles:
+            for name, stats in handle.cache_stats().items():
+                existing = totals.get(name)
+                totals[name] = stats if existing is None else existing + stats
+        out: dict[str, Any] = {"handles": len(handles)}
+        for name in sorted(totals):
+            out[name] = totals[name].as_dict()
+        return out
+
+    def _stats_pool(self) -> dict[str, Any]:
+        """Per-shard reader-pool depth and statement counts."""
+        out: dict[str, Any] = {
+            "writer_statements": self.db.statements_executed,
+        }
+        for shard in self._shards:
+            entry: dict[str, Any] = {
+                "shard_statements": shard.db.statements_executed,
+            }
+            if shard.pool is not None:
+                entry["open_readers"] = shard.pool.open_readers
+                entry["pool_size"] = shard.pool.size
+                entry["reader_statements"] = (
+                    shard.pool.statements_executed()
+                )
+            out[f"shard{shard.shard_id}"] = entry
+        return out
+
     def query(
         self, request: QueryRequest, *, record: bool = False
     ) -> QueryResult:
@@ -545,13 +688,33 @@ class CrimsonStore:
             quota exhausted, or the concurrency cap is full).
         """
         handle = self.open_tree(request.tree)
-        slot = self._admit(lambda: estimate_query(request, handle))
+        span = self._request_span("query", request.operation, request.tree)
+        statements_before = handle.db.statements_executed
+        with span.phase("admission"):
+            slot = self._admit(
+                lambda: self._priced(
+                    span, estimate_query(request, handle)
+                )
+            )
         try:
             start = time.perf_counter()
-            result = self._execute(handle, request)
+            with span.phase("engine"):
+                result = self._execute(handle, request)
             duration_ms = (time.perf_counter() - start) * 1000.0
+        except Exception as error:
+            self.metrics.counter("store.query.errors").inc()
+            self._finish_span(span, error=error)
+            raise
         finally:
             slot.release()
+        self.metrics.histogram(
+            f"store.query.{request.operation}"
+        ).record(duration_ms / 1000.0)
+        self.metrics.counter("store.query.requests").inc()
+        self.metrics.counter("store.statements").inc(
+            handle.db.statements_executed - statements_before
+        )
+        self._finish_span(span)
         result = dataclasses.replace(result, duration_ms=duration_ms)
         if record:
             with self._record_lock:
@@ -595,49 +758,71 @@ class CrimsonStore:
         """
         from repro.analytics import compare_stored, rf_matrix, stored_consensus
 
-        slot = self._admit(
-            lambda: estimate_analytics(
-                request, [self.open_tree(name) for name in request.trees]
-            )
+        span = self._request_span(
+            "analyze", request.operation, " ".join(request.trees[:4])
         )
+        with span.phase("admission"):
+            slot = self._admit(
+                lambda: self._priced(
+                    span,
+                    estimate_analytics(
+                        request,
+                        [self.open_tree(name) for name in request.trees],
+                    ),
+                )
+            )
+        statements_before = self._shard_statements()
         try:
             # Resolving N handles (catalogue lookups on a cold thread)
             # is a real part of what a cross-tree request pays, so
             # unlike query()'s single pre-resolved handle it runs
             # inside the timed region.
             start = time.perf_counter()
-            handles = [self.open_tree(name) for name in request.trees]
-            if request.operation == "compare":
-                outcome = compare_stored(handles[0], handles[1])
-                result = AnalyticsResult(
-                    request=request,
-                    duration_ms=0.0,
-                    comparison=outcome.splits,
-                    shared_clusters=outcome.shared_clusters,
-                )
-            elif request.operation == "distance_matrix":
-                matrix = rf_matrix(handles)
-                result = AnalyticsResult(
-                    request=request,
-                    duration_ms=0.0,
-                    matrix=tuple(tuple(row) for row in matrix),
-                )
-            else:
-                assert request.operation == "consensus"
-                tree, support = stored_consensus(
-                    handles,
-                    threshold=request.threshold,
-                    strict=request.strict,
-                )
-                result = AnalyticsResult(
-                    request=request,
-                duration_ms=0.0,
-                consensus=tree,
-                    support=support,
-                )
+            with span.phase("engine"):
+                handles = [self.open_tree(name) for name in request.trees]
+                if request.operation == "compare":
+                    outcome = compare_stored(handles[0], handles[1])
+                    result = AnalyticsResult(
+                        request=request,
+                        duration_ms=0.0,
+                        comparison=outcome.splits,
+                        shared_clusters=outcome.shared_clusters,
+                    )
+                elif request.operation == "distance_matrix":
+                    matrix = rf_matrix(handles)
+                    result = AnalyticsResult(
+                        request=request,
+                        duration_ms=0.0,
+                        matrix=tuple(tuple(row) for row in matrix),
+                    )
+                else:
+                    assert request.operation == "consensus"
+                    tree, support = stored_consensus(
+                        handles,
+                        threshold=request.threshold,
+                        strict=request.strict,
+                    )
+                    result = AnalyticsResult(
+                        request=request,
+                        duration_ms=0.0,
+                        consensus=tree,
+                        support=support,
+                    )
             duration_ms = (time.perf_counter() - start) * 1000.0
+        except Exception as error:
+            self.metrics.counter("store.analyze.errors").inc()
+            self._finish_span(span, error=error)
+            raise
         finally:
             slot.release()
+        self.metrics.histogram(
+            f"store.analyze.{request.operation}"
+        ).record(duration_ms / 1000.0)
+        self.metrics.counter("store.analyze.requests").inc()
+        self.metrics.counter("store.statements").inc(
+            self._shard_statements() - statements_before
+        )
+        self._finish_span(span)
         result = dataclasses.replace(result, duration_ms=duration_ms)
         if record:
             with self._record_lock:

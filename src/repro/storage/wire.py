@@ -38,6 +38,8 @@ from repro.storage.api import (
     AnalyticsResult,
     QueryRequest,
     QueryResult,
+    StatsRequest,
+    StatsSnapshot,
 )
 from repro.storage.maintenance import IntegrityReport
 from repro.storage.tree_repository import NodeRow, TreeInfo
@@ -526,6 +528,43 @@ def decode_estimate(payload: Mapping[str, Any]) -> CostEstimate:
     """Rebuild a :class:`CostEstimate` from its wire form."""
     check_protocol(payload, "a cost estimate")
     return CostEstimate.from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Stats snapshots (the `stats` verb)
+# ----------------------------------------------------------------------
+
+def encode_stats_request(request: StatsRequest) -> dict[str, Any]:
+    """Encode a stats verb's payload (the selected sections)."""
+    return stamp({"sections": list(request.sections)})
+
+
+def decode_stats_request(payload: Mapping[str, Any]) -> StatsRequest:
+    """Decode and re-validate a stats verb's payload.
+
+    Shape problems raise :class:`ProtocolError`; a well-formed payload
+    naming an unknown section raises
+    :class:`~repro.errors.QueryError` from the :class:`StatsRequest`
+    constructor, exactly as an in-process caller would see.
+    """
+    check_protocol(payload, "a stats request")
+    sections = payload.get("sections", ())
+    if isinstance(sections, str) or not isinstance(sections, (list, tuple)):
+        raise ProtocolError(
+            f"a stats request's 'sections' must be a list, got {sections!r}"
+        )
+    return StatsRequest(sections=tuple(sections))
+
+
+def encode_stats(snapshot: StatsSnapshot) -> dict[str, Any]:
+    """Encode one observability snapshot."""
+    return stamp(snapshot.as_dict())
+
+
+def decode_stats(payload: Mapping[str, Any]) -> StatsSnapshot:
+    """Rebuild a :class:`StatsSnapshot` from its wire form."""
+    check_protocol(payload, "a stats snapshot")
+    return StatsSnapshot.from_dict(payload)
 
 
 # ----------------------------------------------------------------------

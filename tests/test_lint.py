@@ -175,6 +175,21 @@ class TestProtocolExhaustiveness:
         ]) + len(estimate), "\n".join(f.render() for f in findings)
         assert len(frontier) == 3 and len(estimate) == 3
 
+    def test_half_wired_stats_verb_is_flagged_by_name(self):
+        # The observability PR's failure mode: ``stats`` in the session
+        # protocol, VERBS, the server dispatch, and LocalSession — but
+        # no RemoteSession method and no CLI subcommand.  Exactly those
+        # surfaces must be named, and nothing else.
+        findings = lint_fixture("stats_unwired", (ProtocolExhaustiveness(),))
+        assert {f.path for f in findings} == {
+            "server/client.py", "cli/main.py"
+        }
+        messages = " | ".join(f.message for f in findings)
+        assert "wire verb 'stats' is never sent by RemoteSession" in messages
+        assert "does not implement session method 'stats'" in messages
+        assert "session verb 'stats' has no CLI subcommand 'stats'" in messages
+        assert len(findings) == 3, "\n".join(f.render() for f in findings)
+
     def test_missing_surface_file_is_reported(self, tmp_path):
         (tmp_path / "storage").mkdir()
         (tmp_path / "storage" / "api.py").write_text("OPERATIONS = ()\n")
