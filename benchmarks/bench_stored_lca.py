@@ -24,6 +24,8 @@ import json
 import sys
 import time
 
+from repro.obs import SlowQueryLog, TimeSeriesSampler
+from repro.storage.api import QueryRequest
 from repro.storage.store import CrimsonStore
 from repro.trees.build import caterpillar
 
@@ -91,6 +93,44 @@ def run_experiment(
         batch_handle, lambda handle: handle.lca_batch(pairs)
     )
 
+    # Warm traced: the same warm workload through the store's query
+    # facade, first with tracing quiet, then with every tracing and
+    # history feature on at once — a threshold-0 slow log retaining a
+    # span per query and the 1 Hz history sampler running.  The two
+    # passes interleave (base, traced, base, traced, ...) so machine
+    # drift lands on both sides; the tentpole claim is that the traced
+    # p50 stays within a few percent of the untraced one, at zero SQL.
+    def timed_queries(latencies_s):
+        for a, b in pairs:
+            request = QueryRequest.lca("deep", a, b)
+            start = time.perf_counter()
+            store.query(request)
+            latencies_s.append(time.perf_counter() - start)
+
+    quiet_log, traced_log = store.slow_log, SlowQueryLog(threshold_ms=0.0)
+    sampler = TimeSeriesSampler(store.timeseries)
+    sampler.start()
+    base_latencies: list[float] = []
+    traced_latencies: list[float] = []
+    timed_queries([])  # warm the facade path
+    traced_statements = 0
+    for _ in range(3):
+        store.slow_log = quiet_log
+        timed_queries(base_latencies)
+        store.slow_log = traced_log
+        with db.count_statements() as counter:
+            timed_queries(traced_latencies)
+        traced_statements += counter.count
+    sampler.stop()
+    store.slow_log = quiet_log
+    warm_query = latency_summary(base_latencies)
+    warm_traced = latency_summary(traced_latencies)
+    tracing_overhead_pct = round(
+        100.0 * (warm_traced["p50_ms"] - warm_query["p50_ms"])
+        / warm_query["p50_ms"],
+        2,
+    ) if warm_query["p50_ms"] else 0.0
+
     stats = {
         name: value.as_dict()
         for name, value in cold_handle.cache_stats().items()
@@ -105,6 +145,7 @@ def run_experiment(
             "warm_single": warm_statements,
             "cold_batch": batch_statements,
             "warm_batch": warm_batch_statements,
+            "warm_traced": traced_statements,
         },
         "per_query_statements": {
             "cold_single": round(cold_statements / n_pairs, 3),
@@ -119,7 +160,10 @@ def run_experiment(
         "latency_ms": {
             "cold_single": latency_summary(cold_latencies),
             "warm_single": latency_summary(warm_latencies),
+            "warm_query": warm_query,
+            "warm_traced": warm_traced,
         },
+        "tracing_overhead_pct": tracing_overhead_pct,
         "cache_stats_single_handle": stats,
     }
 
@@ -153,12 +197,26 @@ def test_stored_lca_engine(benchmark, report):
         "statements); the batch path amortizes argument resolution "
         "into IN (...) queries"
     )
+    latency = results["latency_ms"]
+    report(
+        f"  tracing: warm query p50 {latency['warm_query']['p50_ms']} ms "
+        f"untraced vs {latency['warm_traced']['p50_ms']} ms with "
+        f"threshold-0 slow log + history sampler "
+        f"({results['tracing_overhead_pct']:+.1f}%)"
+    )
 
     # Acceptance: warm repeats never touch SQL; batching measurably
     # beats per-pair singles on the cold path.
     assert statements["warm_single"] == 0
     assert statements["warm_batch"] == 0
     assert statements["cold_batch"] < statements["cold_single"]
+    # Tracing + history sampling ride the warm path for free: still
+    # zero SQL, and the p50 stays within 5% of the untraced facade.
+    assert statements["warm_traced"] == 0
+    assert (
+        latency["warm_traced"]["p50_ms"]
+        <= latency["warm_query"]["p50_ms"] * 1.05
+    )
 
 
 def main(argv: list[str]) -> int:
@@ -176,10 +234,15 @@ def main(argv: list[str]) -> int:
         f"cold batch: {statements['cold_batch']}, "
         f"warm (either): {statements['warm_single']}"
     )
+    print(
+        f"warm traced: {statements['warm_traced']} statements, "
+        f"{results['tracing_overhead_pct']:+.1f}% p50 vs untraced"
+    )
     # The acceptance shape guards CI's smoke run too.
     ok = (
         statements["warm_single"] == 0
         and statements["warm_batch"] == 0
+        and statements["warm_traced"] == 0
         and statements["cold_batch"] < statements["cold_single"]
     )
     return 0 if ok else 1

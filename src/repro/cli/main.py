@@ -455,6 +455,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="server port for --host (default: 2006)",
     )
 
+    health = commands.add_parser(
+        "health",
+        help="threshold-evaluated service health: ok/degraded/unhealthy "
+        "(draining while a server shuts down); exit 0 only on ok "
+        "(local store, or a server with --host)",
+    )
+    health.add_argument(
+        "--host",
+        default=None,
+        help="check a running crimson server instead of the local store",
+    )
+    health.add_argument(
+        "--port",
+        type=_port_number,
+        default=2006,
+        help="server port for --host (default: 2006)",
+    )
+    health.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the full report as JSON",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="refreshing terminal dashboard over polled stats: qps/p99 "
+        "sparklines per verb, cache hit rates, slow queries with trace "
+        "ids (local store, or a server with --host)",
+    )
+    top.add_argument(
+        "--host",
+        default=None,
+        help="watch a running crimson server instead of the local store",
+    )
+    top.add_argument(
+        "--port",
+        type=_port_number,
+        default=2006,
+        help="server port for --host (default: 2006)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default: 2)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=_nonnegative_int,
+        default=0,
+        help="stop after this many frames (default: 0 — run until "
+        "interrupted)",
+    )
+
     lint = commands.add_parser(
         "lint",
         help="run crimson-lint, the package's own invariant checker",
@@ -578,6 +633,30 @@ def main(argv: list[str] | None = None) -> int:
         except (CrimsonError, OSError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
+    if args.command == "health" and args.host is not None:
+        try:
+            with RemoteSession(args.host, args.port) as session:
+                return _print_health(session.health(), args.as_json)
+        except (CrimsonError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    if args.command == "top" and args.host is not None:
+        from repro.cli.top import run_top
+
+        try:
+            with RemoteSession(args.host, args.port) as session:
+                return run_top(
+                    session.stats,
+                    title=f"{args.host}:{args.port}",
+                    interval=args.interval,
+                    iterations=args.iterations,
+                )
+        except (CrimsonError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            print()
+            return 130
     try:
         with CrimsonStore.open(
             args.db,
@@ -891,6 +970,24 @@ def _dispatch(args: argparse.Namespace, store: CrimsonStore, rng) -> int:
         _print_stats(store.session().stats(_stats_request(args)), args.format)
         return 0
 
+    if args.command == "health":
+        # The remote (--host) form exits in main() before the store
+        # opens; reaching here means: evaluate the local store.
+        return _print_health(store.session().health(), args.as_json)
+
+    if args.command == "top":
+        # The remote (--host) form exits in main() before the store
+        # opens; reaching here means: watch the local store.
+        from repro.cli.top import run_top
+
+        session = store.session()
+        return run_top(
+            session.stats,
+            title=str(args.db),
+            interval=args.interval,
+            iterations=args.iterations,
+        )
+
     if args.command == "history":
         entries = history.recent(limit=args.limit, tree_name=args.tree)
         if not entries:
@@ -1108,6 +1205,17 @@ def _print_stats(snapshot, fmt: str) -> None:
         print(render_prometheus(snapshot.as_dict()), end="")
     else:
         print(render_table(snapshot.as_dict()), end="")
+
+
+def _print_health(report, as_json: bool) -> int:
+    """Print a health report; exit code 0 only when status is ``ok``."""
+    from repro.obs import render_health
+
+    if as_json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_health(report.as_dict()), end="")
+    return 0 if report.ok else 1
 
 
 def _describe_limits(limits) -> str:

@@ -1,0 +1,184 @@
+"""``crimson top``: a refreshing terminal dashboard over ``stats``.
+
+Pure rendering over the same snapshot dict every other renderer
+consumes (:meth:`repro.storage.api.StatsSnapshot.as_dict`), so the
+dashboard works identically against a local store and a live server —
+the caller supplies a ``poll`` callable and this module never knows
+which transport answered.  The history rings power the sparklines; the
+finest window (1s grain) is the one drawn.
+
+``render_dashboard`` is deterministic (the tests feed it canned
+snapshots); ``run_top`` adds the polling loop, screen clearing, and
+interval pacing around it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, List, Mapping, Optional, TextIO
+
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+SPARK_WIDTH = 40
+
+
+def sparkline(values: List[float], width: int = SPARK_WIDTH) -> str:
+    """The last ``width`` values as unicode block characters.
+
+    Scaled against the maximum of the shown values; an all-zero (or
+    empty) series renders as baseline blocks so the eye still sees the
+    time axis.
+    """
+    shown = [float(v) for v in values[-width:]]
+    if not shown:
+        return ""
+    peak = max(shown)
+    if peak <= 0:
+        return SPARK_BLOCKS[0] * len(shown)
+    top = len(SPARK_BLOCKS) - 1
+    return "".join(
+        SPARK_BLOCKS[min(top, int((value / peak) * top + 0.5))]
+        for value in shown
+    )
+
+
+def _finest_window(snapshot: Mapping[str, Any]) -> Mapping[str, Any]:
+    windows = snapshot.get("history", {}).get("windows", ())
+    if not windows:
+        return {}
+    return min(windows, key=lambda w: w.get("interval_s", float("inf")))
+
+
+def _series(window: Mapping[str, Any], name: str) -> List[float]:
+    return list(window.get("series", {}).get(name, ()))
+
+
+def _fmt(value: float, digits: int = 1) -> str:
+    return f"{value:.{digits}f}"
+
+
+def _verb_rows(window: Mapping[str, Any]) -> List[tuple]:
+    """(verb, qps series, p99 series) for every per-verb history pair."""
+    series = window.get("series", {})
+    verbs = sorted(
+        name[len("qps."):]
+        for name in series
+        if name.startswith("qps.") and any(series[name])
+    )
+    return [
+        (verb, series.get(f"qps.{verb}", []),
+         series.get(f"p99_ms.{verb}", []))
+        for verb in verbs
+    ]
+
+
+def _cache_line(caches: Mapping[str, Any]) -> str:
+    parts: List[str] = []
+    for name in sorted(caches):
+        figures = caches[name]
+        if not isinstance(figures, Mapping):
+            continue
+        hits = figures.get("hits", 0)
+        misses = figures.get("misses", 0)
+        total = hits + misses
+        if total:
+            parts.append(f"{name} {100.0 * hits / total:.1f}%")
+    return "  ".join(parts)
+
+
+def render_dashboard(
+    snapshot: Mapping[str, Any], *, title: str = "crimson"
+) -> str:
+    """One full dashboard frame over a stats snapshot dict."""
+    service = snapshot.get("service", {})
+    window = _finest_window(snapshot)
+    lines: List[str] = []
+    lines.append(
+        f"crimson top — {title} — transport="
+        f"{service.get('transport', '?')} trees={service.get('trees', '?')}"
+        f" shards={service.get('shards', '?')}"
+    )
+
+    qps = _series(window, "qps")
+    errors = _series(window, "error_rate")
+    if qps:
+        lines.append(
+            f"qps    {_fmt(qps[-1]):>8}  {sparkline(qps)}"
+        )
+    if errors:
+        lines.append(
+            f"errors {_fmt(errors[-1] * 100.0):>7}%  {sparkline(errors)}"
+        )
+    statements = _series(window, "statements_per_s")
+    if statements:
+        lines.append(
+            f"sql/s  {_fmt(statements[-1]):>8}  {sparkline(statements)}"
+        )
+
+    verb_rows = _verb_rows(window)
+    if verb_rows:
+        lines.append("")
+        lines.append(
+            f"{'verb':<20} {'qps':>8} {'p99_ms':>8}  activity"
+        )
+        for verb, verb_qps, verb_p99 in verb_rows:
+            last_qps = verb_qps[-1] if verb_qps else 0.0
+            last_p99 = verb_p99[-1] if verb_p99 else 0.0
+            lines.append(
+                f"{verb:<20} {_fmt(last_qps):>8} {_fmt(last_p99, 2):>8}  "
+                f"{sparkline(verb_qps, 24)}"
+            )
+
+    cache_line = _cache_line(snapshot.get("caches", {}))
+    if cache_line:
+        lines.append("")
+        lines.append(f"cache hit rates: {cache_line}")
+
+    slow = snapshot.get("slow_queries", ())
+    if slow:
+        lines.append("")
+        lines.append(f"{'trace':<18} {'slow query':<12} {'ms':>9}  detail")
+        for entry in list(slow)[-8:]:
+            lines.append(
+                f"{str(entry.get('trace_id') or '-'):<18} "
+                f"{str(entry.get('verb', '?')):<12} "
+                f"{float(entry.get('duration_ms') or 0.0):>9.2f}  "
+                f"{entry.get('detail', '')}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    poll: Callable[[], Any],
+    *,
+    title: str,
+    interval: float = 2.0,
+    iterations: int = 0,
+    out: Optional[TextIO] = None,
+    clear: Optional[bool] = None,
+) -> int:
+    """Poll ``stats`` and redraw the dashboard until stopped.
+
+    ``poll`` returns a :class:`~repro.storage.api.StatsSnapshot` (or
+    anything with ``as_dict``).  ``iterations=0`` runs until
+    interrupted; the final iteration skips its sleep so bounded runs
+    (tests, CI smokes) exit promptly.  Returns the exit code.
+    """
+    import sys
+
+    stream = out if out is not None else sys.stdout
+    if clear is None:
+        clear = bool(getattr(stream, "isatty", lambda: False)())
+    count = 0
+    while True:
+        count += 1
+        frame = render_dashboard(poll().as_dict(), title=title)
+        if clear:
+            stream.write("\x1b[2J\x1b[H")
+        stream.write(frame)
+        stream.flush()
+        if iterations and count >= iterations:
+            return 0
+        time.sleep(interval)
+
+
+__all__ = ["render_dashboard", "run_top", "sparkline"]

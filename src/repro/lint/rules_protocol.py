@@ -62,6 +62,7 @@ VERB_CLI = {
     "ping": "ping",
     "estimate": "estimate",
     "stats": "stats",
+    "health": "health",
 }
 
 

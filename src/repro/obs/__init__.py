@@ -10,6 +10,13 @@ The subsystem every perf PR is judged with.  Three small modules:
   a thread-local so instrumented layers can annotate the current
   request without plumbing, plus a fixed-size ring-buffer
   :class:`SlowQueryLog`.
+* :mod:`repro.obs.timeseries` — a :class:`TimeSeries` that samples the
+  registry's cumulative instruments into bounded ring windows of
+  derived rates (qps, error rate, windowed p95/p99) — the "what is
+  happening *now*" companion to the lifetime totals.
+* :mod:`repro.obs.health` — a pure evaluator turning history windows
+  and thresholds into ok/degraded/unhealthy/draining plus per-check
+  detail.
 * :mod:`repro.obs.render` — pure renderers over snapshot dicts:
   aligned tables for humans and Prometheus text exposition for
   scrapers.
@@ -20,24 +27,38 @@ instruments, so the instrumentation's cost can be switched off
 entirely.
 """
 
+from repro.obs.health import HealthThresholds, evaluate as evaluate_health
 from repro.obs.metrics import (
     Counter,
     Gauge,
     LatencyHistogram,
     MetricsRegistry,
 )
-from repro.obs.render import render_prometheus, render_table
-from repro.obs.trace import SlowQueryLog, Span, activate, current_span
+from repro.obs.render import render_health, render_prometheus, render_table
+from repro.obs.timeseries import TimeSeries, TimeSeriesSampler
+from repro.obs.trace import (
+    SlowQueryLog,
+    Span,
+    activate,
+    current_span,
+    new_trace_id,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
+    "HealthThresholds",
     "LatencyHistogram",
     "MetricsRegistry",
     "SlowQueryLog",
     "Span",
+    "TimeSeries",
+    "TimeSeriesSampler",
     "activate",
     "current_span",
+    "evaluate_health",
+    "new_trace_id",
+    "render_health",
     "render_prometheus",
     "render_table",
 ]

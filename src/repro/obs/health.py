@@ -1,0 +1,175 @@
+"""Declarative health evaluation over history windows and counters.
+
+A health check is a *named value compared against two thresholds*:
+cross ``degraded_at`` and the check reports ``degraded``; cross
+``unhealthy_at`` and it reports ``unhealthy``.  The overall status is
+the worst individual check — except while the server is draining,
+which overrides everything with ``draining`` so a load balancer stops
+routing before the listener closes.
+
+The evaluator is pure: it takes plain snapshot dicts (the same shapes
+``MetricsRegistry.snapshot`` and ``TimeSeries.history`` produce) and
+returns plain dicts, so the storage and server layers can feed it
+without this module importing either.  Values prefer the freshest
+history window (windowed error rate and p99 recover after an incident;
+lifetime counters never do) and fall back to cumulative totals when no
+window has rolled over yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Mapping, Optional
+
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_UNHEALTHY = "unhealthy"
+STATUS_DRAINING = "draining"
+
+_SEVERITY = {STATUS_OK: 0, STATUS_DEGRADED: 1, STATUS_UNHEALTHY: 2}
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Degraded/unhealthy cut points for each check."""
+
+    error_rate_degraded: float = 0.01
+    error_rate_unhealthy: float = 0.10
+    p99_ms_degraded: float = 250.0
+    p99_ms_unhealthy: float = 1000.0
+    queue_depth_degraded: float = 4.0
+    queue_depth_unhealthy: float = 16.0
+    inflight_fraction_degraded: float = 0.8
+    inflight_fraction_unhealthy: float = 1.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            field.name: getattr(self, field.name)
+            for field in fields(self)
+        }
+
+
+def _check(
+    name: str, value: float, degraded_at: float, unhealthy_at: float
+) -> Dict[str, Any]:
+    status = STATUS_OK
+    if value >= unhealthy_at:
+        status = STATUS_UNHEALTHY
+    elif value >= degraded_at:
+        status = STATUS_DEGRADED
+    return {
+        "name": name,
+        "status": status,
+        "value": round(value, 4),
+        "degraded_at": degraded_at,
+        "unhealthy_at": unhealthy_at,
+    }
+
+
+def _latest(history: Mapping[str, Any], series: str) -> Optional[float]:
+    """Freshest value of ``series`` in the finest history window."""
+    windows = sorted(
+        history.get("windows", ()), key=lambda w: w.get("interval_s", 0.0)
+    )
+    for window in windows:
+        values = window.get("series", {}).get(series)
+        if values:
+            return float(values[-1])
+    return None
+
+
+def _windowed_p99(history: Mapping[str, Any]) -> Optional[float]:
+    """Worst per-verb p99 in the finest window that has any."""
+    windows = sorted(
+        history.get("windows", ()), key=lambda w: w.get("interval_s", 0.0)
+    )
+    for window in windows:
+        p99s = [
+            float(values[-1])
+            for name, values in window.get("series", {}).items()
+            if name.startswith("p99_ms.") and values
+        ]
+        if p99s:
+            return max(p99s)
+    return None
+
+
+def _cumulative_error_rate(counters: Mapping[str, int]) -> float:
+    if "server.requests" in counters:
+        requests = counters["server.requests"]
+        errors = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("server.errors.")
+        )
+    else:
+        requests = counters.get("store.query.requests", 0) + counters.get(
+            "store.analyze.requests", 0
+        )
+        errors = counters.get("store.query.errors", 0) + counters.get(
+            "store.analyze.errors", 0
+        )
+    return errors / requests if requests else 0.0
+
+
+def _cumulative_p99(histograms: Mapping[str, Mapping[str, Any]]) -> float:
+    p99s = [
+        float(summary.get("p99_ms", 0.0))
+        for name, summary in histograms.items()
+        if name.startswith(("server.latency.", "store.query.", "store.analyze."))
+    ]
+    return max(p99s) if p99s else 0.0
+
+
+def evaluate(
+    *,
+    history: Mapping[str, Any],
+    counters: Mapping[str, int],
+    histograms: Mapping[str, Mapping[str, Any]],
+    admission: Mapping[str, Any],
+    inflight: float = 0.0,
+    capacity: Optional[int] = None,
+    thresholds: Optional[HealthThresholds] = None,
+    draining: bool = False,
+) -> Dict[str, Any]:
+    """Status + per-check detail from snapshots and thresholds."""
+    limits = thresholds or HealthThresholds()
+
+    error_rate = _latest(history, "error_rate")
+    if error_rate is None:
+        error_rate = _cumulative_error_rate(counters)
+    p99_ms = _windowed_p99(history)
+    if p99_ms is None:
+        p99_ms = _cumulative_p99(histograms)
+    queue_depth = float(admission.get("waiting", 0))
+    inflight_fraction = inflight / capacity if capacity else 0.0
+
+    checks: List[Dict[str, Any]] = [
+        _check(
+            "error_rate",
+            error_rate,
+            limits.error_rate_degraded,
+            limits.error_rate_unhealthy,
+        ),
+        _check(
+            "p99_ms",
+            p99_ms,
+            limits.p99_ms_degraded,
+            limits.p99_ms_unhealthy,
+        ),
+        _check(
+            "queue_depth",
+            queue_depth,
+            limits.queue_depth_degraded,
+            limits.queue_depth_unhealthy,
+        ),
+        _check(
+            "inflight_fraction",
+            inflight_fraction,
+            limits.inflight_fraction_degraded,
+            limits.inflight_fraction_unhealthy,
+        ),
+    ]
+    worst = max(checks, key=lambda check: _SEVERITY[check["status"]])
+    status = STATUS_DRAINING if draining else worst["status"]
+    return {"status": status, "checks": checks, "draining": draining}

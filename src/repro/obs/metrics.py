@@ -30,6 +30,28 @@ from typing import Any, Dict
 HISTOGRAM_BUCKETS = 40
 
 
+def quantile_from_buckets(counts: list, fraction: float) -> float:
+    """Quantile in ms from raw log2-µs bucket counts (delta-friendly).
+
+    Works on *any* count vector shaped like a histogram's buckets —
+    in particular on the bucketwise difference of two snapshots, which
+    is how :class:`~repro.obs.timeseries.TimeSeries` derives windowed
+    p95/p99 without storing samples.  Returns the upper bound of the
+    bucket holding the requested rank.
+    """
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    rank = max(1, int(fraction * total + 0.999999))
+    seen = 0
+    for index, bucket in enumerate(counts):
+        seen += bucket
+        if seen >= rank:
+            upper_us = (1 << index) if index else 1
+            return upper_us / 1000.0
+    return 0.0
+
+
 class Counter:
     """A monotonically increasing named integer."""
 
@@ -114,6 +136,11 @@ class LatencyHistogram:
     def count(self) -> int:
         with self._lock:
             return self._count
+
+    def bucket_counts(self) -> list:
+        """Copy of the raw bucket counts, for delta-window quantiles."""
+        with self._lock:
+            return list(self._counts)
 
     def quantile_ms(self, fraction: float) -> float:
         """Upper bound of the bucket holding the ``fraction`` quantile."""
@@ -224,6 +251,21 @@ class MetricsRegistry:
                     name, LatencyHistogram(name)
                 )
         return instrument
+
+    def counters(self) -> Dict[str, Counter]:
+        """Live view (copy of the map) of all counters by name."""
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> Dict[str, Gauge]:
+        """Live view (copy of the map) of all gauges by name."""
+        with self._lock:
+            return dict(self._gauges)
+
+    def histograms(self) -> Dict[str, LatencyHistogram]:
+        """Live view (copy of the map) of all histograms by name."""
+        with self._lock:
+            return dict(self._histograms)
 
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict view of every instrument, sorted by name."""

@@ -35,29 +35,52 @@ def _flatten(
                      value[key], out)
 
 
+def _window_label(window: Mapping[str, Any]) -> str:
+    interval = window.get("interval_s", 0)
+    return f"{interval:g}s"
+
+
 def render_prometheus(snapshot: Mapping[str, Any]) -> str:
-    """Prometheus text exposition (version 0.0.4) of a snapshot."""
+    """Prometheus text exposition (version 0.0.4) of a snapshot.
+
+    Spec constraints honoured here: every metric name is sanitized to
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``, every metric gets exactly one
+    ``# TYPE`` line emitted *before* its samples, and a name is never
+    emitted twice (dotted names can collide after sanitization — first
+    writer wins, deterministically, because sections render in a fixed
+    order and sorted within).
+    """
     lines: List[str] = []
+    seen: set = set()
+
+    def emit(metric: str, kind: str, samples: List[str]) -> None:
+        if metric in seen:
+            return
+        seen.add(metric)
+        lines.append(f"# TYPE {metric} {kind}")
+        lines.extend(samples)
+
     counters = snapshot.get("counters", {})
     for name in sorted(counters):
         metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {counters[name]}")
+        emit(metric, "counter", [f"{metric} {counters[name]}"])
     gauges = snapshot.get("gauges", {})
     for name in sorted(gauges):
         metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {gauges[name]}")
+        emit(metric, "gauge", [f"{metric} {gauges[name]}"])
     histograms = snapshot.get("histograms", {})
     for name in sorted(histograms):
         metric = _prom_name(name)
         figures = histograms[name]
-        lines.append(f"# TYPE {metric} summary")
-        for key, quantile in _QUANTILES:
-            lines.append(
-                f'{metric}{{quantile="{quantile}"}} {figures.get(key, 0)}'
-            )
-        lines.append(f"{metric}_count {figures.get('count', 0)}")
+        samples = [
+            f'{metric}{{quantile="{quantile}"}} {figures.get(key, 0)}'
+            for key, quantile in _QUANTILES
+        ]
+        samples.append(f"{metric}_count {figures.get('count', 0)}")
+        emit(metric, "summary", samples)
+        # A summary owns its `_count` sample name; reserve it so a
+        # later flattened gauge cannot redeclare it.
+        seen.add(f"{metric}_count")
     # Structured sections (caches, pool, admission, service) flatten
     # into gauges so a scrape sees residency and queue depths too.
     for section in ("caches", "pool", "admission"):
@@ -65,8 +88,17 @@ def render_prometheus(snapshot: Mapping[str, Any]) -> str:
         _flatten(section, snapshot.get(section, {}), flat)
         for name, value in flat:
             metric = _prom_name(name)
-            lines.append(f"# TYPE {metric} gauge")
-            lines.append(f"{metric} {value}")
+            emit(metric, "gauge", [f"{metric} {value}"])
+    # History: the freshest value of every series, per window.  The
+    # rings themselves are for `crimson top`; a scraper only wants the
+    # current rate.
+    for window in snapshot.get("history", {}).get("windows", ()):
+        label = _window_label(window)
+        for name, values in sorted(window.get("series", {}).items()):
+            if not values:
+                continue
+            metric = _prom_name(f"history.{label}.{name}")
+            emit(metric, "gauge", [f"{metric} {values[-1]}"])
     return "\n".join(lines) + "\n" if lines else ""
 
 
@@ -139,10 +171,32 @@ def render_table(snapshot: Mapping[str, Any]) -> str:
                 [(name, _format_value(value)) for name, value in flat],
                 (section, "value"),
             ))
+    for window in snapshot.get("history", {}).get("windows", ()):
+        series = window.get("series", {})
+        samples = window.get("samples", 0)
+        if not samples or not series:
+            continue
+        rows = []
+        for name in sorted(series):
+            values = series[name]
+            if not values:
+                continue
+            rows.append((
+                name,
+                _format_value(values[-1]),
+                _format_value(sum(values) / len(values)),
+                _format_value(max(values)),
+            ))
+        label = (
+            f"history {_window_label(window)}x{window.get('slots', '?')}"
+            f" ({samples} samples)"
+        )
+        blocks.append(_table(rows, (label, "last", "mean", "max")))
     slow = snapshot.get("slow_queries", [])
     if slow:
         rows = [
             (
+                str(entry.get("trace_id") or "-"),
                 str(entry.get("verb", "?")),
                 str(entry.get("detail", "")),
                 _format_value(entry.get("duration_ms", 0)),
@@ -151,9 +205,32 @@ def render_table(snapshot: Mapping[str, Any]) -> str:
             for entry in slow
         ]
         blocks.append(_table(
-            rows, ("slow query", "detail", "duration_ms", "outcome")
+            rows, ("trace", "slow query", "detail", "duration_ms",
+                   "outcome")
         ))
     return "\n\n".join(blocks) + "\n" if blocks else "no metrics recorded\n"
 
 
-__all__ = ["render_prometheus", "render_table"]
+def render_health(report: Mapping[str, Any]) -> str:
+    """One status line plus an aligned per-check table."""
+    status = str(report.get("status", "?"))
+    rows = [
+        (
+            str(check.get("name", "?")),
+            str(check.get("status", "?")),
+            _format_value(check.get("value", 0)),
+            _format_value(check.get("degraded_at", 0)),
+            _format_value(check.get("unhealthy_at", 0)),
+        )
+        for check in report.get("checks", ())
+    ]
+    lines = [f"status: {status}"]
+    if rows:
+        lines.append(_table(
+            rows, ("check", "status", "value", "degraded_at",
+                   "unhealthy_at")
+        ))
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["render_health", "render_prometheus", "render_table"]

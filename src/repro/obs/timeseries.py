@@ -1,0 +1,290 @@
+"""Windowed rate/quantile history over a :class:`MetricsRegistry`.
+
+The registry's counters and histograms are cumulative — perfect for
+lifetime totals, useless for "what is the qps *right now*".  A
+:class:`TimeSeries` closes that gap without storing samples: each
+configured window (e.g. 1s × 120 slots, 10s × 360 slots) keeps a
+baseline snapshot of the cumulative values and, once per interval,
+pushes the *delta rates* into preallocated rings.  Recording is
+in-place slot assignment — the rings never grow, and a series set is
+capped so per-verb series cannot balloon the memory either.
+
+Derived series per window:
+
+``qps``
+    Requests per second — ``server.requests`` when serving, else the
+    store's query+analyze request counters.
+``error_rate``
+    Errors per request over the window (0..1).
+``bytes_in_per_s`` / ``bytes_out_per_s``
+    Wire throughput (0 for local stores).
+``statements_per_s``
+    SQL statements per second (``store.statements``).
+``checkout_wait_p95_ms``
+    Windowed p95 of the reader-pool checkout wait, from bucket-count
+    deltas of the cumulative histogram.
+``qps.<verb>`` / ``p99_ms.<verb>``
+    Per-verb rate and windowed p99 for every latency-family histogram
+    (``server.latency.X`` → ``X``; ``store.query.X`` → ``query.X``;
+    ``store.analyze.X`` → ``analyze.X``).
+
+``TimeSeries(enabled=False)`` makes :meth:`sample` a no-op, so the
+history layer costs nothing when switched off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, quantile_from_buckets
+
+#: (interval seconds, ring slots): two minutes at 1s grain, an hour at
+#: 10s grain.
+DEFAULT_WINDOWS: Tuple[Tuple[float, int], ...] = ((1.0, 120), (10.0, 360))
+
+#: Upper bound on distinct series per window (fixed rings only).
+MAX_SERIES = 64
+
+#: Histogram-name prefixes that get per-verb ``qps.*``/``p99_ms.*``
+#: series, and the prefix each contributes to the series key.
+_LATENCY_FAMILIES = (
+    ("server.latency.", ""),
+    ("store.query.", "query."),
+    ("store.analyze.", "analyze."),
+)
+
+
+class _Window:
+    """One ring set: a baseline snapshot plus per-series value rings."""
+
+    __slots__ = (
+        "interval_s",
+        "slots",
+        "last",
+        "samples",
+        "_pos",
+        "_series",
+        "_counter_base",
+        "_bucket_base",
+    )
+
+    def __init__(self, interval_s: float, slots: int) -> None:
+        self.interval_s = interval_s
+        self.slots = slots
+        self.last: Optional[float] = None
+        self.samples = 0
+        self._pos = 0
+        self._series: Dict[str, List[float]] = {}
+        self._counter_base: Dict[str, int] = {}
+        self._bucket_base: Dict[str, List[int]] = {}
+
+    def _ring(self, name: str) -> Optional[List[float]]:
+        ring = self._series.get(name)
+        if ring is None:
+            if len(self._series) >= MAX_SERIES:
+                return None
+            ring = [0.0] * self.slots
+            self._series[name] = ring
+        return ring
+
+    def push(self, values: Dict[str, float]) -> None:
+        for name, value in values.items():
+            ring = self._ring(name)
+            if ring is not None:
+                ring[self._pos] = value
+        self._pos = (self._pos + 1) % self.slots
+        if self.samples < self.slots:
+            self.samples += 1
+
+    def series_values(self) -> Dict[str, List[float]]:
+        """Every series oldest-first, trimmed to the filled slots."""
+        out: Dict[str, List[float]] = {}
+        for name in sorted(self._series):
+            ring = self._series[name]
+            if self.samples < self.slots:
+                values = ring[: self.samples]
+            else:
+                values = ring[self._pos:] + ring[: self._pos]
+            out[name] = [round(value, 4) for value in values]
+        return out
+
+
+class TimeSeries:
+    """Samples a registry's cumulative instruments into rate windows."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        windows: Tuple[Tuple[float, int], ...] = DEFAULT_WINDOWS,
+        enabled: bool = True,
+    ) -> None:
+        self.registry = registry
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._windows = [
+            _Window(interval_s, slots) for interval_s, slots in windows
+        ]
+
+    # -- sampling ------------------------------------------------------
+
+    def sample(self, now: Optional[float] = None) -> None:
+        """Roll over any window whose interval has elapsed.
+
+        Safe to call at any cadence (a 1 Hz server thread, or on
+        demand from ``stats``): a window only advances when its own
+        interval has passed, and the first call merely establishes the
+        baseline.  ``now`` is injectable for deterministic tests.
+        """
+        if not self.enabled:
+            return
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            counters = {
+                name: instrument.value
+                for name, instrument in self.registry.counters().items()
+            }
+            buckets = {
+                name: instrument.bucket_counts()
+                for name, instrument in self.registry.histograms().items()
+                if self._tracked_histogram(name)
+            }
+            for window in self._windows:
+                if window.last is None:
+                    window.last = now
+                    window._counter_base = counters
+                    window._bucket_base = buckets
+                    continue
+                elapsed = now - window.last
+                if elapsed < window.interval_s:
+                    continue
+                window.push(
+                    self._derive(window, counters, buckets, elapsed)
+                )
+                window.last = now
+                window._counter_base = counters
+                window._bucket_base = buckets
+
+    @staticmethod
+    def _tracked_histogram(name: str) -> bool:
+        if name == "pool.checkout_wait":
+            return True
+        return any(
+            name.startswith(prefix) for prefix, _ in _LATENCY_FAMILIES
+        )
+
+    def _derive(
+        self,
+        window: _Window,
+        counters: Dict[str, int],
+        buckets: Dict[str, List[int]],
+        elapsed: float,
+    ) -> Dict[str, float]:
+        base = window._counter_base
+
+        def delta(name: str) -> int:
+            return counters.get(name, 0) - base.get(name, 0)
+
+        def bucket_delta(name: str) -> List[int]:
+            current = buckets.get(name)
+            if current is None:
+                return []
+            previous = window._bucket_base.get(name)
+            if previous is None:
+                return list(current)
+            return [a - b for a, b in zip(current, previous)]
+
+        if "server.requests" in counters:
+            requests = delta("server.requests")
+            errors = sum(
+                delta(name)
+                for name in counters
+                if name.startswith("server.errors.")
+            )
+        else:
+            requests = delta("store.query.requests") + delta(
+                "store.analyze.requests"
+            )
+            errors = delta("store.query.errors") + delta(
+                "store.analyze.errors"
+            )
+
+        values = {
+            "qps": requests / elapsed,
+            "error_rate": errors / requests if requests else 0.0,
+            "bytes_in_per_s": delta("server.bytes_in") / elapsed,
+            "bytes_out_per_s": delta("server.bytes_out") / elapsed,
+            "statements_per_s": delta("store.statements") / elapsed,
+            "checkout_wait_p95_ms": quantile_from_buckets(
+                bucket_delta("pool.checkout_wait"), 0.95
+            ),
+        }
+        for name in buckets:
+            for prefix, key_prefix in _LATENCY_FAMILIES:
+                if not name.startswith(prefix):
+                    continue
+                key = key_prefix + name[len(prefix):]
+                diff = bucket_delta(name)
+                values[f"qps.{key}"] = sum(diff) / elapsed
+                values[f"p99_ms.{key}"] = quantile_from_buckets(diff, 0.99)
+                break
+        return values
+
+    # -- readout -------------------------------------------------------
+
+    def history(self) -> Dict[str, Any]:
+        """JSON-plain view: one entry per window, series oldest-first."""
+        with self._lock:
+            windows = [
+                {
+                    "interval_s": window.interval_s,
+                    "slots": window.slots,
+                    "samples": window.samples,
+                    "series": window.series_values(),
+                }
+                for window in self._windows
+            ]
+        return {"enabled": self.enabled, "windows": windows}
+
+    def latest(self) -> Dict[str, float]:
+        """Most recent value of every series in the finest window."""
+        with self._lock:
+            if not self._windows:
+                return {}
+            window = min(self._windows, key=lambda w: w.interval_s)
+            series = window.series_values()
+        return {
+            name: values[-1] for name, values in series.items() if values
+        }
+
+
+class TimeSeriesSampler:
+    """Background thread calling :meth:`TimeSeries.sample` at 1 Hz-ish.
+
+    Started by the server (local stores sample on demand when a
+    ``stats`` request asks for history).  ``stop`` joins the thread.
+    """
+
+    def __init__(
+        self, timeseries: TimeSeries, interval_s: float = 1.0
+    ) -> None:
+        self.timeseries = timeseries
+        self.interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="crimson-timeseries", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.timeseries.sample()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=2.0)

@@ -28,6 +28,7 @@ import time
 from typing import Any
 
 from repro.errors import ProtocolError, StorageError
+from repro.obs import Span, new_trace_id
 from repro.server import protocol
 from repro.server.server import DEFAULT_PORT
 from repro.storage import wire
@@ -35,6 +36,7 @@ from repro.storage.api import (
     AnalyticsRequest,
     AnalyticsResult,
     AnalyticsVerbs,
+    HealthReport,
     QueryRequest,
     QueryResult,
     StatsRequest,
@@ -85,6 +87,13 @@ class RemoteSession(AnalyticsVerbs):
         #: the response envelope's ``server_ms`` stamp; ``None``
         #: against a server too old to stamp it.
         self.last_server_ms: float | None = None
+        #: Trace id of the last call — the same id the server stamped
+        #: into its span, access log, and slow-query log.
+        self.last_trace_id: str | None = None
+        #: Per-trace decomposition of the last call: trace id, verb,
+        #: round trip, server time, wire overhead, and the client
+        #: span's write/read phase split.  ``None`` before any call.
+        self.last_trace: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     # One round trip
@@ -99,19 +108,30 @@ class RemoteSession(AnalyticsVerbs):
                 )
             self._next_id += 1
             request_id = self._next_id
+            # The client half of the trace: a fresh id rides the
+            # request envelope, the server adopts it, and the span's
+            # write/read phases decompose this side of the round trip.
+            span = Span(
+                verb,
+                session_key=f"{host}:{port}",
+                trace_id=new_trace_id(),
+            )
             started = time.perf_counter()
             try:
-                protocol.write_frame(
-                    self._stream,
-                    protocol.request_envelope(
-                        verb,
-                        payload,
-                        request_id=request_id,
-                        record=record,
-                        chunks=True,
-                    ),
-                )
-                envelope = protocol.read_envelope(self._stream)
+                with span.phase("write"):
+                    protocol.write_frame(
+                        self._stream,
+                        protocol.request_envelope(
+                            verb,
+                            payload,
+                            request_id=request_id,
+                            record=record,
+                            chunks=True,
+                            trace=span.trace_id,
+                        ),
+                    )
+                with span.phase("read"):
+                    envelope = protocol.read_envelope(self._stream)
             except ProtocolError:
                 # The stream is no longer frame-aligned; the next call
                 # would pair stale bytes with the wrong request.
@@ -151,6 +171,26 @@ class RemoteSession(AnalyticsVerbs):
             and not isinstance(server_ms, bool)
             else None
         )
+        # A new server echoes the adopted trace id; trust its word (an
+        # old server echoes nothing and the client-minted id stands).
+        echoed = protocol.trace_of(envelope)
+        if echoed is not None:
+            span.trace_id = echoed
+        if kind == "error":
+            span.fail(str(body.get("kind", "error")))
+        span.finish()
+        self.last_trace_id = span.trace_id
+        self.last_trace = {
+            "trace_id": span.trace_id,
+            "verb": verb,
+            "round_trip_ms": self.last_round_trip_ms,
+            "server_ms": self.last_server_ms,
+            "wire_overhead_ms": self.last_wire_overhead_ms,
+            "phases": {
+                label: round(ms, 4) for label, ms in span.phases.items()
+            },
+            "outcome": "error" if span.error_kind else "ok",
+        }
         if kind == "error":
             raise wire.decode_error(body)
         return body
@@ -159,7 +199,10 @@ class RemoteSession(AnalyticsVerbs):
     def last_wire_overhead_ms(self) -> float | None:
         """Wire cost of the last call: client-observed round trip minus
         the server-reported handling time (``None`` before any call, or
-        against a server too old to stamp ``server_ms``)."""
+        against a server too old to stamp ``server_ms``).  Clamped at
+        zero: the two clocks are different ``perf_counter`` processes,
+        so a fast reply can put the raw difference microseconds below
+        zero — that is skew, not negative wire time."""
         if self.last_round_trip_ms is None or self.last_server_ms is None:
             return None
         return max(
@@ -247,6 +290,15 @@ class RemoteSession(AnalyticsVerbs):
             ),
         )
         return wire.decode_stats(payload)
+
+    def health(self) -> HealthReport:
+        """The server's threshold-evaluated health, decoded.
+
+        Answered even while the server drains for shutdown (status
+        ``"draining"``), so a poller observes the drain instead of
+        being refused.
+        """
+        return wire.decode_health(self._call("health"))
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -19,10 +19,13 @@ Response envelope (one of)::
 client can pipeline requests on one connection and still pair answers.
 Verbs mirror the :class:`~repro.storage.api.CrimsonSession` protocol:
 ``query``, ``list_trees``, ``describe``, ``verify``, ``ping``,
-``estimate``, and ``stats``.  A response envelope may also carry
-``server_ms`` — the server-side handling time in milliseconds — which
-clients use to separate wire overhead from server work; peers that
-don't know the field ignore it.
+``estimate``, ``stats``, and ``health``.  A response envelope may also
+carry ``server_ms`` — the server-side handling time in milliseconds —
+which clients use to separate wire overhead from server work, and a
+request envelope may carry ``trace`` — the caller's trace id, echoed
+back on the response and stamped into the server's span, access log,
+and slow-query log so one id joins all three records.  Peers that
+don't know a field ignore it.
 
 Chunked responses
 -----------------
@@ -60,6 +63,7 @@ VERBS: tuple[str, ...] = (
     "ping",
     "estimate",
     "stats",
+    "health",
 )
 """Verbs the server dispatches (the session protocol, minus ``close``;
 the named analytics operations all travel as one ``analyze`` verb).
@@ -80,6 +84,11 @@ MAX_STREAM_BYTES = 1024 * 1024 * 1024
 hostile peer streaming forever."""
 
 
+MAX_TRACE_CHARS = 64
+"""Upper bound on a trace id carried in an envelope — ids past it are
+treated as absent rather than trusted into logs verbatim."""
+
+
 def request_envelope(
     verb: str,
     payload: Any = None,
@@ -87,18 +96,41 @@ def request_envelope(
     request_id: int = 0,
     record: bool = False,
     chunks: bool = False,
+    trace: str | None = None,
 ) -> dict[str, Any]:
     """Build one request envelope (stamped with the protocol version).
 
     ``chunks=True`` advertises that the sender understands chunked
-    responses; peers that don't know the field ignore it.
+    responses; ``trace`` carries the caller's trace id so the server
+    can stamp the same id into its span, access log, and slow-query
+    log.  Both ride the existing :data:`PROTOCOL_VERSION` negotiation
+    point: peers that don't know a field ignore it.
     """
     envelope = {
         "id": request_id, "verb": verb, "payload": payload, "record": record
     }
     if chunks:
         envelope["chunks"] = True
+    if trace:
+        envelope["trace"] = trace
     return stamp(envelope)
+
+
+def trace_of(envelope: Mapping[str, Any]) -> str | None:
+    """The envelope's trace id, or ``None`` if absent or malformed.
+
+    Deliberately forgiving: a missing, non-string, empty, or oversized
+    ``trace`` field means "no id travelled" — old peers interop and a
+    hostile peer cannot push arbitrary blobs into the access log.
+    """
+    trace = envelope.get("trace")
+    if (
+        isinstance(trace, str)
+        and 0 < len(trace) <= MAX_TRACE_CHARS
+        and trace.isprintable()
+    ):
+        return trace
+    return None
 
 
 def response_envelope(request_id: Any, result: Any) -> dict[str, Any]:
@@ -325,6 +357,7 @@ def read_envelope(stream: BinaryIO) -> dict[str, Any] | None:
 __all__ = [
     "MAX_FRAME_BYTES",
     "MAX_STREAM_BYTES",
+    "MAX_TRACE_CHARS",
     "PROTOCOL_VERSION",
     "STREAM_CHUNK_BYTES",
     "VERBS",
@@ -335,6 +368,7 @@ __all__ = [
     "read_frame",
     "request_envelope",
     "response_envelope",
+    "trace_of",
     "write_envelope",
     "write_frame",
 ]

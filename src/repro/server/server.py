@@ -37,7 +37,14 @@ from contextlib import nullcontext
 from typing import Any
 
 from repro.errors import CrimsonError, ProtocolError, ResourceError
-from repro.obs import Counter, Span, activate, current_span
+from repro.obs import (
+    Counter,
+    Span,
+    TimeSeriesSampler,
+    activate,
+    current_span,
+    new_trace_id,
+)
 from repro.server import protocol
 from repro.storage import wire
 
@@ -116,8 +123,14 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
             if envelope is None:
                 return
             request_id = envelope.get("id")
+            # Adopt the caller's trace id (old clients don't send one;
+            # mint locally so every record still carries an id).  The
+            # same id lands in the span → access log → slow log, and
+            # is echoed on the reply for the client to verify.
             span = Span(
-                str(envelope.get("verb", "?")), session_key=session_key
+                str(envelope.get("verb", "?")),
+                session_key=session_key,
+                trace_id=protocol.trace_of(envelope) or new_trace_id(),
             )
             started = time.perf_counter()
             crimson._begin_request()
@@ -147,6 +160,7 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
             response["server_ms"] = round(
                 (time.perf_counter() - started) * 1000.0, 3
             )
+            response["trace"] = span.trace_id
             with span.phase("write"):
                 delivered = self._reply(
                     response, chunked=envelope.get("chunks") is True
@@ -234,6 +248,11 @@ class CrimsonServer:
         self._draining = False
         self._inflight = 0
         self._inflight_cond = threading.Condition()
+        # Continuous 1 Hz history sampling while serving, so a remote
+        # `stats --sections history` sees rolling windows even between
+        # polls; started with the accept loop, stopped by shutdown.
+        self._sampler = TimeSeriesSampler(store.timeseries)
+        self._sampler_started = False
 
     @property
     def address(self) -> tuple[str, int]:
@@ -252,6 +271,15 @@ class CrimsonServer:
         exceptions into failure envelopes.
         """
         verb, payload, record = protocol.parse_request(envelope)
+        if verb == "health":
+            # Deliberately exempt from the drain refusal below: a
+            # draining server answers health with status "draining" so
+            # a load balancer can observe the drain instead of being
+            # refused mid-poll.
+            report = self.store.health(
+                transport="tcp", draining=self._draining
+            )
+            return wire.encode_health(report)
         if self._draining:
             raise ResourceError(
                 "server is draining for shutdown; no new requests are "
@@ -394,6 +422,9 @@ class CrimsonServer:
             if self._draining:
                 return
             self._loop_running = True
+            if not self._sampler_started:
+                self._sampler.start()
+                self._sampler_started = True
         try:
             self._tcp.serve_forever(poll_interval=0.1)
         finally:
@@ -448,6 +479,8 @@ class CrimsonServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        if self._sampler_started:
+            self._sampler.stop()
         self._tcp.server_close()
         if self._access_log is not None:
             try:

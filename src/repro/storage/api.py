@@ -419,6 +419,7 @@ STATS_SECTIONS: tuple[str, ...] = (
     "pool",
     "admission",
     "slow_queries",
+    "history",
 )
 """Sections a :class:`StatsRequest` may select (empty selects all)."""
 
@@ -477,6 +478,7 @@ class StatsSnapshot:
     pool: Mapping[str, Any]
     admission: Mapping[str, Any]
     slow_queries: tuple[Mapping[str, Any], ...]
+    history: Mapping[str, Any]
     service: Mapping[str, Any]
 
     def as_dict(self) -> dict[str, Any]:
@@ -492,6 +494,7 @@ class StatsSnapshot:
             "pool": dict(self.pool),
             "admission": dict(self.admission),
             "slow_queries": [dict(entry) for entry in self.slow_queries],
+            "history": dict(self.history),
             "service": dict(self.service),
         }
 
@@ -515,6 +518,9 @@ class StatsSnapshot:
                 slow_queries=tuple(
                     dict(entry) for entry in payload["slow_queries"]
                 ),
+                # Absent from pre-history peers; lenient so a new
+                # client can still decode an old server's snapshot.
+                history=dict(payload.get("history", {})),
                 service=dict(payload["service"]),
             )
         except (KeyError, TypeError, ValueError) as error:
@@ -538,6 +544,58 @@ def service_info(store, transport: str) -> dict[str, Any]:
         "shards": store.shards,
         "trees": store.tree_count(),
     }
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """The answer of the ``health`` verb, transport-agnostic.
+
+    ``status`` is one of ``ok`` / ``degraded`` / ``unhealthy`` /
+    ``draining`` (the worst individual check, except draining which
+    overrides); ``checks`` carries the per-check detail (name, status,
+    value, thresholds) from :func:`repro.obs.health.evaluate`; and
+    ``service`` is the same identity dict ``ping`` answers with, so a
+    poller knows *which* service said it was degraded.
+    """
+
+    status: str
+    checks: tuple[Mapping[str, Any], ...]
+    draining: bool
+    service: Mapping[str, Any]
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly dict (the wire payload, minus the stamp)."""
+        return {
+            "status": self.status,
+            "checks": [dict(check) for check in self.checks],
+            "draining": self.draining,
+            "service": dict(self.service),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "HealthReport":
+        """Rebuild a report from its wire payload.
+
+        Raises
+        ------
+        ProtocolError
+            If the payload is missing fields or malformed.
+        """
+        try:
+            return cls(
+                status=str(payload["status"]),
+                checks=tuple(dict(check) for check in payload["checks"]),
+                draining=bool(payload["draining"]),
+                service=dict(payload["service"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(
+                f"malformed health report payload: {error}"
+            ) from None
 
 
 @runtime_checkable
@@ -613,6 +671,10 @@ class CrimsonSession(Protocol):
 
     def stats(self, request: StatsRequest | None = None) -> StatsSnapshot:
         """Observability snapshot: metrics, caches, pool, admission."""
+        ...
+
+    def health(self) -> HealthReport:
+        """Threshold-evaluated service health (ok/degraded/unhealthy)."""
         ...
 
     def close(self) -> None:
@@ -739,6 +801,9 @@ class LocalSession(AnalyticsVerbs):
 
     def stats(self, request: StatsRequest | None = None) -> StatsSnapshot:
         return self.store.stats(request)
+
+    def health(self) -> HealthReport:
+        return self.store.health()
 
     def close(self) -> None:
         if self._owns_store:

@@ -77,10 +77,19 @@ from repro.admission import (
     estimate_query,
 )
 from repro.errors import QueryError, StorageError
-from repro.obs import MetricsRegistry, SlowQueryLog, Span, current_span
+from repro.obs import (
+    HealthThresholds,
+    MetricsRegistry,
+    SlowQueryLog,
+    Span,
+    TimeSeries,
+    current_span,
+    evaluate_health,
+)
 from repro.storage.api import (
     AnalyticsRequest,
     AnalyticsResult,
+    HealthReport,
     QueryRequest,
     QueryResult,
     StatsRequest,
@@ -211,6 +220,13 @@ class CrimsonStore:
         self.metrics = MetricsRegistry()
         #: Ring buffer of the slowest recent requests (local + served).
         self.slow_log = SlowQueryLog()
+        #: Windowed rate history over the registry.  Local stores
+        #: sample on demand (a ``stats``/``health`` call rolls the
+        #: windows); ``crimson serve`` adds a 1 Hz sampler thread.
+        self.timeseries = TimeSeries(self.metrics)
+        #: Cut points the ``health`` verb evaluates against; swap the
+        #: instance to re-tune a live store.
+        self.health_thresholds = HealthThresholds()
         for shard in self._shards:
             if shard.pool is not None:
                 shard.pool.metrics = self.metrics
@@ -618,6 +634,13 @@ class CrimsonStore:
         slow: tuple[dict[str, Any], ...] = ()
         if request.wants("slow_queries"):
             slow = tuple(self.slow_log.entries())
+        history: dict[str, Any] = {}
+        if request.wants("history"):
+            # On-demand rollover: pollers (``crimson top``) drive the
+            # windows for a local store; the server's sampler thread
+            # makes this call a cheap no-op between intervals.
+            self.timeseries.sample()
+            history = self.timeseries.history()
         return StatsSnapshot(
             counters=metrics["counters"],
             gauges=metrics["gauges"],
@@ -626,6 +649,7 @@ class CrimsonStore:
             pool=pool,
             admission=admission,
             slow_queries=slow,
+            history=history,
             service=dict(service_info(self, transport)),
         )
 
@@ -642,6 +666,39 @@ class CrimsonStore:
         for name in sorted(totals):
             out[name] = totals[name].as_dict()
         return out
+
+    def health(
+        self,
+        *,
+        transport: str = "local",
+        draining: bool = False,
+    ) -> HealthReport:
+        """Evaluate :attr:`health_thresholds` over the history windows.
+
+        ``draining`` is the server's shutdown signal: while set, the
+        status is ``"draining"`` regardless of the checks, so a load
+        balancer polling ``health`` stops routing before the listener
+        closes.
+        """
+        self.timeseries.sample()
+        snapshot = self.metrics.snapshot()
+        admission = self.admission.snapshot()
+        verdict = evaluate_health(
+            history=self.timeseries.history(),
+            counters=snapshot["counters"],
+            histograms=snapshot["histograms"],
+            admission=admission,
+            inflight=float(admission.get("active", 0)),
+            capacity=self.admission.limits.max_concurrent,
+            thresholds=self.health_thresholds,
+            draining=draining,
+        )
+        return HealthReport(
+            status=verdict["status"],
+            checks=tuple(verdict["checks"]),
+            draining=verdict["draining"],
+            service=dict(service_info(self, transport)),
+        )
 
     def _stats_pool(self) -> dict[str, Any]:
         """Per-shard reader-pool depth and statement counts."""

@@ -36,6 +36,7 @@ from repro.errors import CrimsonError, ProtocolError
 from repro.storage.api import (
     AnalyticsRequest,
     AnalyticsResult,
+    HealthReport,
     QueryRequest,
     QueryResult,
     StatsRequest,
@@ -565,6 +566,21 @@ def decode_stats(payload: Mapping[str, Any]) -> StatsSnapshot:
     """Rebuild a :class:`StatsSnapshot` from its wire form."""
     check_protocol(payload, "a stats snapshot")
     return StatsSnapshot.from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Health reports (the `health` verb)
+# ----------------------------------------------------------------------
+
+def encode_health(report: HealthReport) -> dict[str, Any]:
+    """Encode one threshold-evaluated health report."""
+    return stamp(report.as_dict())
+
+
+def decode_health(payload: Mapping[str, Any]) -> HealthReport:
+    """Rebuild a :class:`HealthReport` from its wire form."""
+    check_protocol(payload, "a health report")
+    return HealthReport.from_dict(payload)
 
 
 # ----------------------------------------------------------------------

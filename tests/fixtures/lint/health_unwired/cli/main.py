@@ -1,0 +1,9 @@
+def build_parser(commands):
+    commands.add_parser("lca")
+    commands.add_parser("compare")
+    commands.add_parser("list")
+    commands.add_parser("info")
+    commands.add_parser("verify")
+    commands.add_parser("ping")
+    commands.add_parser("estimate")
+    commands.add_parser("stats")

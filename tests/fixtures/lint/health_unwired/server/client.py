@@ -1,0 +1,28 @@
+class RemoteSession(AnalyticsVerbs):
+    def _call(self, verb, payload=None): ...
+
+    def query(self, request):
+        return self._call("query", {})
+
+    def analyze(self, request):
+        return self._call("analyze", {})
+
+    def estimate(self, request):
+        return self._call("estimate", {})
+
+    def list_trees(self):
+        return self._call("list_trees")
+
+    def describe(self, name):
+        return self._call("describe", {"name": name})
+
+    def verify(self, tree=None):
+        return self._call("verify", {"tree": tree})
+
+    def ping(self):
+        return self._call("ping")
+
+    def stats(self, request=None):
+        return self._call("stats", {})
+
+    def close(self): ...

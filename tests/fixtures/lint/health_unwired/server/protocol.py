@@ -1,0 +1,4 @@
+VERBS = (
+    "query", "analyze", "list_trees", "describe", "verify", "ping",
+    "estimate", "stats", "health",
+)

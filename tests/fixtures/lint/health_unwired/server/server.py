@@ -1,0 +1,19 @@
+class CrimsonServer:
+    def dispatch(self, envelope):
+        verb = envelope["verb"]
+        if verb == "ping":
+            return {}
+        if verb == "query":
+            return {}
+        if verb == "analyze":
+            return {}
+        if verb == "list_trees":
+            return []
+        if verb == "describe":
+            return {}
+        if verb == "estimate":
+            return {}
+        if verb == "stats":
+            return {}
+        assert verb == "verify"
+        return []

@@ -1,0 +1,76 @@
+"""Mini session API with one deliberate gap: the ``health`` verb is
+declared in the session protocol, the VERBS table, and LocalSession —
+but never wired through the server dispatch, RemoteSession, or the
+CLI, the exact half-wiring the monitoring PR could have shipped with.
+Everything else (including ``stats``) is fully wired, so the rule must
+flag exactly those three surfaces by name."""
+
+OPERATIONS = ("lca",)
+ANALYTICS_OPERATIONS = ("compare",)
+
+
+class QueryRequest:
+    @classmethod
+    def lca(cls, tree, *taxa):
+        return cls(operation="lca", tree=tree, taxa=taxa)
+
+
+class AnalyticsRequest:
+    @classmethod
+    def compare(cls, a, b):
+        return cls(operation="compare", trees=(a, b))
+
+
+class StatsRequest:
+    pass
+
+
+class CrimsonSession:
+    def query(self, request): ...
+
+    def analyze(self, request): ...
+
+    def compare(self, a, b): ...
+
+    def list_trees(self): ...
+
+    def describe(self, name): ...
+
+    def verify(self, tree=None): ...
+
+    def ping(self): ...
+
+    def estimate(self, request): ...
+
+    def stats(self, request=None): ...
+
+    def health(self): ...
+
+    def close(self): ...
+
+
+class AnalyticsVerbs:
+    def compare(self, a, b):
+        return self.analyze(AnalyticsRequest.compare(a, b))
+
+
+class LocalSession(AnalyticsVerbs):
+    def query(self, request): ...
+
+    def analyze(self, request): ...
+
+    def list_trees(self): ...
+
+    def describe(self, name): ...
+
+    def verify(self, tree=None): ...
+
+    def ping(self): ...
+
+    def estimate(self, request): ...
+
+    def stats(self, request=None): ...
+
+    def health(self): ...
+
+    def close(self): ...

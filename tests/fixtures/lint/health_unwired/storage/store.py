@@ -1,0 +1,9 @@
+class CrimsonStore:
+    def analyze(self, request):
+        assert request.operation == "compare"
+        return None
+
+    def _execute(self, handle, request):
+        if request.operation == "lca":
+            return None
+        raise QueryError(request.operation)

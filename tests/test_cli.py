@@ -431,3 +431,31 @@ class TestBootstrapCommand:
         capsys.readouterr()
         run(dbpath, "history")
         assert "bootstrap" in capsys.readouterr().out
+
+
+class TestMonitoringCommands:
+    def test_health_local_is_ok_and_exit_zero(self, loaded, capsys):
+        assert run(loaded, "health") == 0
+        output = capsys.readouterr().out
+        assert output.startswith("status: ok")
+        assert "inflight_fraction" in output
+
+    def test_health_json_is_parseable(self, loaded, capsys):
+        assert run(loaded, "health", "--json") == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "ok"
+        assert {check["name"] for check in report["checks"]} == {
+            "error_rate", "p99_ms", "queue_depth", "inflight_fraction"
+        }
+
+    def test_top_renders_one_bounded_frame(self, loaded, capsys):
+        assert run(loaded, "lca", "demo", "a", "b") == 0
+        capsys.readouterr()
+        assert run(loaded, "top", "--iterations", "1") == 0
+        frame = capsys.readouterr().out
+        assert frame.startswith("crimson top —")
+        assert "transport=local" in frame
+
+    def test_top_rejects_negative_iterations(self, loaded, capsys):
+        with pytest.raises(SystemExit):
+            run(loaded, "top", "--iterations", "-1")

@@ -190,6 +190,28 @@ class TestProtocolExhaustiveness:
         assert "session verb 'stats' has no CLI subcommand 'stats'" in messages
         assert len(findings) == 3, "\n".join(f.render() for f in findings)
 
+    def test_half_wired_health_verb_is_flagged_by_name(self):
+        # The monitoring PR's failure mode: ``health`` declared in the
+        # session protocol, VERBS, and LocalSession — but no server
+        # dispatch branch, no RemoteSession method, and no CLI
+        # subcommand.  Every missing surface must be named, and
+        # nothing else (``stats`` is fully wired here).
+        findings = lint_fixture("health_unwired", (ProtocolExhaustiveness(),))
+        assert {f.path for f in findings} == {
+            "server/server.py", "server/client.py", "cli/main.py"
+        }
+        messages = " | ".join(f.message for f in findings)
+        assert (
+            "wire verb 'health' has no branch in CrimsonServer.dispatch"
+            in messages
+        )
+        assert "wire verb 'health' is never sent by RemoteSession" in messages
+        assert "does not implement session method 'health'" in messages
+        assert (
+            "session verb 'health' has no CLI subcommand 'health'" in messages
+        )
+        assert len(findings) == 4, "\n".join(f.render() for f in findings)
+
     def test_missing_surface_file_is_reported(self, tmp_path):
         (tmp_path / "storage").mkdir()
         (tmp_path / "storage" / "api.py").write_text("OPERATIONS = ()\n")
